@@ -1,0 +1,24 @@
+"""Shared helpers for the benchmark suite.
+
+Each benchmark regenerates one experiment of EXPERIMENTS.md, prints its
+table, and archives it under ``benchmarks/results/`` so the documented
+numbers are reproducible artifacts, not copy-paste.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.analysis import render_table
+
+RESULTS_DIR = Path(__file__).resolve().parent / "results"
+
+
+def record(experiment_id: str, rows, title: str) -> str:
+    """Render, print, and archive one experiment table."""
+    text = render_table(rows, title)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{experiment_id}.txt").write_text(text + "\n")
+    print()
+    print(text)
+    return text

@@ -1,0 +1,47 @@
+"""E1 -- Figure 1: the counterexample, decided mechanically.
+
+Paper artifact: Figure 1 (the only figure in the paper).  Claim:
+``[C => A]init`` and ``A stabilizing to A`` hold while ``C stabilizing to
+A`` fails.  The benchmark times the three graph decisions and records the
+verdict table.
+"""
+
+from repro.core import (
+    everywhere_implements,
+    figure1_A,
+    figure1_C,
+    implements,
+    is_stabilizing_to,
+)
+
+from common import record
+
+
+def _decide():
+    A, C = figure1_A(), figure1_C()
+    return {
+        "C implements A (init)": bool(implements(C, A)),
+        "A stabilizing to A": bool(is_stabilizing_to(A, A)),
+        "C stabilizing to A": bool(is_stabilizing_to(C, A)),
+        "C everywhere implements A": bool(everywhere_implements(C, A)),
+    }
+
+
+def test_figure1_counterexample(benchmark):
+    verdicts = benchmark(_decide)
+    rows = [
+        {
+            "relation": name,
+            "paper": paper,
+            "measured": "holds" if measured else "fails",
+            "match": (measured == (paper == "holds")),
+        }
+        for (name, measured), paper in zip(
+            verdicts.items(), ("holds", "holds", "fails", "fails")
+        )
+    ]
+    record("E1_figure1", rows, "E1 -- Figure 1 counterexample")
+    assert verdicts["C implements A (init)"]
+    assert verdicts["A stabilizing to A"]
+    assert not verdicts["C stabilizing to A"]
+    assert not verdicts["C everywhere implements A"]

@@ -1,0 +1,36 @@
+"""E6 -- wrapper reuse matrix (Corollary 11 and its boundary).
+
+Four implementations under one wrapper: the paper's two (RA, Lamport), a
+third conforming one built here (reply-counting RA -- different internals,
+same Lspec interface), and the token-ring negative control.
+
+Paper claim: W renders RA_ME and Lamport_ME stabilizing (Corollary 11); the
+guarantee is conditional on everywhere-implementing Lspec.  Measured: the
+{RA, Lamport} x {bare, wrapped} quadrant shows wrapped rows fully
+stabilizing; the token-ring negative control (which does not implement
+Lspec) is not reliably rescued by the same wrapper.
+"""
+
+from repro.analysis import CampaignSettings, experiment_reuse
+
+from common import record
+
+SETTINGS = CampaignSettings(steps=2400, fault_start=100, fault_stop=350)
+
+
+def test_reuse_matrix(benchmark):
+    rows = benchmark.pedantic(
+        experiment_reuse,
+        kwargs=dict(seeds=(1, 2, 3), theta=4, settings=SETTINGS),
+        iterations=1,
+        rounds=1,
+    )
+    record("E6_reuse", rows, "E6 -- one wrapper, four implementations")
+    by_key = {(r["algorithm"], r["wrapper"]): r for r in rows}
+    assert by_key[("ra", "W'(theta=4)")]["stabilized"] == "3/3"
+    assert by_key[("ra-count", "W'(theta=4)")]["stabilized"] == "3/3"
+    assert by_key[("lamport", "W'(theta=4)")]["stabilized"] == "3/3"
+    token_wrapped = by_key[("token", "W'(theta=4)")]["stabilized"]
+    assert token_wrapped != "3/3", (
+        "the negative control must not be reliably stabilized by W"
+    )

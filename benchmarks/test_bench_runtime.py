@@ -1,0 +1,63 @@
+"""E15 (supplementary) -- substrate throughput.
+
+Not a paper claim: raw performance numbers for the simulator and the
+monitors, so regressions in the substrate are visible and users can size
+their experiments.  These use pytest-benchmark's real repeated timing
+(unlike the experiment benches, which are one-shot by design).
+"""
+
+import random
+
+import pytest
+
+from repro.runtime import RandomScheduler, Simulator
+from repro.tme import ClientConfig, WrapperConfig, check_lspec, check_tme_spec, tme_programs
+
+
+def build(n=3, wrapped=False, record_states=True, seed=1):
+    programs = tme_programs(
+        "ra",
+        n,
+        ClientConfig(2, 1),
+        WrapperConfig(theta=4) if wrapped else None,
+    )
+    return Simulator(
+        programs,
+        RandomScheduler(random.Random(seed)),
+        record_states=record_states,
+    )
+
+
+@pytest.mark.parametrize("n", [3, 6])
+def test_simulator_throughput(benchmark, n):
+    def run_thousand():
+        sim = build(n=n, record_states=False)
+        sim.run(1000)
+        return sim.step_index
+
+    steps = benchmark(run_thousand)
+    assert steps == 1000
+
+
+def test_simulator_throughput_with_snapshots(benchmark):
+    def run_five_hundred():
+        sim = build(n=3, record_states=True)
+        sim.run(500)
+        return len(sim.trace.states)
+
+    states = benchmark(run_five_hundred)
+    assert states == 501
+
+
+def test_monitor_throughput(benchmark):
+    sim = build(n=3, wrapped=True)
+    trace = sim.run(1000)
+    programs = {pid: proc.program for pid, proc in sim.processes.items()}
+
+    def check_everything():
+        tme = check_tme_spec(trace)
+        lspec = check_lspec(trace, programs)
+        return (len(tme.me1), lspec.total_violations())
+
+    me1, violations = benchmark(check_everything)
+    assert me1 == 0 and violations == 0

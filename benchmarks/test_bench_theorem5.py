@@ -1,0 +1,25 @@
+"""E10 -- Theorem 5: Lspec implies TME Spec.
+
+Paper claim: every system that implements Lspec also implements TME Spec
+(ME1 through ME3 follow from the Lspec clauses; Theorems A.4/A.6/A.7).
+Measured: on every fault-free run of RA and Lamport, Lspec-cleanliness
+coincides with TME-cleanliness, so the implication is never falsified.
+"""
+
+from repro.analysis import experiment_theorem5
+
+from common import record
+
+
+def test_theorem5(benchmark):
+    rows = benchmark.pedantic(
+        experiment_theorem5,
+        kwargs=dict(seeds=(1, 2, 3), steps=2000, grace=300),
+        iterations=1,
+        rounds=1,
+    )
+    record("E10_theorem5", rows, "E10 -- Lspec => TME Spec on fault-free runs")
+    for row in rows:
+        assert row["implication_held"] == f"{row['runs']}/{row['runs']}", row
+        assert row["lspec_clean"] == row["runs"], row
+        assert row["tme_clean"] == row["runs"], row

@@ -1,0 +1,39 @@
+"""E4 -- W' timeout tuning.
+
+Paper claim (end of Section 4): the timeout is "just an optimization and
+does not affect the correctness of the solution"; it exists "to decrease
+the unnecessary repetitions of the request messages when the system is in
+the consistent states".  Measured: stabilization holds for every theta;
+steady-state wrapper retransmissions drop monotonically (up to noise) as
+theta grows.
+"""
+
+from repro.analysis import CampaignSettings, experiment_timeout
+
+from common import record
+
+SETTINGS = CampaignSettings(
+    steps=3600, fault_start=150, fault_stop=400, grace=600
+)
+
+
+def test_timeout_sweep(benchmark):
+    rows = benchmark.pedantic(
+        experiment_timeout,
+        kwargs=dict(
+            thetas=(0, 2, 4, 8, 16),
+            seeds=(1, 2),
+            settings=SETTINGS,
+        ),
+        iterations=1,
+        rounds=1,
+    )
+    record("E4_timeout", rows, "E4 -- W' timeout sweep (RA_ME, n=3)")
+    for row in rows:
+        assert row["stabilized"] == row["runs"], (
+            f"theta={row['theta']} must not affect correctness"
+        )
+    steady = [row["steady_wrapper_msgs"].mean for row in rows]
+    assert steady[-1] < steady[0], (
+        "larger timeouts must reduce steady-state retransmissions"
+    )

@@ -1,0 +1,14 @@
+"""Ensure ``src`` is importable even without an editable install.
+
+The offline build environment ships setuptools without ``wheel``, so
+``pip install -e .`` (PEP 660) cannot build an editable wheel; use
+``python setup.py develop`` instead (see README).  This conftest makes the
+test and benchmark suites independent of either step.
+"""
+
+import sys
+from pathlib import Path
+
+_SRC = Path(__file__).resolve().parent / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))

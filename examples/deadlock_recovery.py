@@ -1,0 +1,74 @@
+#!/usr/bin/env python3
+"""The paper's Section-4 deadlock scenario, side by side.
+
+Two processes have both requested the critical section, both request
+messages were lost, and each holds stale information about the other::
+
+    j.REQ_k lt REQ_j     and     k.REQ_j lt REQ_k
+
+Each process is *internally* consistent -- Lspec asks nothing more of it --
+yet the pair is *mutually* inconsistent: each waits forever for a reply the
+other will never send.  This is exactly why the paper's method needs a
+level-2 (inter-process) wrapper.
+
+The script starts RA_ME (and then Lamport_ME) in that state:
+
+* without W: the simulator goes quiescent -- every step is a stutter,
+  nobody ever eats;
+* with W: the wrapper retransmits ``REQ_j`` to the suspect set, the normal
+  protocol takes over, and both processes eat forever after.
+
+Run::
+
+    python examples/deadlock_recovery.py
+"""
+
+from repro.analysis import cs_entries
+from repro.tme import WrapperConfig, build_simulation, deadlock_overrides
+
+
+def run_case(algorithm: str, wrapped: bool, steps: int = 1200) -> None:
+    overrides = deadlock_overrides(algorithm, ("p0", "p1"))
+    wrapper = WrapperConfig(theta=2) if wrapped else None
+    sim = build_simulation(
+        algorithm, n=2, seed=5, overrides=overrides, wrapper=wrapper
+    )
+    trace = sim.run(steps)
+    stutters = sum(1 for s in trace.steps if s.kind == "stutter")
+    entries = cs_entries(trace)
+    label = f"{algorithm:8s} {'with W' if wrapped else 'bare  '}"
+    if entries == 0:
+        print(
+            f"  {label}: DEADLOCK -- {stutters}/{steps} steps were stutters, "
+            f"0 CS entries, quiescent={sim.is_quiescent}"
+        )
+    else:
+        first = next(
+            i
+            for i in range(1, len(trace.states))
+            if any(
+                trace.states[i - 1].var(p, "phase") == "h"
+                and trace.states[i].var(p, "phase") == "e"
+                for p in ("p0", "p1")
+            )
+        )
+        print(
+            f"  {label}: recovered -- first CS entry at step {first}, "
+            f"{entries} entries total"
+        )
+
+
+def main() -> None:
+    print("Section-4 deadlock scenario (both requests lost in flight):")
+    for algorithm in ("ra", "lamport"):
+        print(f"\n{algorithm.upper()}:")
+        run_case(algorithm, wrapped=False)
+        run_case(algorithm, wrapped=True)
+    print(
+        "\nThe same wrapper object recovered both protocols -- it only ever "
+        "read the Lspec interface (phase, REQ, copies of peers' REQs)."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,45 @@
+#!/usr/bin/env python3
+"""Tuning the timeout wrapper W' (end of Section 4).
+
+The paper: "The timeout mechanism is just an optimization and does not
+affect the correctness of the solution... it can be employed to tune the
+wrapper to decrease the unnecessary repetitions of the request messages
+when the system is in the consistent states."
+
+This script sweeps the timeout period theta and reports, per value:
+
+* whether the system still stabilizes after the standard fault burst
+  (it always should -- correctness is theta-independent);
+* how long convergence takes (grows with theta: corrections fire less
+  often);
+* how many wrapper retransmissions occur in the *fault-free* pre-burst
+  window (shrinks with theta: that is the optimization).
+
+Run::
+
+    python examples/timeout_tuning.py
+"""
+
+from repro.analysis import CampaignSettings, experiment_timeout, print_table
+
+
+def main() -> None:
+    rows = experiment_timeout(
+        thetas=(0, 1, 2, 4, 8, 16),
+        seeds=(1, 2, 3),
+        settings=CampaignSettings(steps=2500, fault_start=150, fault_stop=400),
+    )
+    print_table(
+        rows,
+        "W' timeout sweep (RA_ME, n=3): correctness is theta-independent; "
+        "overhead/latency trade off",
+    )
+    print(
+        "\nReading: 'stabilized' stays full regardless of theta "
+        "(correctness); 'steady_wrapper_msgs' falls as theta grows "
+        "(the optimization); 'latency' is the price."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,12 @@
+"""Legacy setup shim.
+
+The build environment is offline and ships setuptools 65 without the
+``wheel`` package, so PEP 660 editable installs (which require
+``bdist_wheel``) are unavailable.  This shim lets
+``pip install -e . --no-build-isolation`` fall back to the legacy
+``setup.py develop`` path.  All project metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,39 @@
+"""Graybox Stabilization (Arora, Demirbas, Kulkarni -- DSN 2001): a full
+Python reproduction.
+
+The paper shows that *stabilization* -- recovery to correct behaviour from
+any transiently corrupted state -- can be added to a system knowing only its
+**specification** ("graybox"), not its implementation ("whitebox"), provided
+the specification is a *local everywhere specification*.  The method is
+demonstrated on timestamp-based distributed mutual exclusion: one wrapper W,
+designed purely from the specification Lspec, makes both Ricart-Agrawala's
+and Lamport's mutual exclusion programs self-stabilizing.
+
+Package map (bottom-up):
+
+* :mod:`repro.core`         -- Section 2: systems, refinement, box, theorems
+* :mod:`repro.dsl`          -- guarded commands (implementation language)
+* :mod:`repro.clocks`       -- logical clocks, ``lt``, happened-before
+* :mod:`repro.runtime`      -- asynchronous message-passing simulator
+* :mod:`repro.faults`       -- the paper's fault model
+* :mod:`repro.tme`          -- Sections 3-5: Lspec, TME Spec, RA, Lamport, W
+* :mod:`repro.verification` -- refinement / stabilization / exploration
+* :mod:`repro.analysis`     -- experiment harness and tables
+
+Quickstart::
+
+    from repro.tme import build_simulation, WrapperConfig, standard_fault_campaign
+    from repro.verification import check_stabilization
+
+    sim = build_simulation(
+        "ra", n=3, seed=1,
+        wrapper=WrapperConfig(theta=4),
+        fault_hook=standard_fault_campaign(seed=7, start=100, stop=400),
+    )
+    trace = sim.run(3000)
+    print(check_stabilization(trace).converged)  # True
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

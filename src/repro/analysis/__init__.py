@@ -1,0 +1,50 @@
+"""Experiment harness, metrics, and table rendering."""
+
+from repro.analysis.experiments import (
+    CampaignSettings,
+    experiment_deadlock,
+    experiment_everywhere,
+    experiment_fifo_ablation,
+    experiment_interference,
+    experiment_refinement,
+    experiment_reuse,
+    experiment_scaling,
+    experiment_stabilization,
+    experiment_synthesis,
+    experiment_theorem5,
+    experiment_timeout,
+    experiment_verification_cost,
+    run_campaign,
+)
+from repro.analysis.metrics import (
+    Aggregate,
+    RunMetrics,
+    cs_entries,
+    total_sends,
+    wrapper_sends,
+)
+from repro.analysis.tables import print_table, render_table
+
+__all__ = [
+    "Aggregate",
+    "CampaignSettings",
+    "RunMetrics",
+    "cs_entries",
+    "experiment_deadlock",
+    "experiment_everywhere",
+    "experiment_fifo_ablation",
+    "experiment_interference",
+    "experiment_refinement",
+    "experiment_reuse",
+    "experiment_scaling",
+    "experiment_stabilization",
+    "experiment_synthesis",
+    "experiment_theorem5",
+    "experiment_timeout",
+    "experiment_verification_cost",
+    "print_table",
+    "render_table",
+    "run_campaign",
+    "total_sends",
+    "wrapper_sends",
+]

@@ -1,0 +1,92 @@
+"""Metrics over recorded runs: convergence, overhead, throughput."""
+
+from __future__ import annotations
+
+import statistics
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+from repro.runtime.trace import Trace
+from repro.tme.interfaces import REQUEST
+
+
+@dataclass(frozen=True)
+class RunMetrics:
+    """Per-run measurements the experiment tables are built from."""
+
+    steps: int
+    cs_entries: int
+    total_messages: int
+    wrapper_messages: int
+    converged: bool
+    convergence_latency: int | None
+    me1_violations: int
+
+    @property
+    def wrapper_overhead_per_step(self) -> float:
+        """Wrapper retransmissions per simulator step."""
+        return self.wrapper_messages / self.steps if self.steps else 0.0
+
+    @property
+    def throughput(self) -> float:
+        """CS entries per 100 steps."""
+        return 100.0 * self.cs_entries / self.steps if self.steps else 0.0
+
+
+def wrapper_sends(trace: Trace, start: int = 0, stop: int | None = None) -> int:
+    """Request retransmissions issued by wrapper actions in a step window."""
+    stop = len(trace.steps) if stop is None else stop
+    count = 0
+    for step in trace.steps[start:stop]:
+        if step.is_wrapper_step:
+            count += sum(1 for kind, _r in step.sends if kind == REQUEST)
+    return count
+
+
+def total_sends(trace: Trace, start: int = 0, stop: int | None = None) -> int:
+    """All messages sent in a step window."""
+    stop = len(trace.steps) if stop is None else stop
+    return sum(len(step.sends) for step in trace.steps[start:stop])
+
+
+def cs_entries(trace: Trace, start: int = 0) -> int:
+    """CS entries counted as hungry -> eating transitions."""
+    count = 0
+    states = trace.states
+    for i in range(max(start, 1), len(states)):
+        prev, cur = states[i - 1], states[i]
+        for pid in cur.pids():
+            if (
+                prev.var(pid, "phase") == "h"
+                and cur.var(pid, "phase") == "e"
+            ):
+                count += 1
+    return count
+
+
+@dataclass(frozen=True)
+class Aggregate:
+    """Mean/min/max/stdev over repeated seeds."""
+
+    mean: float
+    minimum: float
+    maximum: float
+    stdev: float
+    n: int
+
+    @staticmethod
+    def of(values: Sequence[float]) -> "Aggregate":
+        """Summarize a sample (empty samples yield the zero aggregate)."""
+        if not values:
+            return Aggregate(0.0, 0.0, 0.0, 0.0, 0)
+        return Aggregate(
+            mean=statistics.fmean(values),
+            minimum=min(values),
+            maximum=max(values),
+            stdev=statistics.pstdev(values) if len(values) > 1 else 0.0,
+            n=len(values),
+        )
+
+    def __format__(self, spec: str) -> str:
+        spec = spec or ".1f"
+        return f"{self.mean:{spec}} (min {self.minimum:{spec}}, max {self.maximum:{spec}})"

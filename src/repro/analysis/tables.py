@@ -1,0 +1,56 @@
+"""ASCII table rendering for experiment rows (what the benchmarks print)."""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from typing import Any
+
+from repro.analysis.metrics import Aggregate
+
+Row = dict[str, Any]
+
+
+def _cell(value: Any) -> str:
+    if isinstance(value, Aggregate):
+        if value.n == 0:
+            return "-"
+        return format(value)
+    if isinstance(value, float):
+        return f"{value:.2f}"
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    return str(value)
+
+
+def render_table(rows: Sequence[Row], title: str = "") -> str:
+    """Render rows (uniform dicts) as a boxed ASCII table."""
+    if not rows:
+        return f"{title}\n(no rows)"
+    headers = list(rows[0])
+    cells = [[_cell(r.get(h, "")) for h in headers] for r in rows]
+    widths = [
+        max(len(h), *(len(row[i]) for row in cells))
+        for i, h in enumerate(headers)
+    ]
+    sep = "+".join("-" * (w + 2) for w in widths)
+    sep = f"+{sep}+"
+    out = []
+    if title:
+        out.append(title)
+    out.append(sep)
+    out.append(
+        "| " + " | ".join(h.ljust(w) for h, w in zip(headers, widths)) + " |"
+    )
+    out.append(sep)
+    for row in cells:
+        out.append(
+            "| " + " | ".join(c.ljust(w) for c, w in zip(row, widths)) + " |"
+        )
+    out.append(sep)
+    return "\n".join(out)
+
+
+def print_table(rows: Sequence[Row], title: str = "") -> None:
+    """Render and print a table with a leading blank line."""
+    print()
+    print(render_table(rows, title))

@@ -1,0 +1,183 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Three commands cover the common workflows without writing any Python:
+
+``run``
+    Simulate a TME system (optionally wrapped, optionally under the
+    standard fault campaign) and print the full verification bundle.
+
+``experiment``
+    Regenerate one of the EXPERIMENTS.md tables (E2-E14) at a chosen
+    repetition count.
+
+``figure1``
+    Decide the Figure 1 relations and print the verdicts.
+
+Everything is seeded; identical invocations produce identical output.
+"""
+
+from __future__ import annotations
+
+import argparse
+from collections.abc import Callable, Sequence
+
+EXPERIMENTS: dict[str, tuple[str, str]] = {
+    "E2": ("experiment_stabilization", "Theorem 8: W stabilizes RA/Lamport"),
+    "E3": ("experiment_deadlock", "Section-4 deadlock, bare vs wrapped"),
+    "E4": ("experiment_timeout", "W' timeout sweep"),
+    "E5": ("experiment_scaling", "stabilization vs system size"),
+    "E6": ("experiment_reuse", "wrapper reuse matrix"),
+    "E7": ("experiment_verification_cost", "graybox vs whitebox surfaces"),
+    "E8": ("experiment_everywhere", "Theorems 9/10: everywhere implementation"),
+    "E9": ("experiment_interference", "Lemma 6: interference freedom"),
+    "E10": ("experiment_theorem5", "Theorem 5: Lspec => TME Spec"),
+    "E12": ("experiment_synthesis", "automatic wrapper synthesis"),
+    "E13": ("experiment_fifo_ablation", "FIFO assumption ablation"),
+    "E14": ("experiment_refinement", "basic vs refined wrapper"),
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The argparse command tree (separate for testability)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Graybox Stabilization (DSN 2001) reproduction toolkit",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run = sub.add_parser("run", help="simulate a TME system and verify it")
+    run.add_argument(
+        "--algorithm",
+        default="ra",
+        choices=["ra", "ra-count", "lamport", "token"],
+    )
+    run.add_argument("--n", type=int, default=3, help="number of processes")
+    run.add_argument("--seed", type=int, default=0)
+    run.add_argument("--steps", type=int, default=3000)
+    run.add_argument(
+        "--theta",
+        type=int,
+        default=None,
+        help="attach the wrapper W' with this timeout (omit for bare)",
+    )
+    run.add_argument(
+        "--faults",
+        nargs=2,
+        type=int,
+        metavar=("START", "STOP"),
+        default=None,
+        help="inject the standard fault campaign in this step window",
+    )
+    run.add_argument(
+        "--grace",
+        type=int,
+        default=400,
+        help="liveness grace horizon for the verdicts",
+    )
+
+    exp = sub.add_parser("experiment", help="regenerate an EXPERIMENTS.md table")
+    exp.add_argument("id", choices=sorted(EXPERIMENTS), help="experiment id")
+    exp.add_argument(
+        "--seeds",
+        type=int,
+        default=2,
+        help="repetitions per configuration (where applicable)",
+    )
+
+    sub.add_parser("figure1", help="decide the Figure 1 relations")
+
+    listing = sub.add_parser("list", help="list available experiments")
+    del listing
+    return parser
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    from repro.tme import (
+        WrapperConfig,
+        build_simulation,
+        standard_fault_campaign,
+    )
+    from repro.verification import verify_run
+
+    wrapper = WrapperConfig(theta=args.theta) if args.theta is not None else None
+    hook = None
+    if args.faults is not None:
+        start, stop = args.faults
+        hook = standard_fault_campaign(seed=args.seed + 1, start=start, stop=stop)
+    sim = build_simulation(
+        args.algorithm,
+        n=args.n,
+        seed=args.seed,
+        wrapper=wrapper,
+        fault_hook=hook,
+    )
+    label = f"{args.algorithm} n={args.n} seed={args.seed}"
+    label += f" wrapper={wrapper.variant_name}" if wrapper else " (bare)"
+    print(f"Running {label} for {args.steps} steps...")
+    trace = sim.run(args.steps)
+    if hook is not None:
+        print(f"Faults injected: {len(trace.fault_step_indices())}")
+    programs = {pid: proc.program for pid, proc in sim.processes.items()}
+    bundle = verify_run(
+        trace,
+        programs,
+        liveness_grace=args.grace,
+        check_fcfs=args.algorithm != "token",
+    )
+    print(bundle.describe())
+    return 0 if bundle.convergence.converged else 1
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    import repro.analysis as analysis
+
+    fn_name, title = EXPERIMENTS[args.id]
+    fn: Callable = getattr(analysis, fn_name)
+    seeds = tuple(range(1, args.seeds + 1))
+    kwargs = {}
+    if "seeds" in fn.__code__.co_varnames:
+        kwargs["seeds"] = seeds
+    rows = fn(**kwargs)
+    analysis.print_table(rows, f"{args.id} -- {title}")
+    return 0
+
+
+def _cmd_figure1() -> int:
+    from repro.core import (
+        everywhere_implements,
+        figure1_A,
+        figure1_C,
+        implements,
+        is_stabilizing_to,
+    )
+
+    A, C = figure1_A(), figure1_C()
+    for report in (
+        implements(C, A),
+        is_stabilizing_to(A, A),
+        is_stabilizing_to(C, A),
+        everywhere_implements(C, A),
+    ):
+        print(report.describe())
+    return 0
+
+
+def _cmd_list() -> int:
+    for exp_id in sorted(EXPERIMENTS, key=lambda e: int(e[1:])):
+        _fn, title = EXPERIMENTS[exp_id]
+        print(f"{exp_id:>4}  {title}")
+    return 0
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """Entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    if args.command == "run":
+        return _cmd_run(args)
+    if args.command == "experiment":
+        return _cmd_experiment(args)
+    if args.command == "figure1":
+        return _cmd_figure1()
+    if args.command == "list":
+        return _cmd_list()
+    raise AssertionError(f"unhandled command {args.command!r}")

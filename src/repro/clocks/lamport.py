@@ -1,0 +1,73 @@
+"""Lamport logical clocks [Lamport 1978], the paper's Timestamp Spec witness.
+
+A logical clock assigns each event a counter such that the happened-before
+relation ``hb`` is respected: local successor events and matching
+send/receive pairs get strictly increasing counters.  Together with the
+pid tie-break of :class:`repro.clocks.timestamps.Timestamp` this yields the
+total order Timestamp Spec demands.
+
+The clock is deliberately *corruptible*: the fault model allows transient
+state corruption, and the wrapper must stabilize regardless.  Use
+:meth:`LamportClock.corrupt` in fault injection.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.clocks.timestamps import Timestamp
+
+
+@dataclass
+class LamportClock:
+    """A per-process logical clock.
+
+    ``counter`` is the value of the *most recent* event (the paper's
+    ``lc:j``); :meth:`tick` stamps a new local event, :meth:`observe` merges
+    a received timestamp before stamping the receive event.
+    """
+
+    pid: str
+    counter: int = 0
+    _history: list[int] = field(default_factory=list, repr=False)
+
+    def now(self) -> Timestamp:
+        """Timestamp of the most current event at this process (``ts:j``)."""
+        return Timestamp(self.counter, self.pid)
+
+    def tick(self) -> Timestamp:
+        """Stamp a new local event: increment and return the new timestamp."""
+        self.counter += 1
+        self._history.append(self.counter)
+        return self.now()
+
+    def observe(self, other: Timestamp | int) -> Timestamp:
+        """Stamp a receive event: advance past the received clock value.
+
+        ``counter := max(counter, received) + 1`` -- the standard Lamport
+        update, guaranteeing ``send hb receive => ts(send) < ts(receive)``.
+        """
+        received = other.clock if isinstance(other, Timestamp) else int(other)
+        self.counter = max(self.counter, received) + 1
+        self._history.append(self.counter)
+        return self.now()
+
+    def corrupt(self, value: int) -> None:
+        """Transient fault: set the counter to an arbitrary (non-negative)
+        value.  History is kept for diagnosis; monotonicity may be broken,
+        which is exactly what stabilization must recover from."""
+        if value < 0:
+            raise ValueError("clock values are non-negative")
+        self.counter = value
+        self._history.append(value)
+
+    @property
+    def history(self) -> tuple[int, ...]:
+        """Every counter value the clock has taken, in order."""
+        return tuple(self._history)
+
+    def is_locally_monotone(self) -> bool:
+        """Did the recorded history ever decrease?  (False after certain
+        corruptions; the Timestamp Spec monitor uses the same check on the
+        event trace.)"""
+        return all(a < b for a, b in zip(self._history, self._history[1:]))

@@ -1,0 +1,95 @@
+"""Timestamps and the paper's ``lt`` total order.
+
+Environment Spec (Timestamp Spec) requires timestamps drawn from a totally
+ordered domain such that ``e hb f => ts:e < ts:f``.  The paper instantiates
+this with Lamport logical clocks [10] and the standard tie-break by process
+id::
+
+    lc:e_j lt lc:f_k  ==  lc:e_j < lc:f_k  \\/  (lc:e_j = lc:f_k  /\\  j < k)
+
+:class:`Timestamp` is an immutable ``(clock, pid)`` pair ordered exactly this
+way.  Process ids are compared as strings (any fixed total order on ids
+works; the paper only needs *some* total order).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import total_ordering
+
+
+@total_ordering
+@dataclass(frozen=True)
+class Timestamp:
+    """A logical timestamp ``(clock, pid)`` under the paper's ``lt`` order."""
+
+    clock: int
+    pid: str
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.clock, int):
+            raise TypeError(f"clock must be an int, got {self.clock!r}")
+        if self.clock < -1:
+            raise ValueError(
+                f"clock must be >= -1 (-1 is the BOTTOM sentinel used by "
+                f"derived interfaces), got {self.clock}"
+            )
+
+    def __lt__(self, other: "Timestamp") -> bool:
+        if not isinstance(other, Timestamp):
+            return NotImplemented
+        return (self.clock, self.pid) < (other.clock, other.pid)
+
+    def lt(self, other: "Timestamp") -> bool:
+        """The paper's ``lt`` relation (strictly earlier)."""
+        return self < other
+
+    def advanced_to(self, clock: int) -> "Timestamp":
+        """The same owner's timestamp at a different clock value."""
+        return Timestamp(clock, self.pid)
+
+    def __repr__(self) -> str:
+        return f"ts({self.clock},{self.pid})"
+
+
+def zero(pid: str) -> Timestamp:
+    """The initial timestamp of process ``pid`` (Init: ``ts:j = 0``)."""
+    return Timestamp(0, pid)
+
+
+def bottom(pid: str) -> Timestamp:
+    """A timestamp strictly below every real (clock >= 0) timestamp.
+
+    Real events never carry it; it exists so *derived* interfaces (e.g.
+    Lamport_ME's ``j.REQ_k``, Section 5.2) can express "no confirmed
+    information about k" -- a value that must compare ``lt`` any possible
+    ``REQ_j``, including the global minimum ``Timestamp(0, min_pid)``.
+    """
+    return Timestamp(-1, pid)
+
+
+def earliest(timestamps: dict[str, Timestamp]) -> str:
+    """The pid whose timestamp is least under ``lt`` (the paper's
+    ``earliest:j``).  Raises ``ValueError`` on an empty mapping."""
+    if not timestamps:
+        raise ValueError("earliest() of no timestamps")
+    return min(timestamps.items(), key=lambda kv: kv[1])[0]
+
+
+def is_total_order_consistent(timestamps: list[Timestamp]) -> bool:
+    """Check the ``lt`` order is a strict total order on the given sample:
+    irreflexive, antisymmetric, transitive, and total.  Used by the
+    Timestamp Spec monitor and property tests."""
+    for a in timestamps:
+        if a.lt(a):
+            return False
+    for a in timestamps:
+        for b in timestamps:
+            if a != b and not (a.lt(b) ^ b.lt(a)):
+                return False
+    for a in timestamps:
+        for b in timestamps:
+            for c in timestamps:
+                if a.lt(b) and b.lt(c) and not a.lt(c):
+                    return False
+    return True

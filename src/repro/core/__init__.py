@@ -1,0 +1,118 @@
+"""Core formal framework of *Graybox Stabilization* (Section 2).
+
+Systems as fusion-closed computation sets (finite transition systems), the
+refinement relations ``[C => A]init`` / ``[C => A]``, stabilization, the box
+operator, the UNITY temporal operators the specifications are written in,
+executable forms of the paper's composition lemmas/theorems, and the Figure 1
+counterexample.
+"""
+
+from repro.core.box import box, box_all
+from repro.core.dependability import (
+    FaultClass,
+    check_graybox_failsafe,
+    check_graybox_masking,
+    fault_span,
+    is_failsafe_tolerant,
+    is_masking_tolerant,
+    is_nonmasking_tolerant,
+    safety_violating_transitions,
+    with_faults,
+)
+from repro.core.computation import FinitePath, Lasso
+from repro.core.counterexample import fault_F, figure1_A, figure1_C
+from repro.core.relations import (
+    RelationReport,
+    closure_and_convergence,
+    everywhere_implements,
+    good_transitions,
+    implements,
+    is_self_stabilizing,
+    is_stabilizing_to,
+    is_stabilizing_to_fair,
+    legitimate_states,
+)
+from repro.core.synthesis import (
+    SynthesisError,
+    SynthesisResult,
+    synthesize_stabilizing_wrapper,
+)
+from repro.core.state import State
+from repro.core.system import SystemError_, TransitionSystem, chain_system
+from repro.core.temporal import (
+    ObligationTracker,
+    TraceVerdict,
+    holds_invariant,
+    holds_leads_to,
+    holds_leads_to_always,
+    holds_stable,
+    holds_unless,
+    invariant_on_trace,
+    leads_to_always_on_trace,
+    leads_to_on_trace,
+    stable_on_trace,
+    unless_on_trace,
+)
+from repro.core.theorems import (
+    TheoremVerdict,
+    check_lemma0,
+    check_lemma2,
+    check_theorem1,
+    check_theorem4,
+    random_subsystem,
+    random_system,
+)
+
+__all__ = [
+    "FaultClass",
+    "FinitePath",
+    "Lasso",
+    "ObligationTracker",
+    "RelationReport",
+    "State",
+    "SynthesisError",
+    "SynthesisResult",
+    "SystemError_",
+    "TheoremVerdict",
+    "TraceVerdict",
+    "TransitionSystem",
+    "box",
+    "box_all",
+    "chain_system",
+    "check_graybox_failsafe",
+    "check_graybox_masking",
+    "check_lemma0",
+    "check_lemma2",
+    "check_theorem1",
+    "check_theorem4",
+    "closure_and_convergence",
+    "everywhere_implements",
+    "fault_F",
+    "fault_span",
+    "figure1_A",
+    "figure1_C",
+    "good_transitions",
+    "holds_invariant",
+    "holds_leads_to",
+    "holds_leads_to_always",
+    "holds_stable",
+    "holds_unless",
+    "implements",
+    "is_failsafe_tolerant",
+    "is_masking_tolerant",
+    "is_nonmasking_tolerant",
+    "invariant_on_trace",
+    "is_self_stabilizing",
+    "is_stabilizing_to",
+    "is_stabilizing_to_fair",
+    "leads_to_always_on_trace",
+    "leads_to_on_trace",
+    "legitimate_states",
+    "random_subsystem",
+    "random_system",
+    "safety_violating_transitions",
+    "stable_on_trace",
+    "synthesize_stabilizing_wrapper",
+    "unless_on_trace",
+    "with_faults",
+]

@@ -1,0 +1,183 @@
+"""Computations: the state sequences of a system.
+
+Section 2 of the paper defines a *system* as a set of (possibly infinite)
+state sequences, called its *computations*.  The core layer works with finite
+transition systems, whose computations are exactly the infinite walks of the
+transition graph.  Two finite representations of such sequences are provided:
+
+* :class:`FinitePath` -- a finite prefix of a computation (used by bounded
+  exploration and by finite-trace temporal semantics);
+* :class:`Lasso` -- an eventually-periodic infinite computation, written
+  ``stem + cycle^omega`` (used for exact reasoning about liveness on finite
+  systems: every finite transition system that violates a liveness property
+  violates it on some lasso).
+
+Both support the prefix/suffix operations the paper's *fusion closure*
+assumption is stated in terms of.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Hashable, Iterator, Sequence
+from dataclasses import dataclass
+from itertools import islice
+from typing import Any
+
+StateLike = Hashable
+
+
+def _as_tuple(states: Sequence[StateLike]) -> tuple[StateLike, ...]:
+    return tuple(states)
+
+
+@dataclass(frozen=True)
+class FinitePath:
+    """A finite sequence of states (a prefix of a computation)."""
+
+    states: tuple[StateLike, ...]
+
+    def __init__(self, states: Sequence[StateLike]):
+        if len(states) == 0:
+            raise ValueError("a path must contain at least one state")
+        object.__setattr__(self, "states", _as_tuple(states))
+
+    def __len__(self) -> int:
+        return len(self.states)
+
+    def __iter__(self) -> Iterator[StateLike]:
+        return iter(self.states)
+
+    def __getitem__(self, index: int) -> StateLike:
+        return self.states[index]
+
+    @property
+    def first(self) -> StateLike:
+        """The first state of the path."""
+        return self.states[0]
+
+    @property
+    def last(self) -> StateLike:
+        """The last state of the path."""
+        return self.states[-1]
+
+    def transitions(self) -> Iterator[tuple[StateLike, StateLike]]:
+        """Yield the consecutive state pairs of the path."""
+        return zip(self.states, self.states[1:])
+
+    def suffix_from(self, index: int) -> "FinitePath":
+        """The sub-path starting at ``index``."""
+        if not 0 <= index < len(self.states):
+            raise IndexError(index)
+        return FinitePath(self.states[index:])
+
+    def prefix_to(self, index: int) -> "FinitePath":
+        """The prefix containing states ``0..index`` inclusive."""
+        if not 0 <= index < len(self.states):
+            raise IndexError(index)
+        return FinitePath(self.states[: index + 1])
+
+    def fuse(self, other: "FinitePath") -> "FinitePath":
+        """Fusion of two paths sharing a state: ``<alpha, x> . <x, delta>``.
+
+        This is the finite analogue of the paper's fusion-closure operation:
+        the last state of ``self`` must equal the first state of ``other``;
+        the shared state appears once in the result.
+        """
+        if self.last != other.first:
+            raise ValueError(
+                f"cannot fuse: last state {self.last!r} != first state "
+                f"{other.first!r}"
+            )
+        return FinitePath(self.states + other.states[1:])
+
+    def __repr__(self) -> str:
+        shown = " -> ".join(repr(s) for s in self.states[:6])
+        more = "" if len(self.states) <= 6 else f" -> ... ({len(self.states)} states)"
+        return f"FinitePath({shown}{more})"
+
+
+@dataclass(frozen=True)
+class Lasso:
+    """An eventually-periodic infinite computation ``stem + cycle^omega``.
+
+    ``stem`` may be empty; ``cycle`` must be non-empty and its last state must
+    have the first cycle state as a successor in the underlying system (this
+    is the caller's responsibility; :class:`Lasso` only stores the shape).
+    """
+
+    stem: tuple[StateLike, ...]
+    cycle: tuple[StateLike, ...]
+
+    def __init__(self, stem: Sequence[StateLike], cycle: Sequence[StateLike]):
+        if len(cycle) == 0:
+            raise ValueError("a lasso needs a non-empty cycle")
+        object.__setattr__(self, "stem", _as_tuple(stem))
+        object.__setattr__(self, "cycle", _as_tuple(cycle))
+
+    @property
+    def first(self) -> StateLike:
+        """The first state of the unrolling."""
+        return self.stem[0] if self.stem else self.cycle[0]
+
+    def state_at(self, index: int) -> StateLike:
+        """The state at position ``index`` of the infinite unrolling."""
+        if index < 0:
+            raise IndexError(index)
+        if index < len(self.stem):
+            return self.stem[index]
+        return self.cycle[(index - len(self.stem)) % len(self.cycle)]
+
+    def states(self) -> Iterator[StateLike]:
+        """Yield the (infinite) unrolling; use with ``islice``."""
+        yield from self.stem
+        while True:
+            yield from self.cycle
+
+    def prefix(self, length: int) -> FinitePath:
+        """The first ``length`` states of the unrolling as a finite path."""
+        if length < 1:
+            raise ValueError("prefix length must be >= 1")
+        return FinitePath(list(islice(self.states(), length)))
+
+    def transitions(self) -> frozenset[tuple[StateLike, StateLike]]:
+        """All transitions the infinite unrolling takes (a finite set)."""
+        unrolled = list(self.stem) + list(self.cycle) + [self.cycle[0]]
+        return frozenset(zip(unrolled, unrolled[1:]))
+
+    def recurring_transitions(self) -> frozenset[tuple[StateLike, StateLike]]:
+        """Transitions taken infinitely often (those of the cycle)."""
+        around = list(self.cycle) + [self.cycle[0]]
+        return frozenset(zip(around, around[1:]))
+
+    def recurring_states(self) -> frozenset[StateLike]:
+        """States visited infinitely often (the cycle states)."""
+        return frozenset(self.cycle)
+
+    def suffix_from(self, index: int) -> "Lasso":
+        """Drop the first ``index`` states; the result is again a lasso."""
+        if index < 0:
+            raise IndexError(index)
+        if index <= len(self.stem):
+            return Lasso(self.stem[index:], self.cycle)
+        offset = (index - len(self.stem)) % len(self.cycle)
+        rotated = self.cycle[offset:] + self.cycle[:offset]
+        return Lasso((), rotated)
+
+    def eventually_satisfies(self, predicate: Any) -> bool:
+        """True iff some state of the unrolling satisfies ``predicate``.
+
+        Decidable: it suffices to inspect the stem and one turn of the cycle.
+        """
+        return any(predicate(s) for s in self.stem) or any(
+            predicate(s) for s in self.cycle
+        )
+
+    def always_eventually_satisfies(self, predicate: Any) -> bool:
+        """True iff infinitely many states satisfy ``predicate``
+        (equivalently: some cycle state does)."""
+        return any(predicate(s) for s in self.cycle)
+
+    def __repr__(self) -> str:
+        stem = " -> ".join(repr(s) for s in self.stem[:4])
+        cyc = " -> ".join(repr(s) for s in self.cycle[:4])
+        return f"Lasso(stem=[{stem}], cycle=[{cyc}]^omega)"

@@ -1,0 +1,60 @@
+"""Figure 1 of the paper, as executable systems.
+
+The figure shows a specification ``A`` and an implementation ``C`` over
+states ``s0, s1, s2, s3, ...`` and ``s*``, with ``s0`` the initial state of
+both.  Both have the single initial computation ``s0, s1, s2, s3, ...``,
+hence ``[C => A]init``.  But ``"s*, s2, s3, ..."`` is a computation of A and
+not of C.  With the transient fault ``F`` perturbing ``s0`` to ``s*``:
+A recovers (its computation from ``s*`` rejoins the legitimate chain), while
+C is stuck at ``s*`` forever.  Conclusion (the paper's):
+
+    ``C implements A`` and ``A is stabilizing to A`` do **not** imply
+    ``C is stabilizing to A``.
+
+The infinite chain ``s3, s4, ...`` is closed into a self-loop on ``s3`` (the
+standard finite encoding; all three properties are insensitive to it).
+"""
+
+from __future__ import annotations
+
+from repro.core.system import TransitionSystem
+
+S0, S1, S2, S3, S_STAR = "s0", "s1", "s2", "s3", "s*"
+
+
+def figure1_A() -> TransitionSystem:
+    """The specification A of Figure 1: the chain plus recovery ``s* -> s2``."""
+    return TransitionSystem(
+        "Figure1.A",
+        {
+            S0: {S1},
+            S1: {S2},
+            S2: {S3},
+            S3: {S3},
+            S_STAR: {S2},
+        },
+        initial={S0},
+    )
+
+
+def figure1_C() -> TransitionSystem:
+    """The implementation C of Figure 1: the same chain, but ``s*`` is a
+    trap (no recovery edge -- C must still *have* a computation from ``s*``,
+    so it self-loops there)."""
+    return TransitionSystem(
+        "Figure1.C",
+        {
+            S0: {S1},
+            S1: {S2},
+            S2: {S3},
+            S3: {S3},
+            S_STAR: {S_STAR},
+        },
+        initial={S0},
+    )
+
+
+def fault_F(state: str) -> str:
+    """The transient state-corruption fault of Figure 1: it perturbs the
+    initial state ``s0`` to ``s*`` (identity elsewhere)."""
+    return S_STAR if state == S0 else state

@@ -1,0 +1,345 @@
+"""The refinement and stabilization relations of Section 2.
+
+All three relations of the paper are decided *exactly* on finite transition
+systems (see :mod:`repro.core.system` for why transition systems faithfully
+represent the paper's fusion-closed systems):
+
+* ``[C => A]init``  (*C implements A*): every computation of C starting from
+  an initial state of C is a computation of A starting from an initial state
+  of A.
+* ``[C => A]``      (*C everywhere implements A*): every computation of C is
+  a computation of A.
+* *C is stabilizing to A*: every computation of C has a suffix that is a
+  suffix of some computation of A starting at an initial state of A.
+
+For transition systems these reduce to graph conditions:
+
+* ``[C => A]`` iff every state of C is a state of A and every transition of C
+  is a transition of A (then every infinite C-walk is an infinite A-walk, and
+  conversely a violating transition immediately yields a violating
+  computation by totality).
+* ``[C => A]init`` iff every initial state of C is an initial state of A and
+  every transition of C *reachable from C's initial states* is a transition
+  of A.
+* *stabilizing*: a suffix of an A-init computation is precisely an infinite
+  A-walk starting at a state reachable from A's initial states (fusion
+  closure lets any such walk be glued onto an initial prefix).  Call a C
+  transition *good* if it is an A transition between A-init-reachable
+  states.  A computation of C stabilizes iff it eventually takes only good
+  transitions.  In a finite graph, a computation taking non-good transitions
+  infinitely often must traverse some cycle containing a non-good transition;
+  conversely such a cycle yields a non-stabilizing computation.  Hence:
+  *C is stabilizing to A iff no cycle of C contains a non-good transition.*
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.system import StateLike, Transition, TransitionSystem
+
+
+@dataclass(frozen=True)
+class RelationReport:
+    """Outcome of a relation check, with a machine-readable witness.
+
+    ``holds`` is the verdict; when it is ``False``, ``witness_transitions``
+    (and possibly ``witness_states``) identify why -- e.g. the C-transitions
+    that are not A-transitions, or the cycle edges breaking stabilization.
+    """
+
+    relation: str
+    left: str
+    right: str
+    holds: bool
+    reason: str = ""
+    witness_states: frozenset[StateLike] = field(default_factory=frozenset)
+    witness_transitions: frozenset[Transition] = field(default_factory=frozenset)
+
+    def __bool__(self) -> bool:
+        return self.holds
+
+    def describe(self) -> str:
+        """One-line human-readable verdict."""
+        verdict = "HOLDS" if self.holds else "FAILS"
+        text = f"{self.left} {self.relation} {self.right}: {verdict}"
+        if self.reason:
+            text += f" ({self.reason})"
+        return text
+
+
+def everywhere_implements(concrete: TransitionSystem, abstract: TransitionSystem) -> RelationReport:
+    """Decide ``[C => A]``: every computation of C is a computation of A."""
+    missing_states = concrete.states - abstract.states
+    if missing_states:
+        return RelationReport(
+            "[=>]",
+            concrete.name,
+            abstract.name,
+            False,
+            reason=f"{len(missing_states)} C-states outside A's state space",
+            witness_states=frozenset(missing_states),
+        )
+    bad = frozenset(
+        (s, t) for s, t in concrete.edges() if not abstract.has_transition(s, t)
+    )
+    if bad:
+        return RelationReport(
+            "[=>]",
+            concrete.name,
+            abstract.name,
+            False,
+            reason=f"{len(bad)} C-transitions are not A-transitions",
+            witness_transitions=bad,
+        )
+    return RelationReport("[=>]", concrete.name, abstract.name, True)
+
+
+def implements(concrete: TransitionSystem, abstract: TransitionSystem) -> RelationReport:
+    """Decide ``[C => A]init``: computations from C's initial states are
+    computations of A from A's initial states."""
+    bad_init = concrete.initial - abstract.initial
+    if bad_init:
+        return RelationReport(
+            "[=>]init",
+            concrete.name,
+            abstract.name,
+            False,
+            reason="some initial states of C are not initial states of A",
+            witness_states=frozenset(bad_init),
+        )
+    reachable = concrete.reachable()
+    bad = frozenset(
+        (s, t)
+        for s, t in concrete.edges()
+        if s in reachable and not abstract.has_transition(s, t)
+    )
+    if bad:
+        return RelationReport(
+            "[=>]init",
+            concrete.name,
+            abstract.name,
+            False,
+            reason=f"{len(bad)} init-reachable C-transitions not in A",
+            witness_transitions=bad,
+        )
+    return RelationReport("[=>]init", concrete.name, abstract.name, True)
+
+
+def legitimate_states(abstract: TransitionSystem) -> frozenset[StateLike]:
+    """States on computations of A that start at an initial state of A.
+
+    By totality, these are exactly the states reachable from A's initial
+    states; any infinite A-walk from such a state is a suffix of an A-init
+    computation (glue it onto a reaching prefix -- fusion closure)."""
+    return abstract.reachable()
+
+
+def good_transitions(
+    concrete: TransitionSystem, abstract: TransitionSystem
+) -> frozenset[Transition]:
+    """C-transitions that are A-transitions between legitimate A-states."""
+    legit = legitimate_states(abstract)
+    return frozenset(
+        (s, t)
+        for s, t in concrete.edges()
+        if s in legit and t in legit and abstract.has_transition(s, t)
+    )
+
+
+def is_stabilizing_to(
+    concrete: TransitionSystem, abstract: TransitionSystem
+) -> RelationReport:
+    """Decide *C is stabilizing to A* (see module docstring for the graph
+    characterisation)."""
+    good = good_transitions(concrete, abstract)
+    bad_cycle_edges = frozenset(
+        e for e in concrete.edges_on_cycles() if e not in good
+    )
+    if bad_cycle_edges:
+        return RelationReport(
+            "stabilizing-to",
+            concrete.name,
+            abstract.name,
+            False,
+            reason=(
+                f"{len(bad_cycle_edges)} transitions on cycles of C are not "
+                "legitimate A-transitions; looping them forever yields a "
+                "computation with no legitimate suffix"
+            ),
+            witness_transitions=bad_cycle_edges,
+        )
+    return RelationReport("stabilizing-to", concrete.name, abstract.name, True)
+
+
+def is_stabilizing_to_fair(
+    concrete: TransitionSystem,
+    abstract: TransitionSystem,
+    fair_edges: frozenset[Transition],
+) -> RelationReport:
+    """Stabilization under weak fairness toward ``fair_edges``.
+
+    UNITY (the paper's specification language) executes actions under weak
+    fairness: an action continuously enabled is eventually executed.  A
+    computation is *fair* here if, whenever every state it visits from some
+    point on has an outgoing edge in ``fair_edges``, it eventually takes
+    one.  C is fair-stabilizing to A iff every fair computation has a
+    legitimate A-suffix.
+
+    Graph criterion: a violating fair computation exists iff some cycle of
+    C contains a non-good transition, avoids ``fair_edges``, and passes
+    through at least one state with no outgoing fair edge (otherwise
+    looping it forever would be unfair).
+    """
+    good = good_transitions(concrete, abstract)
+    fair_sources = {s for s, _t in fair_edges}
+    # Cycles avoiding fair edges: restrict the edge set, then find cycles.
+    allowed = [e for e in concrete.edges() if e not in fair_edges]
+    scc_index: dict[StateLike, int] = {}
+    sub_adj: dict[StateLike, set[StateLike]] = {s: set() for s in concrete.states}
+    for s, t in allowed:
+        sub_adj[s].add(t)
+    # Tarjan over the restricted graph, reusing TransitionSystem machinery
+    # is not possible (it demands totality), so do a light SCC here.
+    index_counter = [0]
+    lowlink: dict[StateLike, int] = {}
+    number: dict[StateLike, int] = {}
+    on_stack: set[StateLike] = set()
+    stack: list[StateLike] = []
+    comp_of: dict[StateLike, int] = {}
+    comp_counter = [0]
+
+    def strongconnect(root: StateLike) -> None:
+        work = [(root, iter(sorted(sub_adj[root], key=repr)))]
+        number[root] = lowlink[root] = index_counter[0]
+        index_counter[0] += 1
+        stack.append(root)
+        on_stack.add(root)
+        while work:
+            node, it = work[-1]
+            advanced = False
+            for child in it:
+                if child not in number:
+                    number[child] = lowlink[child] = index_counter[0]
+                    index_counter[0] += 1
+                    stack.append(child)
+                    on_stack.add(child)
+                    work.append((child, iter(sorted(sub_adj[child], key=repr))))
+                    advanced = True
+                    break
+                if child in on_stack:
+                    lowlink[node] = min(lowlink[node], number[child])
+            if advanced:
+                continue
+            work.pop()
+            if work:
+                parent = work[-1][0]
+                lowlink[parent] = min(lowlink[parent], lowlink[node])
+            if lowlink[node] == number[node]:
+                while True:
+                    w = stack.pop()
+                    on_stack.discard(w)
+                    comp_of[w] = comp_counter[0]
+                    if w == node:
+                        break
+                comp_counter[0] += 1
+
+    for s in concrete.states:
+        if s not in number:
+            strongconnect(s)
+    bad_fair_cycles = frozenset(
+        (s, t)
+        for s, t in allowed
+        if comp_of[s] == comp_of[t]
+        and (s, t) not in good
+        and any(
+            comp_of[q] == comp_of[s] and q not in fair_sources
+            for q in concrete.states
+        )
+    )
+    # refine: the escape state must be in the SAME SCC as the bad edge
+    # (already enforced above via comp_of[q] == comp_of[s]).
+    if bad_fair_cycles:
+        return RelationReport(
+            "fair-stabilizing-to",
+            concrete.name,
+            abstract.name,
+            False,
+            reason=(
+                f"{len(bad_fair_cycles)} non-legitimate transitions lie on "
+                "fair cycles (cycles that avoid the fair edges and visit a "
+                "state where no fair edge is enabled)"
+            ),
+            witness_transitions=bad_fair_cycles,
+        )
+    return RelationReport(
+        "fair-stabilizing-to", concrete.name, abstract.name, True
+    )
+
+
+def is_self_stabilizing(system: TransitionSystem) -> RelationReport:
+    """Classic self-stabilization: the system is stabilizing to itself."""
+    report = is_stabilizing_to(system, system)
+    return RelationReport(
+        "self-stabilizing",
+        system.name,
+        system.name,
+        report.holds,
+        reason=report.reason,
+        witness_states=report.witness_states,
+        witness_transitions=report.witness_transitions,
+    )
+
+
+def closure_and_convergence(
+    system: TransitionSystem, invariant: frozenset[StateLike]
+) -> tuple[bool, bool]:
+    """The classical whitebox decomposition of self-stabilization.
+
+    Returns ``(closed, converges)`` where *closed* means the invariant set is
+    preserved by every transition from it, and *converges* means every
+    computation from every state eventually reaches the invariant set
+    (no cycle lies entirely outside it).
+
+    Provided as the whitebox baseline that Section 1 argues against: it
+    requires the full transition relation ("implementation"), whereas the
+    graybox method needs only the specification.
+    """
+    closed = all(
+        system.successors(s) <= invariant for s in invariant
+    )
+    outside = system.states - invariant
+    converges = True
+    if outside:
+        # A cycle entirely outside the invariant set == a non-converging run.
+        sub = {
+            s: (system.successors(s) & outside) for s in outside
+        }
+        # detect any cycle in the partial graph `sub` (states may be dead ends)
+        color: dict[StateLike, int] = {}
+
+        def has_cycle(start: StateLike) -> bool:
+            stack = [(start, iter(sorted(sub[start], key=repr)))]
+            color[start] = 1
+            while stack:
+                node, it = stack[-1]
+                found_next = False
+                for nxt in it:
+                    c = color.get(nxt, 0)
+                    if c == 1:
+                        return True
+                    if c == 0:
+                        color[nxt] = 1
+                        stack.append((nxt, iter(sorted(sub[nxt], key=repr))))
+                        found_next = True
+                        break
+                if not found_next:
+                    color[node] = 2
+                    stack.pop()
+            return False
+
+        for s in outside:
+            if color.get(s, 0) == 0 and has_cycle(s):
+                converges = False
+                break
+    return closed, converges

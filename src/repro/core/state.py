@@ -1,0 +1,109 @@
+"""Immutable program states.
+
+The paper (Section 2) treats a *state* abstractly: a point in a state space
+``Sigma``.  Most of the core layer is agnostic to what a state actually is --
+any hashable value works as a state of a :class:`~repro.core.system.
+TransitionSystem`.  For systems built from programs with named variables we
+provide :class:`State`, an immutable, hashable mapping from variable names to
+values, so that predicates can be written as plain functions over variable
+valuations.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Hashable, Iterator, Mapping
+from typing import Any
+
+
+class State(Mapping[str, Any]):
+    """An immutable, hashable valuation of named variables.
+
+    ``State`` behaves like a read-only ``dict`` and supports attribute-style
+    access for identifier-shaped variable names::
+
+        >>> s = State(x=1, hungry=True)
+        >>> s["x"], s.hungry
+        (1, True)
+        >>> s.assoc(x=2)["x"]
+        2
+
+    Values must themselves be hashable so the state can be used as a graph
+    node in :class:`~repro.core.system.TransitionSystem`.
+    """
+
+    __slots__ = ("_items", "_hash")
+
+    def __init__(self, mapping: Mapping[str, Any] | None = None, **kwargs: Any):
+        items: dict[str, Any] = dict(mapping) if mapping else {}
+        items.update(kwargs)
+        for name, value in items.items():
+            if not isinstance(name, str):
+                raise TypeError(f"variable names must be strings, got {name!r}")
+            if not isinstance(value, Hashable):
+                raise TypeError(
+                    f"state values must be hashable; variable {name!r} has "
+                    f"unhashable value {value!r}"
+                )
+        object.__setattr__(self, "_items", dict(sorted(items.items())))
+        object.__setattr__(self, "_hash", hash(tuple(self._items.items())))
+
+    # -- Mapping protocol ---------------------------------------------------
+
+    def __getitem__(self, name: str) -> Any:
+        return self._items[name]
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._items)
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    # -- convenience --------------------------------------------------------
+
+    def __getattr__(self, name: str) -> Any:
+        if name.startswith("_"):
+            raise AttributeError(name)
+        try:
+            return self._items[name]
+        except KeyError:
+            raise AttributeError(name) from None
+
+    def __setattr__(self, name: str, value: Any) -> None:
+        raise AttributeError("State is immutable; use .assoc() to derive a new state")
+
+    def assoc(self, **updates: Any) -> "State":
+        """Return a new state with ``updates`` applied."""
+        merged = dict(self._items)
+        merged.update(updates)
+        return State(merged)
+
+    def without(self, *names: str) -> "State":
+        """Return a new state with the given variables removed."""
+        return State({k: v for k, v in self._items.items() if k not in names})
+
+    def project(self, *names: str) -> "State":
+        """Return the sub-state containing only the given variables.
+
+        Used to express *local* specifications: the local state of process
+        ``i`` is the projection of the global state onto ``i``'s variables.
+        """
+        missing = [n for n in names if n not in self._items]
+        if missing:
+            raise KeyError(f"state has no variables {missing}")
+        return State({n: self._items[n] for n in names})
+
+    # -- identity -----------------------------------------------------------
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, State):
+            return self._items == other._items
+        if isinstance(other, Mapping):
+            return dict(self._items) == dict(other)
+        return NotImplemented
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"{k}={v!r}" for k, v in self._items.items())
+        return f"State({inner})"

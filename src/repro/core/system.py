@@ -1,0 +1,327 @@
+"""Finite transition systems: the executable form of the paper's "system".
+
+Section 2 defines::
+
+    A *system* S is a set of (possibly infinite) sequences over Sigma, with
+    at least one sequence starting from every state in Sigma, and a set of
+    initial states chosen from Sigma.
+
+and assumes computation sets are *fusion closed*.  A fusion-closed set of
+sequences containing a sequence from every state is exactly the set of
+infinite walks of a transition relation that is *total* (every state has at
+least one successor).  :class:`TransitionSystem` is therefore a sound and
+complete finite representation of the paper's systems, and all of Section 2's
+relations (``implements``, ``everywhere implements``, ``stabilizing to``, the
+box operator) become decidable graph problems -- see
+:mod:`repro.core.relations` and :mod:`repro.core.box`.
+"""
+
+from __future__ import annotations
+
+import random
+from collections.abc import Hashable, Iterable, Iterator, Mapping
+from dataclasses import dataclass, field
+
+from repro.core.computation import FinitePath, Lasso
+
+StateLike = Hashable
+Transition = tuple[StateLike, StateLike]
+
+
+class SystemError_(ValueError):
+    """Raised for malformed transition systems (non-total, bad initial set)."""
+
+
+@dataclass(frozen=True)
+class TransitionSystem:
+    """A finite, total transition system with explicit initial states.
+
+    Parameters
+    ----------
+    name:
+        Human-readable label used in reports.
+    transitions:
+        Mapping from each state to its (non-empty) set of successors.  The
+        keys define the state space; every successor must itself be a key
+        (totality -- the paper requires a computation from *every* state).
+    initial:
+        The initial states, a subset of the state space.  May be empty for
+        pure "wrapper" systems that are only ever box-composed.
+    """
+
+    name: str
+    transitions: Mapping[StateLike, frozenset[StateLike]] = field(hash=False)
+    initial: frozenset[StateLike]
+
+    def __init__(
+        self,
+        name: str,
+        transitions: Mapping[StateLike, Iterable[StateLike]],
+        initial: Iterable[StateLike] = (),
+    ):
+        frozen: dict[StateLike, frozenset[StateLike]] = {
+            s: frozenset(succs) for s, succs in transitions.items()
+        }
+        states = frozenset(frozen)
+        for s, succs in frozen.items():
+            if not succs:
+                raise SystemError_(
+                    f"{name}: state {s!r} has no successor; systems must "
+                    "have a computation starting from every state"
+                )
+            stray = succs - states
+            if stray:
+                raise SystemError_(
+                    f"{name}: successors {set(stray)!r} of state {s!r} are "
+                    "not in the state space"
+                )
+        init = frozenset(initial)
+        stray_init = init - states
+        if stray_init:
+            raise SystemError_(
+                f"{name}: initial states {set(stray_init)!r} are not in the "
+                "state space"
+            )
+        object.__setattr__(self, "name", name)
+        object.__setattr__(self, "transitions", frozen)
+        object.__setattr__(self, "initial", init)
+
+    # -- basic structure ----------------------------------------------------
+
+    @property
+    def states(self) -> frozenset[StateLike]:
+        """The state space (the keys of the transition relation)."""
+        return frozenset(self.transitions)
+
+    def successors(self, state: StateLike) -> frozenset[StateLike]:
+        """Successor set of one state (non-empty by totality)."""
+        return self.transitions[state]
+
+    def has_transition(self, source: StateLike, target: StateLike) -> bool:
+        """Is (source, target) a transition?"""
+        succs = self.transitions.get(source)
+        return succs is not None and target in succs
+
+    def edges(self) -> Iterator[Transition]:
+        """Iterate over every transition as a (source, target) pair."""
+        for s, succs in self.transitions.items():
+            for t in succs:
+                yield (s, t)
+
+    def edge_set(self) -> frozenset[Transition]:
+        """The transition relation as a frozen set of pairs."""
+        return frozenset(self.edges())
+
+    # -- reachability -------------------------------------------------------
+
+    def reachable_from(self, sources: Iterable[StateLike]) -> frozenset[StateLike]:
+        """All states reachable (in >= 0 steps) from ``sources``."""
+        seen: set[StateLike] = set()
+        stack = [s for s in sources]
+        for s in stack:
+            if s not in self.transitions:
+                raise KeyError(f"{self.name}: unknown state {s!r}")
+        while stack:
+            s = stack.pop()
+            if s in seen:
+                continue
+            seen.add(s)
+            stack.extend(self.transitions[s] - seen)
+        return frozenset(seen)
+
+    def reachable(self) -> frozenset[StateLike]:
+        """States reachable from the initial states (the "legitimate" part:
+        every reachable state lies on some computation from an initial
+        state, by totality)."""
+        return self.reachable_from(self.initial)
+
+    def restricted_to(self, states: Iterable[StateLike], name: str | None = None) -> "TransitionSystem":
+        """The sub-system induced by ``states``.
+
+        Raises :class:`SystemError_` if the restriction is not total (some
+        kept state loses all successors).
+        """
+        keep = frozenset(states)
+        trans = {
+            s: succs & keep
+            for s, succs in self.transitions.items()
+            if s in keep
+        }
+        return TransitionSystem(
+            name or f"{self.name}|restricted", trans, self.initial & keep
+        )
+
+    # -- computations -------------------------------------------------------
+
+    def finite_paths_from(
+        self, state: StateLike, length: int
+    ) -> Iterator[FinitePath]:
+        """Enumerate all finite paths of exactly ``length`` states starting
+        at ``state`` (depth-first)."""
+        if length < 1:
+            raise ValueError("length must be >= 1")
+
+        def extend(path: list[StateLike]) -> Iterator[FinitePath]:
+            if len(path) == length:
+                yield FinitePath(path)
+                return
+            for nxt in sorted(self.transitions[path[-1]], key=repr):
+                path.append(nxt)
+                yield from extend(path)
+                path.pop()
+
+        yield from extend([state])
+
+    def random_walk(
+        self, state: StateLike, length: int, rng: random.Random
+    ) -> FinitePath:
+        """A uniformly random walk of ``length`` states starting at
+        ``state`` (successor chosen uniformly at each step)."""
+        path = [state]
+        while len(path) < length:
+            path.append(rng.choice(sorted(self.transitions[path[-1]], key=repr)))
+        return FinitePath(path)
+
+    def is_path(self, path: FinitePath) -> bool:
+        """Is ``path`` a walk of this system (prefix of a computation)?"""
+        return all(
+            s in self.transitions and t in self.transitions[s]
+            for s, t in path.transitions()
+        ) and path.first in self.transitions
+
+    def is_lasso(self, lasso: Lasso) -> bool:
+        """Is the lasso's unrolling a computation of this system?"""
+        return all(self.has_transition(s, t) for s, t in lasso.transitions())
+
+    def lassos_from(self, state: StateLike, max_states: int | None = None) -> Iterator[Lasso]:
+        """Enumerate simple lassos (simple stem into a simple cycle) starting
+        at ``state``.  Exhaustive for liveness checking on small systems:
+        every violation of a lasso-checkable property occurs on a simple
+        lasso."""
+        limit = max_states if max_states is not None else len(self.transitions)
+
+        def extend(path: list[StateLike], on_path: set[StateLike]) -> Iterator[Lasso]:
+            last = path[-1]
+            for nxt in sorted(self.transitions[last], key=repr):
+                if nxt in on_path:
+                    i = path.index(nxt)
+                    yield Lasso(path[:i], path[i:])
+                elif len(path) < limit:
+                    path.append(nxt)
+                    on_path.add(nxt)
+                    yield from extend(path, on_path)
+                    on_path.discard(nxt)
+                    path.pop()
+
+        yield from extend([state], {state})
+
+    # -- graph analysis -----------------------------------------------------
+
+    def strongly_connected_components(self) -> list[frozenset[StateLike]]:
+        """Tarjan's algorithm, iterative (safe for deep graphs)."""
+        index: dict[StateLike, int] = {}
+        lowlink: dict[StateLike, int] = {}
+        on_stack: set[StateLike] = set()
+        stack: list[StateLike] = []
+        result: list[frozenset[StateLike]] = []
+        counter = 0
+
+        for root in self.transitions:
+            if root in index:
+                continue
+            work: list[tuple[StateLike, Iterator[StateLike]]] = [
+                (root, iter(sorted(self.transitions[root], key=repr)))
+            ]
+            index[root] = lowlink[root] = counter
+            counter += 1
+            stack.append(root)
+            on_stack.add(root)
+            while work:
+                node, children = work[-1]
+                advanced = False
+                for child in children:
+                    if child not in index:
+                        index[child] = lowlink[child] = counter
+                        counter += 1
+                        stack.append(child)
+                        on_stack.add(child)
+                        work.append(
+                            (child, iter(sorted(self.transitions[child], key=repr)))
+                        )
+                        advanced = True
+                        break
+                    if child in on_stack:
+                        lowlink[node] = min(lowlink[node], index[child])
+                if advanced:
+                    continue
+                work.pop()
+                if work:
+                    parent = work[-1][0]
+                    lowlink[parent] = min(lowlink[parent], lowlink[node])
+                if lowlink[node] == index[node]:
+                    component: set[StateLike] = set()
+                    while True:
+                        w = stack.pop()
+                        on_stack.discard(w)
+                        component.add(w)
+                        if w == node:
+                            break
+                    result.append(frozenset(component))
+        return result
+
+    def edges_on_cycles(self) -> frozenset[Transition]:
+        """The transitions that lie on some cycle.
+
+        An edge lies on a cycle iff both endpoints are in the same strongly
+        connected component (self-loops trivially qualify).  Used to decide
+        stabilization: see :func:`repro.core.relations.is_stabilizing_to`.
+        """
+        scc_of: dict[StateLike, int] = {}
+        for i, comp in enumerate(self.strongly_connected_components()):
+            for s in comp:
+                scc_of[s] = i
+        return frozenset(
+            (s, t) for s, t in self.edges() if scc_of[s] == scc_of[t]
+        )
+
+    # -- misc ---------------------------------------------------------------
+
+    def renamed(self, name: str) -> "TransitionSystem":
+        """The same system under a different display name."""
+        return TransitionSystem(name, self.transitions, self.initial)
+
+    def with_initial(self, initial: Iterable[StateLike]) -> "TransitionSystem":
+        """The same transitions with a different initial set."""
+        return TransitionSystem(self.name, self.transitions, initial)
+
+    def __hash__(self) -> int:
+        return hash((self.name, self.edge_set(), self.initial))
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, TransitionSystem):
+            return NotImplemented
+        return (
+            self.transitions == other.transitions and self.initial == other.initial
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"TransitionSystem({self.name!r}, |states|={len(self.transitions)}, "
+            f"|edges|={sum(len(v) for v in self.transitions.values())}, "
+            f"|initial|={len(self.initial)})"
+        )
+
+
+def chain_system(
+    name: str, states: list[StateLike], initial: Iterable[StateLike]
+) -> TransitionSystem:
+    """A linear chain ``s0 -> s1 -> ... -> sN`` closed with a self-loop on the
+    last state (the standard finite encoding of the paper's
+    ``s0, s1, s2, s3, ...`` pictures)."""
+    if not states:
+        raise ValueError("need at least one state")
+    transitions: dict[StateLike, set[StateLike]] = {
+        s: {t} for s, t in zip(states, states[1:])
+    }
+    transitions[states[-1]] = {states[-1]}
+    return TransitionSystem(name, transitions, initial)

@@ -1,0 +1,212 @@
+"""Executable statements of the paper's composition lemmas and theorems.
+
+The paper proves (Section 2.1):
+
+* **Lemma 0**: ``[C => A] /\\ [W' => W]  =>  [(C box W') => (A box W)]``
+* **Theorem 1**: if ``[C => A]``, ``A box W`` is stabilizing to ``A``, and
+  ``[W' => W]``, then ``C box W'`` is stabilizing to ``A``.
+* **Lemma 2 / Lemma 3 / Theorem 4**: the same, componentwise, for *local*
+  everywhere specifications ``A = (box i :: A_i)``.
+
+These are theorems -- they hold for *all* systems.  The functions below
+check a given instance and return a structured verdict; the hypothesis-based
+property tests (``tests/core/test_theorems_property.py``) fuzz them over
+randomly generated systems, which would expose any unsoundness in our
+encodings of ``box``, the refinement relations, or stabilization.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.core.box import box, box_all
+from repro.core.relations import (
+    RelationReport,
+    everywhere_implements,
+    is_stabilizing_to,
+)
+from repro.core.system import StateLike, TransitionSystem
+
+
+@dataclass(frozen=True)
+class TheoremVerdict:
+    """Result of checking one theorem instance.
+
+    ``premises_hold``: all premises are satisfied by the instance.
+    ``conclusion_holds``: the conclusion is satisfied.
+    ``vacuous``: premises fail, so the instance says nothing.
+    ``theorem_respected``: premises => conclusion on this instance (i.e. the
+    instance is not a counterexample -- it never should be).
+    """
+
+    theorem: str
+    premises_hold: bool
+    conclusion_holds: bool
+    details: tuple[str, ...] = ()
+
+    @property
+    def vacuous(self) -> bool:
+        """Premises fail: the instance says nothing about the theorem."""
+        return not self.premises_hold
+
+    @property
+    def theorem_respected(self) -> bool:
+        """Not a counterexample (premises fail or conclusion holds)."""
+        return (not self.premises_hold) or self.conclusion_holds
+
+    def __bool__(self) -> bool:
+        return self.theorem_respected
+
+
+def _details(*reports: RelationReport) -> tuple[str, ...]:
+    return tuple(r.describe() for r in reports)
+
+
+def check_lemma0(
+    concrete: TransitionSystem,
+    abstract: TransitionSystem,
+    wrapper_impl: TransitionSystem,
+    wrapper_spec: TransitionSystem,
+) -> TheoremVerdict:
+    """Lemma 0: refinement is monotonic w.r.t. box composition."""
+    p1 = everywhere_implements(concrete, abstract)
+    p2 = everywhere_implements(wrapper_impl, wrapper_spec)
+    conclusion = everywhere_implements(
+        box(concrete, wrapper_impl), box(abstract, wrapper_spec)
+    )
+    return TheoremVerdict(
+        "Lemma 0",
+        premises_hold=bool(p1 and p2),
+        conclusion_holds=bool(conclusion),
+        details=_details(p1, p2, conclusion),
+    )
+
+
+def check_theorem1(
+    concrete: TransitionSystem,
+    abstract: TransitionSystem,
+    wrapper_impl: TransitionSystem,
+    wrapper_spec: TransitionSystem,
+) -> TheoremVerdict:
+    """Theorem 1 (stabilization via everywhere specifications)."""
+    p1 = everywhere_implements(concrete, abstract)
+    p2 = is_stabilizing_to(box(abstract, wrapper_spec), abstract)
+    p3 = everywhere_implements(wrapper_impl, wrapper_spec)
+    conclusion = is_stabilizing_to(box(concrete, wrapper_impl), abstract)
+    return TheoremVerdict(
+        "Theorem 1",
+        premises_hold=bool(p1 and p2 and p3),
+        conclusion_holds=bool(conclusion),
+        details=_details(p1, p2, p3, conclusion),
+    )
+
+
+def check_lemma2(
+    locals_concrete: list[TransitionSystem],
+    locals_abstract: list[TransitionSystem],
+) -> TheoremVerdict:
+    """Lemma 2: componentwise everywhere-implementation lifts through box."""
+    if len(locals_concrete) != len(locals_abstract):
+        raise ValueError("component lists must have equal length")
+    premises = [
+        everywhere_implements(c, a)
+        for c, a in zip(locals_concrete, locals_abstract)
+    ]
+    conclusion = everywhere_implements(
+        box_all(*locals_concrete, name="C"), box_all(*locals_abstract, name="A")
+    )
+    return TheoremVerdict(
+        "Lemma 2",
+        premises_hold=all(bool(p) for p in premises),
+        conclusion_holds=bool(conclusion),
+        details=_details(*premises, conclusion),
+    )
+
+
+def check_theorem4(
+    locals_concrete: list[TransitionSystem],
+    locals_abstract: list[TransitionSystem],
+    locals_wrapper_impl: list[TransitionSystem],
+    locals_wrapper_spec: list[TransitionSystem],
+) -> TheoremVerdict:
+    """Theorem 4 (stabilization via local everywhere specifications)."""
+    lengths = {
+        len(locals_concrete),
+        len(locals_abstract),
+        len(locals_wrapper_impl),
+        len(locals_wrapper_spec),
+    }
+    if len(lengths) != 1:
+        raise ValueError("all component lists must have equal length")
+    abstract = box_all(*locals_abstract, name="A")
+    concrete = box_all(*locals_concrete, name="C")
+    wrapper_spec = box_all(*locals_wrapper_spec, name="W")
+    wrapper_impl = box_all(*locals_wrapper_impl, name="W'")
+    premises = (
+        [everywhere_implements(c, a) for c, a in zip(locals_concrete, locals_abstract)]
+        + [
+            everywhere_implements(wi, ws)
+            for wi, ws in zip(locals_wrapper_impl, locals_wrapper_spec)
+        ]
+        + [is_stabilizing_to(box(abstract, wrapper_spec), abstract)]
+    )
+    conclusion = is_stabilizing_to(box(concrete, wrapper_impl), abstract)
+    return TheoremVerdict(
+        "Theorem 4",
+        premises_hold=all(bool(p) for p in premises),
+        conclusion_holds=bool(conclusion),
+        details=_details(*premises, conclusion),
+    )
+
+
+# ---------------------------------------------------------------------------
+# Random instance generation (for property-testing the theorems)
+# ---------------------------------------------------------------------------
+
+
+def random_system(
+    rng: random.Random,
+    n_states: int = 5,
+    density: float = 0.4,
+    name: str = "R",
+    states: list[StateLike] | None = None,
+) -> TransitionSystem:
+    """A random total transition system over ``n_states`` states.
+
+    Each ordered pair becomes an edge with probability ``density``; every
+    state additionally receives one forced successor so the system is total.
+    A random non-empty subset of states is initial.
+    """
+    universe: list[StateLike] = (
+        states if states is not None else [f"q{i}" for i in range(n_states)]
+    )
+    transitions: dict[StateLike, set[StateLike]] = {s: set() for s in universe}
+    for s in universe:
+        for t in universe:
+            if rng.random() < density:
+                transitions[s].add(t)
+        if not transitions[s]:
+            transitions[s].add(rng.choice(universe))
+    k = rng.randint(1, len(universe))
+    initial = rng.sample(universe, k)
+    return TransitionSystem(name, transitions, initial)
+
+
+def random_subsystem(
+    rng: random.Random, parent: TransitionSystem, name: str = "sub"
+) -> TransitionSystem:
+    """A random everywhere-refinement of ``parent``: keep every state but a
+    random non-empty subset of each state's successors.  By construction the
+    result everywhere-implements ``parent``."""
+    transitions: dict[StateLike, set[StateLike]] = {}
+    for s, succs in parent.transitions.items():
+        ordered = sorted(succs, key=repr)
+        k = rng.randint(1, len(ordered))
+        transitions[s] = set(rng.sample(ordered, k))
+    initial = list(parent.initial)
+    if initial:
+        kept = rng.sample(initial, rng.randint(1, len(initial)))
+    else:
+        kept = []
+    return TransitionSystem(name, transitions, kept)

@@ -1,0 +1,25 @@
+"""Guarded-command DSL: the paper's implementation language (Section 2.1)."""
+
+from repro.dsl.guards import (
+    Effect,
+    GuardedAction,
+    LocalView,
+    Send,
+    action,
+    always_enabled,
+    sends_to_all,
+)
+from repro.dsl.program import ProcessProgram, enabled_actions, merge_initial_vars
+
+__all__ = [
+    "Effect",
+    "GuardedAction",
+    "LocalView",
+    "ProcessProgram",
+    "Send",
+    "action",
+    "always_enabled",
+    "enabled_actions",
+    "merge_initial_vars",
+    "sends_to_all",
+]

@@ -1,0 +1,98 @@
+"""Process programs: named collections of guarded actions.
+
+A :class:`ProcessProgram` is the unit the runtime executes and the unit the
+paper wraps: a set of guarded actions over a declared set of local variables.
+Wrappers are themselves process programs; box composition at the process
+level (``P [] W``) is simply the union of the action sets --- matching the
+core-layer semantics of :func:`repro.core.box.box` (transition-relation
+union).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Mapping
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.dsl.guards import GuardedAction, LocalView
+
+
+@dataclass(frozen=True)
+class ProcessProgram:
+    """A guarded-command program for one process.
+
+    Parameters
+    ----------
+    name:
+        Program name (e.g. ``"RA_ME"``); processes executing it get their
+        own identity separately.
+    initial_vars:
+        Variable valuation for a *properly initialized* process.  The fault
+        model may replace it arbitrarily ("improper initialization").
+    actions:
+        Internal guarded actions, attempted by the scheduler.
+    receive_actions:
+        Actions keyed by message kind; enabled when a matching message is at
+        the head of an incoming channel.
+    """
+
+    name: str
+    initial_vars: Mapping[str, Any] = field(default_factory=dict)
+    actions: tuple[GuardedAction, ...] = ()
+    receive_actions: tuple[GuardedAction, ...] = ()
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "initial_vars", dict(self.initial_vars))
+        object.__setattr__(self, "actions", tuple(self.actions))
+        object.__setattr__(self, "receive_actions", tuple(self.receive_actions))
+        for act in self.receive_actions:
+            if act.message_kind is None:
+                raise ValueError(
+                    f"receive action {act.name!r} must declare a message_kind"
+                )
+        names = [a.name for a in self.actions + self.receive_actions]
+        if len(names) != len(set(names)):
+            raise ValueError(f"duplicate action names in program {self.name!r}")
+
+    def receive_action_for(self, kind: str) -> GuardedAction | None:
+        """The receive handler registered for a message kind, if any."""
+        for act in self.receive_actions:
+            if act.message_kind == kind:
+                return act
+        return None
+
+    def action_names(self) -> tuple[str, ...]:
+        """All action names (internal first, then receive)."""
+        return tuple(a.name for a in self.actions + self.receive_actions)
+
+    def composed_with(self, other: "ProcessProgram", name: str | None = None) -> "ProcessProgram":
+        """Process-level box composition: union of action sets.
+
+        Variable spaces are merged; on clashes the *left* program's initial
+        value wins (wrappers must not re-declare program variables -- the
+        graybox wrapper only reads the Lspec interface, see
+        :mod:`repro.tme.wrapper`).
+        """
+        merged_vars = dict(other.initial_vars)
+        merged_vars.update(self.initial_vars)
+        return ProcessProgram(
+            name or f"({self.name} [] {other.name})",
+            merged_vars,
+            self.actions + other.actions,
+            self.receive_actions + other.receive_actions,
+        )
+
+
+def enabled_actions(
+    program: ProcessProgram, view: LocalView
+) -> list[GuardedAction]:
+    """The internal actions of ``program`` whose guards hold in ``view``."""
+    return [a for a in program.actions if a.enabled(view)]
+
+
+def merge_initial_vars(programs: Iterable[ProcessProgram]) -> dict[str, Any]:
+    """Union of initial valuations; later programs win on clashes."""
+    merged: dict[str, Any] = {}
+    for p in programs:
+        merged.update(p.initial_vars)
+    return merged

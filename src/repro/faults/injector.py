@@ -1,0 +1,110 @@
+"""Fault-injection framework.
+
+The TME fault model (Section 3.1): *messages can be corrupted, lost, or
+duplicated at any time; processes (respectively channels) can be improperly
+initialized, fail, recover, or their state could be transiently (and
+arbitrarily) corrupted at any time.  Stabilization is desired
+notwithstanding the occurrence of any finite number of these faults.*
+
+"Any finite number" is the key phrase: injectors are typically wrapped in a
+:class:`Windowed` combinator so that faults strike during a window and then
+cease, after which convergence is measured (see
+:mod:`repro.verification.stabilization`).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Sequence
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:
+    from repro.runtime.simulator import Simulator
+
+
+class FaultInjector:
+    """Base class; subclasses mutate the simulator and describe what struck."""
+
+    def before_step(self, simulator: "Simulator", step_index: int) -> list[str]:
+        """Inject faults; return a description per fault dealt."""
+        raise NotImplementedError
+
+
+class NoFaults(FaultInjector):
+    """The fault-free environment (used for interference-freedom runs)."""
+
+    def before_step(self, simulator: "Simulator", step_index: int) -> list[str]:
+        return []
+
+
+class Composite(FaultInjector):
+    """Apply several injectors in order each step."""
+
+    def __init__(self, injectors: Sequence[FaultInjector]):
+        self.injectors = list(injectors)
+
+    def before_step(self, simulator: "Simulator", step_index: int) -> list[str]:
+        out: list[str] = []
+        for inj in self.injectors:
+            out.extend(inj.before_step(simulator, step_index))
+        return out
+
+
+class Windowed(FaultInjector):
+    """Restrict an injector to steps in ``[start, stop)``.
+
+    This realizes "any finite number of faults": after ``stop`` the
+    environment is fault-free and stabilization must kick in.
+    """
+
+    def __init__(self, inner: FaultInjector, start: int, stop: int):
+        if stop < start:
+            raise ValueError("stop must be >= start")
+        self.inner = inner
+        self.start = start
+        self.stop = stop
+
+    def before_step(self, simulator: "Simulator", step_index: int) -> list[str]:
+        if self.start <= step_index < self.stop:
+            return self.inner.before_step(simulator, step_index)
+        return []
+
+
+class Scripted(FaultInjector):
+    """Precise scenarios: run ``fn(simulator)`` at exactly the given steps.
+
+    ``script`` maps step index -> callable returning a description.  Used
+    for the paper's Section-4 deadlock scenario and for targeted tests.
+    """
+
+    def __init__(
+        self, script: dict[int, Callable[["Simulator"], str]]
+    ):
+        self.script = dict(script)
+        self.fired: list[int] = []
+
+    def before_step(self, simulator: "Simulator", step_index: int) -> list[str]:
+        fn = self.script.get(step_index)
+        if fn is None:
+            return []
+        self.fired.append(step_index)
+        return [fn(simulator)]
+
+
+class BudgetedFaults(FaultInjector):
+    """Cap the total number of faults an injector may deal (the literal
+    "finite number of faults" guarantee, independent of step windows)."""
+
+    def __init__(self, inner: FaultInjector, budget: int):
+        if budget < 0:
+            raise ValueError("budget must be non-negative")
+        self.inner = inner
+        self.remaining = budget
+
+    def before_step(self, simulator: "Simulator", step_index: int) -> list[str]:
+        if self.remaining <= 0:
+            return []
+        struck = self.inner.before_step(simulator, step_index)
+        if len(struck) > self.remaining:
+            struck = struck[: self.remaining]
+        self.remaining -= len(struck)
+        return struck

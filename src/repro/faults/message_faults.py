@@ -1,0 +1,157 @@
+"""Channel faults: loss, duplication, corruption, improper channel state.
+
+Each injector strikes independently per step with a configured probability,
+choosing a uniformly random victim message across all non-empty channels
+(so long channels are proportionally more exposed, as on a real network).
+"""
+
+from __future__ import annotations
+
+import random
+from collections.abc import Callable
+from typing import TYPE_CHECKING
+
+from repro.runtime.messages import Message
+
+if TYPE_CHECKING:
+    from repro.runtime.simulator import Simulator
+
+
+def _random_victim(
+    simulator: "Simulator", rng: random.Random
+) -> tuple | None:
+    """Pick (channel, index) uniformly over all in-flight messages."""
+    channels = simulator.network.nonempty_channels()
+    if not channels:
+        return None
+    weights = [len(c) for c in channels]
+    chan = rng.choices(channels, weights=weights, k=1)[0]
+    return chan, rng.randrange(len(chan))
+
+
+class MessageLoss:
+    """Lose a random in-flight message with probability ``prob`` per step."""
+
+    def __init__(self, rng: random.Random, prob: float):
+        self.rng = rng
+        self.prob = prob
+        self.count = 0
+
+    def before_step(self, simulator: "Simulator", step_index: int) -> list[str]:
+        if self.rng.random() >= self.prob:
+            return []
+        victim = _random_victim(simulator, self.rng)
+        if victim is None:
+            return []
+        chan, idx = victim
+        msg = chan.drop_at(idx)
+        self.count += 1
+        return [f"loss: {msg.kind} {msg.sender}->{msg.receiver}"]
+
+
+class MessageDuplication:
+    """Duplicate a random in-flight message with probability ``prob``."""
+
+    def __init__(self, rng: random.Random, prob: float):
+        self.rng = rng
+        self.prob = prob
+        self.count = 0
+
+    def before_step(self, simulator: "Simulator", step_index: int) -> list[str]:
+        if self.rng.random() >= self.prob:
+            return []
+        victim = _random_victim(simulator, self.rng)
+        if victim is None:
+            return []
+        chan, idx = victim
+        dup = chan.duplicate_at(idx, simulator.network.fresh_uid())
+        self.count += 1
+        return [f"dup: {dup.kind} {dup.sender}->{dup.receiver}"]
+
+
+Corrupter = Callable[[Message, random.Random, int], Message]
+
+
+class MessageCorruption:
+    """Corrupt a random in-flight message with probability ``prob``.
+
+    ``corrupter(msg, rng, new_uid)`` builds the corrupted copy; domains
+    (e.g. TME) supply one that scrambles payload timestamps or message
+    kinds.  The default flips the payload to the opaque string
+    ``"<garbage>"``.
+    """
+
+    def __init__(
+        self,
+        rng: random.Random,
+        prob: float,
+        corrupter: Corrupter | None = None,
+    ):
+        self.rng = rng
+        self.prob = prob
+        self.corrupter = corrupter or (
+            lambda msg, _rng, uid: msg.corrupted(uid, payload="<garbage>")
+        )
+        self.count = 0
+
+    def before_step(self, simulator: "Simulator", step_index: int) -> list[str]:
+        if self.rng.random() >= self.prob:
+            return []
+        victim = _random_victim(simulator, self.rng)
+        if victim is None:
+            return []
+        chan, idx = victim
+        uid = simulator.network.fresh_uid()
+        msg = chan.corrupt_at(idx, lambda m: self.corrupter(m, self.rng, uid))
+        self.count += 1
+        return [f"corrupt: {msg.kind} {msg.sender}->{msg.receiver}"]
+
+
+class MessageReorder:
+    """Swap the head of a random channel with a later message.
+
+    This violates Communication Spec (FIFO channels) -- it is *outside* the
+    paper's fault model, and the FIFO-ablation experiment uses it to show
+    what the Environment Spec assumption buys: with reordering allowed as a
+    recurring (not finite) fault, the wrapper's guarantee is void.
+    """
+
+    def __init__(self, rng: random.Random, prob: float):
+        self.rng = rng
+        self.prob = prob
+        self.count = 0
+
+    def before_step(self, simulator: "Simulator", step_index: int) -> list[str]:
+        if self.rng.random() >= self.prob:
+            return []
+        channels = [
+            c for c in simulator.network.nonempty_channels() if len(c) >= 2
+        ]
+        if not channels:
+            return []
+        chan = self.rng.choice(channels)
+        other = self.rng.randrange(1, len(chan))
+        queue = list(chan.snapshot())
+        queue[0], queue[other] = queue[other], queue[0]
+        chan.replace_contents(queue)
+        self.count += 1
+        return [f"reorder: {chan.src}->{chan.dst} head<->{other}"]
+
+
+class ChannelFlush:
+    """Lose *everything* in flight (a network partition blip), with
+    probability ``prob`` per step."""
+
+    def __init__(self, rng: random.Random, prob: float):
+        self.rng = rng
+        self.prob = prob
+        self.count = 0
+
+    def before_step(self, simulator: "Simulator", step_index: int) -> list[str]:
+        if self.rng.random() >= self.prob:
+            return []
+        lost = simulator.network.flush_all()
+        if lost == 0:
+            return []
+        self.count += 1
+        return [f"flush: lost {lost} in-flight messages"]

@@ -1,0 +1,113 @@
+"""Process-state faults: transient corruption, improper initialization,
+crash-and-recover.
+
+Process state in this runtime is a flat variable valuation, so "transient
+and arbitrary corruption" is an arbitrary partial overwrite.  What counts as
+a *plausible arbitrary value* is domain knowledge (e.g. a TME timestamp),
+so injectors take a ``scrambler`` callback supplied by the domain package
+(:func:`repro.tme.scenarios.scramble_tme_state` for TME).
+"""
+
+from __future__ import annotations
+
+import random
+from collections.abc import Callable
+from typing import TYPE_CHECKING, Any
+
+if TYPE_CHECKING:
+    from repro.runtime.process import ProcessRuntime
+    from repro.runtime.simulator import Simulator
+
+Scrambler = Callable[["ProcessRuntime", random.Random], dict[str, Any]]
+
+
+class StateCorruption:
+    """With probability ``prob`` per step, corrupt one random process's
+    variables using ``scrambler`` (which returns the overwrite)."""
+
+    def __init__(self, rng: random.Random, prob: float, scrambler: Scrambler):
+        self.rng = rng
+        self.prob = prob
+        self.scrambler = scrambler
+        self.count = 0
+
+    def before_step(self, simulator: "Simulator", step_index: int) -> list[str]:
+        if self.rng.random() >= self.prob:
+            return []
+        pid = self.rng.choice(sorted(simulator.processes))
+        proc = simulator.processes[pid]
+        updates = self.scrambler(proc, self.rng)
+        if not updates:
+            return []
+        proc.corrupt(updates)
+        self.count += 1
+        return [f"state-corrupt: {pid} <- {sorted(updates)}"]
+
+
+class ImproperInitialization:
+    """One-shot fault at step 0: scramble every process and every channel.
+
+    This realizes "improperly initialized" -- the system simply starts in an
+    arbitrary state.  ``channel_filler(src, dst, rng)`` returns garbage
+    messages to preload (may be empty).
+    """
+
+    def __init__(
+        self,
+        rng: random.Random,
+        scrambler: Scrambler,
+        channel_filler: Callable[[str, str, random.Random], list] | None = None,
+    ):
+        self.rng = rng
+        self.scrambler = scrambler
+        self.channel_filler = channel_filler
+        self.fired = False
+
+    def before_step(self, simulator: "Simulator", step_index: int) -> list[str]:
+        if self.fired or step_index != 0:
+            return []
+        self.fired = True
+        struck = []
+        for pid in sorted(simulator.processes):
+            proc = simulator.processes[pid]
+            updates = self.scrambler(proc, self.rng)
+            proc.corrupt(updates)
+            struck.append(f"improper-init: {pid}")
+        if self.channel_filler is not None:
+            for chan in simulator.network.channels():
+                garbage = self.channel_filler(chan.src, chan.dst, self.rng)
+                if garbage:
+                    chan.replace_contents(garbage)
+                    struck.append(
+                        f"improper-init: channel {chan.src}->{chan.dst} "
+                        f"preloaded with {len(garbage)}"
+                    )
+        return struck
+
+
+class CrashRecover:
+    """Fail-and-recover: with probability ``prob``, reset one process to its
+    program's initial valuation (a recovery to default state -- which may be
+    *mutually* inconsistent with the rest of the system, the paper's level-2
+    concern) and drop that process's in-flight mail."""
+
+    def __init__(self, rng: random.Random, prob: float, drop_mail: bool = True):
+        self.rng = rng
+        self.prob = prob
+        self.drop_mail = drop_mail
+        self.count = 0
+
+    def before_step(self, simulator: "Simulator", step_index: int) -> list[str]:
+        if self.rng.random() >= self.prob:
+            return []
+        pid = self.rng.choice(sorted(simulator.processes))
+        proc = simulator.processes[pid]
+        proc.improper_init(dict(proc.program.initial_vars))
+        lost = 0
+        if self.drop_mail:
+            for other in simulator.network.pids:
+                if other != pid:
+                    lost += simulator.network.channel(other, pid).clear()
+                    lost += simulator.network.channel(pid, other).clear()
+        self.count += 1
+        return [f"crash-recover: {pid} (dropped {lost} messages)"]

@@ -1,0 +1,36 @@
+"""Asynchronous message-passing runtime (the TME system model, Section 3.1)."""
+
+from repro.runtime.channel import FifoChannel
+from repro.runtime.messages import Message
+from repro.runtime.network import Network
+from repro.runtime.process import ProcessRuntime
+from repro.runtime.scheduler import (
+    AdversarialScheduler,
+    DeliverStep,
+    InternalStep,
+    RandomScheduler,
+    RoundRobinScheduler,
+    Scheduler,
+    Step,
+)
+from repro.runtime.simulator import FaultHook, Simulator
+from repro.runtime.trace import GlobalState, StepRecord, Trace
+
+__all__ = [
+    "AdversarialScheduler",
+    "DeliverStep",
+    "FaultHook",
+    "FifoChannel",
+    "GlobalState",
+    "InternalStep",
+    "Message",
+    "Network",
+    "ProcessRuntime",
+    "RandomScheduler",
+    "RoundRobinScheduler",
+    "Scheduler",
+    "Simulator",
+    "Step",
+    "StepRecord",
+    "Trace",
+]

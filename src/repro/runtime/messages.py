@@ -1,0 +1,57 @@
+"""Messages and message identities.
+
+The TME system model (Section 3.1) is message passing over interprocess
+channels; the fault model allows messages to be *corrupted, lost, or
+duplicated at any time*.  A :class:`Message` is therefore a plain immutable
+record: the runtime and the fault injectors may copy, drop, or rewrite them
+freely.
+
+``send_event_uid`` ties a message to the event that sent it (for
+happened-before checking).  Forged or corrupted messages carry ``None`` --
+they have no causal history, exactly as a fault-made artifact should.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Any
+
+
+@dataclass(frozen=True)
+class Message:
+    """An immutable message in flight.
+
+    ``uid`` is unique per physical copy (a duplicate gets a fresh ``uid``
+    but keeps ``send_event_uid``).
+    """
+
+    uid: int
+    kind: str
+    sender: str
+    receiver: str
+    payload: Any
+    send_event_uid: int | None = None
+    sender_clock: int | None = None
+
+    def corrupted(self, new_uid: int, **changes: Any) -> "Message":
+        """A corrupted copy: fields overwritten, causal link severed (and
+        the piggybacked clock dropped -- a forged frame carries no
+        trustworthy clock)."""
+        changes.setdefault("sender_clock", None)
+        return replace(
+            self, uid=new_uid, send_event_uid=None, **changes
+        )
+
+    def duplicated(self, new_uid: int) -> "Message":
+        """A duplicate copy: same content, fresh physical identity."""
+        return replace(self, uid=new_uid)
+
+    def channel(self) -> tuple[str, str]:
+        """The (sender, receiver) channel this message travels on."""
+        return (self.sender, self.receiver)
+
+    def __repr__(self) -> str:
+        return (
+            f"Message#{self.uid}({self.kind} {self.sender}->{self.receiver}, "
+            f"{self.payload!r})"
+        )

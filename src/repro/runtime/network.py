@@ -1,0 +1,103 @@
+"""The network: one FIFO channel per ordered process pair.
+
+The TME system model assumes processes are connected; we use a complete
+graph of directional FIFO channels.  The network also owns message-uid
+allocation (so duplicates and corruptions get fresh physical identities) and
+aggregate message accounting used by the overhead experiments.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator
+from typing import Any
+
+from repro.runtime.channel import FifoChannel
+from repro.runtime.messages import Message
+
+
+class Network:
+    """All channels among a fixed set of process ids."""
+
+    def __init__(self, pids: Iterable[str]):
+        self.pids = tuple(sorted(pids))
+        if len(self.pids) != len(set(self.pids)):
+            raise ValueError("duplicate process ids")
+        self._channels: dict[tuple[str, str], FifoChannel] = {
+            (a, b): FifoChannel(a, b)
+            for a in self.pids
+            for b in self.pids
+            if a != b
+        }
+        self._next_uid = 0
+        self.sent_by_kind: dict[str, int] = {}
+
+    # -- identity allocation --------------------------------------------------
+
+    def fresh_uid(self) -> int:
+        """Allocate a unique physical message id."""
+        self._next_uid += 1
+        return self._next_uid
+
+    # -- sending / delivery ---------------------------------------------------
+
+    def channel(self, src: str, dst: str) -> FifoChannel:
+        """The directional channel from ``src`` to ``dst``."""
+        try:
+            return self._channels[(src, dst)]
+        except KeyError:
+            raise KeyError(f"no channel {src}->{dst}") from None
+
+    def channels(self) -> Iterator[FifoChannel]:
+        """Iterate over every channel."""
+        return iter(self._channels.values())
+
+    def nonempty_channels(self) -> list[FifoChannel]:
+        """Channels currently carrying at least one message."""
+        return [c for c in self._channels.values() if not c.empty]
+
+    def send(  # noqa: PLR0913 -- a message has this many fields
+        self,
+        kind: str,
+        sender: str,
+        receiver: str,
+        payload: Any,
+        send_event_uid: int | None = None,
+        sender_clock: int | None = None,
+    ) -> Message:
+        msg = Message(
+            uid=self.fresh_uid(),
+            kind=kind,
+            sender=sender,
+            receiver=receiver,
+            payload=payload,
+            send_event_uid=send_event_uid,
+            sender_clock=sender_clock,
+        )
+        self.channel(sender, receiver).enqueue(msg)
+        self.sent_by_kind[kind] = self.sent_by_kind.get(kind, 0) + 1
+        return msg
+
+    def in_flight(self) -> int:
+        """Total messages queued across all channels."""
+        return sum(len(c) for c in self._channels.values())
+
+    def flush_all(self) -> int:
+        """Fault helper: drop every in-flight message everywhere."""
+        return sum(c.clear() for c in self._channels.values())
+
+    def snapshot(self) -> tuple[tuple[tuple[str, str], tuple[Message, ...]], ...]:
+        """Hashable global channel snapshot (sorted by channel id)."""
+        return tuple(
+            (pair, chan.snapshot())
+            for pair, chan in sorted(self._channels.items())
+        )
+
+    def total_sent(self) -> int:
+        """Messages sent since construction (all kinds)."""
+        return sum(self.sent_by_kind.values())
+
+    def __repr__(self) -> str:
+        return (
+            f"Network(n={len(self.pids)}, in_flight={self.in_flight()}, "
+            f"sent={self.total_sent()})"
+        )

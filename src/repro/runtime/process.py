@@ -1,0 +1,124 @@
+"""Process runtime: executes a guarded-command program for one process.
+
+A :class:`ProcessRuntime` owns the mutable local variables of one process
+and executes the (pure) guarded actions of its :class:`~repro.dsl.program.
+ProcessProgram`, applying returned :class:`~repro.dsl.guards.Effect`\\ s
+atomically.  The fault model's "transient state corruption" and "improper
+initialization" act directly on :attr:`variables`.
+
+Wrapping (the paper's ``M box W``) happens at this level by composing the
+process program with a wrapper program -- see
+:meth:`ProcessRuntime.variables` remains a single flat namespace, matching
+UNITY union semantics.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+from typing import Any
+
+from repro.dsl.guards import Effect, GuardedAction, LocalView
+from repro.dsl.program import ProcessProgram
+from repro.runtime.messages import Message
+
+
+class ProcessRuntime:
+    """One process: identity + program + mutable local variables."""
+
+    def __init__(
+        self,
+        pid: str,
+        program: ProcessProgram,
+        peers: tuple[str, ...],
+        overrides: Mapping[str, Any] | None = None,
+    ):
+        self.pid = pid
+        self.program = program
+        self.peers = tuple(p for p in peers if p != pid)
+        self.variables: dict[str, Any] = dict(program.initial_vars)
+        if overrides:
+            self.variables.update(overrides)
+        self.event_seq = 0
+        self.steps_taken = 0
+
+    # -- views and execution ------------------------------------------------
+
+    def view(self, extra: Mapping[str, Any] | None = None) -> LocalView:
+        """Read-only view of the local variables (plus ``_pid``/``_peers``
+        and any receive-time extras)."""
+        merged = dict(self.variables)
+        merged["_pid"] = self.pid
+        merged["_peers"] = self.peers
+        if extra:
+            merged.update(extra)
+        return LocalView(merged)
+
+    def enabled_internal_actions(self) -> list[GuardedAction]:
+        """Internal actions whose guards hold in the current state."""
+        v = self.view()
+        return [a for a in self.program.actions if a.enabled(v)]
+
+    def execute_internal(self, action: GuardedAction) -> Effect:
+        """Run one enabled internal action and apply its effect."""
+        effect = action.execute(self.view())
+        self._apply(effect)
+        return effect
+
+    def execute_receive(self, message: Message) -> Effect | None:
+        """Run the receive action matching ``message.kind``.
+
+        Returns ``None`` when the program has no handler for the kind or the
+        handler's guard rejects the message (the message is consumed either
+        way -- an unrecognized message is garbage from the fault model's
+        point of view and discarding it is the only sound reaction).
+        """
+        handler = self.program.receive_action_for(message.kind)
+        if handler is None:
+            return None
+        v = self.view(
+            {
+                "_msg": message.payload,
+                "_sender": message.sender,
+                "_msg_clock": message.sender_clock,
+            }
+        )
+        if not handler.enabled(v):
+            return None
+        effect = handler.body(v)
+        self._apply(effect)
+        return effect
+
+    def _apply(self, effect: Effect) -> None:
+        for name, value in effect.updates.items():
+            if name.startswith("_"):
+                raise ValueError(f"cannot assign reserved variable {name!r}")
+            self.variables[name] = value
+        self.steps_taken += 1
+
+    # -- fault surface ------------------------------------------------------
+
+    def corrupt(self, updates: Mapping[str, Any]) -> None:
+        """Transient state corruption: overwrite variables arbitrarily."""
+        self.variables.update(updates)
+
+    def improper_init(self, variables: Mapping[str, Any]) -> None:
+        """Improper initialization: replace the whole valuation."""
+        self.variables = dict(variables)
+
+    # -- snapshots ------------------------------------------------------------
+
+    def snapshot(self) -> tuple[tuple[str, Any], ...]:
+        """Hashable snapshot of the local state (sorted name/value pairs).
+
+        Values must be hashable; lists/sets/dicts in programs should be
+        stored as tuples/frozensets.
+        """
+        return tuple(sorted(self.variables.items(), key=lambda kv: kv[0]))
+
+    def next_event_seq(self) -> int:
+        """Allocate the next per-process event sequence number."""
+        self.event_seq += 1
+        return self.event_seq
+
+    def __repr__(self) -> str:
+        return f"ProcessRuntime({self.pid}, program={self.program.name})"

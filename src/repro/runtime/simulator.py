@@ -1,0 +1,258 @@
+"""The simulator: asynchronous interleaving of processes and deliveries.
+
+One simulator *step* is either the delivery of one channel-head message to
+its receiver, or the execution of one enabled internal action at one
+process -- exactly the interleaving semantics of the paper's system model
+(asynchronous execution, arbitrary finite message delays realized by the
+scheduler's choices).
+
+The simulator records a full :class:`~repro.runtime.trace.Trace` (global
+state snapshots, step records, event log) and offers the fault injector a
+hook before every step.  Everything stochastic flows through explicitly
+seeded ``random.Random`` instances: runs are reproducible bit-for-bit.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Mapping
+from typing import Any, Protocol
+
+from repro.clocks.happened_before import RecordedEvent
+from repro.clocks.timestamps import Timestamp
+from repro.dsl.guards import Effect
+from repro.dsl.program import ProcessProgram
+from repro.runtime.network import Network
+from repro.runtime.process import ProcessRuntime
+from repro.runtime.scheduler import (
+    DeliverStep,
+    InternalStep,
+    Scheduler,
+    Step,
+)
+from repro.runtime.trace import GlobalState, StepRecord, Trace
+
+
+class FaultHook(Protocol):
+    """A fault injector: may mutate the simulator before each step."""
+
+    def before_step(self, simulator: "Simulator", step_index: int) -> list[str]:
+        """Inject faults; return human-readable descriptions of what struck."""
+        ...
+
+
+class Simulator:
+    """Drives a set of processes over a network under a scheduler."""
+
+    def __init__(
+        self,
+        programs: Mapping[str, ProcessProgram],
+        scheduler: Scheduler,
+        fault_hook: FaultHook | None = None,
+        overrides: Mapping[str, Mapping[str, Any]] | None = None,
+        record_states: bool = True,
+    ):
+        pids = tuple(sorted(programs))
+        if len(pids) < 2:
+            raise ValueError("need at least two processes")
+        self.network = Network(pids)
+        self.processes: dict[str, ProcessRuntime] = {
+            pid: ProcessRuntime(
+                pid,
+                programs[pid],
+                pids,
+                overrides=(overrides or {}).get(pid),
+            )
+            for pid in pids
+        }
+        self.scheduler = scheduler
+        self.fault_hook = fault_hook
+        self.record_states = record_states
+        self.trace = Trace()
+        self._next_event_uid = 0
+        self.step_index = 0
+        if record_states:
+            self.trace.states.append(self.snapshot())
+
+    # -- snapshots ------------------------------------------------------------
+
+    def snapshot(self) -> GlobalState:
+        """Hashable global state: all process vars + channel contents
+        (message uids erased)."""
+        processes = tuple(
+            (pid, proc.snapshot()) for pid, proc in sorted(self.processes.items())
+        )
+        channels = tuple(
+            (key, tuple((m.kind, m.payload) for m in content))
+            for key, content in self.network.snapshot()
+        )
+        return GlobalState(processes, channels)
+
+    # -- step enumeration -------------------------------------------------
+
+    def candidate_steps(self) -> list[Step]:
+        """Everything that could happen next: one deliver step per
+        non-empty channel plus every enabled internal action."""
+        steps: list[Step] = []
+        for chan in self.network.nonempty_channels():
+            steps.append(DeliverStep(chan.src, chan.dst))
+        for pid, proc in self.processes.items():
+            for act in proc.enabled_internal_actions():
+                steps.append(InternalStep(pid, act.name))
+        return steps
+
+    # -- execution ----------------------------------------------------------
+
+    def _fresh_event_uid(self) -> int:
+        self._next_event_uid += 1
+        return self._next_event_uid
+
+    def _record_event(
+        self, pid: str, label: str, send_uid: int | None, pre_clock: int
+    ) -> RecordedEvent:
+        proc = self.processes[pid]
+        clock = proc.variables.get("lc", 0)
+        if not isinstance(clock, int) or clock < 0:
+            clock = 0
+        event = RecordedEvent(
+            uid=self._fresh_event_uid(),
+            pid=pid,
+            seq=proc.next_event_seq(),
+            kind=label,
+            timestamp=Timestamp(clock, pid),
+            send_uid=send_uid,
+            step_index=self.step_index,
+            clock_event=clock != pre_clock,
+        )
+        self.trace.events.append(event)
+        return event
+
+    def _apply_sends(self, pid: str, effect: Effect, event_uid: int) -> tuple[tuple[str, str], ...]:
+        sent: list[tuple[str, str]] = []
+        clock = self.processes[pid].variables.get("lc")
+        sender_clock = clock if isinstance(clock, int) and clock >= 0 else None
+        for send in effect.sends:
+            self.network.send(
+                send.kind,
+                pid,
+                send.receiver,
+                send.payload,
+                send_event_uid=event_uid,
+                sender_clock=sender_clock,
+            )
+            sent.append((send.kind, send.receiver))
+        return tuple(sent)
+
+    def execute(self, step: Step, faults: tuple[str, ...] = ()) -> StepRecord:
+        """Execute one chosen step and record it on the trace."""
+        if isinstance(step, DeliverStep):
+            record = self._execute_deliver(step, faults)
+        else:
+            record = self._execute_internal(step, faults)
+        self.trace.steps.append(record)
+        if self.record_states:
+            self.trace.states.append(self.snapshot())
+        self.step_index += 1
+        return record
+
+    def _execute_deliver(
+        self, step: DeliverStep, faults: tuple[str, ...]
+    ) -> StepRecord:
+        chan = self.network.channel(step.src, step.dst)
+        message = chan.dequeue()
+        proc = self.processes[step.dst]
+        pre_clock = proc.variables.get("lc", 0)
+        if not isinstance(pre_clock, int) or pre_clock < 0:
+            pre_clock = 0
+        effect = proc.execute_receive(message)
+        sends: tuple[tuple[str, str], ...] = ()
+        action_name = None
+        if effect is not None:
+            handler = proc.program.receive_action_for(message.kind)
+            action_name = handler.name if handler else None
+            event = self._record_event(
+                step.dst,
+                action_name or f"recv:{message.kind}",
+                message.send_event_uid,
+                pre_clock,
+            )
+            sends = self._apply_sends(step.dst, effect, event.uid)
+        return StepRecord(
+            index=self.step_index,
+            kind="deliver",
+            pid=step.dst,
+            action=action_name,
+            delivered_kind=message.kind,
+            delivered_from=step.src,
+            sends=sends,
+            faults=faults,
+        )
+
+    def _execute_internal(
+        self, step: InternalStep, faults: tuple[str, ...]
+    ) -> StepRecord:
+        proc = self.processes[step.pid]
+        act = next(
+            (a for a in proc.program.actions if a.name == step.action), None
+        )
+        if act is None:
+            raise KeyError(f"{step.pid} has no action {step.action!r}")
+        pre_clock = proc.variables.get("lc", 0)
+        if not isinstance(pre_clock, int) or pre_clock < 0:
+            pre_clock = 0
+        effect = proc.execute_internal(act)
+        event = self._record_event(step.pid, step.action, None, pre_clock)
+        sends = self._apply_sends(step.pid, effect, event.uid)
+        return StepRecord(
+            index=self.step_index,
+            kind="internal",
+            pid=step.pid,
+            action=step.action,
+            sends=sends,
+            faults=faults,
+        )
+
+    def _stutter(self, faults: tuple[str, ...]) -> StepRecord:
+        record = StepRecord(index=self.step_index, kind="stutter", faults=faults)
+        self.trace.steps.append(record)
+        if self.record_states:
+            self.trace.states.append(self.snapshot())
+        self.step_index += 1
+        return record
+
+    def run(self, steps: int) -> Trace:
+        """Run ``steps`` scheduler steps (stuttering when nothing is
+        enabled) and return the accumulated trace."""
+        for _ in range(steps):
+            self.step()
+        return self.trace
+
+    def step(self) -> StepRecord:
+        """Execute one step: fault hook, then one scheduled action."""
+        faults: tuple[str, ...] = ()
+        if self.fault_hook is not None:
+            faults = tuple(self.fault_hook.before_step(self, self.step_index))
+        candidates = self.candidate_steps()
+        if not candidates:
+            return self._stutter(faults)
+        chosen = self.scheduler.choose(candidates, self.step_index)
+        return self.execute(chosen, faults)
+
+    def run_until(
+        self,
+        predicate: Callable[["Simulator"], bool],
+        max_steps: int,
+    ) -> tuple[bool, int]:
+        """Step until ``predicate(self)`` holds or ``max_steps`` elapse.
+
+        Returns ``(reached, steps_taken)``.
+        """
+        for i in range(max_steps):
+            if predicate(self):
+                return True, i
+            self.step()
+        return predicate(self), max_steps
+
+    @property
+    def is_quiescent(self) -> bool:
+        """No message in flight and no enabled internal action anywhere."""
+        return not self.candidate_steps()

@@ -1,0 +1,156 @@
+"""Execution traces: global states, step records, and event logs.
+
+The verification layer works on traces: sequences of :class:`GlobalState`
+snapshots (one per executed step, plus the initial one), the per-step
+:class:`StepRecord` metadata (which action ran, what was delivered, which
+faults struck), and the :class:`~repro.clocks.happened_before.RecordedEvent`
+log used for Timestamp Spec checking.
+
+Snapshots deliberately erase message uids: two global states that differ
+only in physical message identity are the same state of the *system* in the
+paper's sense.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Iterator, Sequence
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.clocks.happened_before import RecordedEvent
+
+ChannelKey = tuple[str, str]
+ChannelContent = tuple[tuple[str, Any], ...]  # ((kind, payload), ...)
+ProcessVars = tuple[tuple[str, Any], ...]  # sorted (name, value) pairs
+
+
+@dataclass(frozen=True)
+class GlobalState:
+    """A hashable snapshot of the whole system at one instant."""
+
+    processes: tuple[tuple[str, ProcessVars], ...]
+    channels: tuple[tuple[ChannelKey, ChannelContent], ...]
+
+    def var(self, pid: str, name: str) -> Any:
+        """The value of one process variable in this snapshot."""
+        for p, variables in self.processes:
+            if p == pid:
+                for n, v in variables:
+                    if n == name:
+                        return v
+                raise KeyError(f"process {pid} has no variable {name!r}")
+        raise KeyError(f"no process {pid}")
+
+    def has_var(self, pid: str, name: str) -> bool:
+        """Does ``pid`` carry a variable called ``name``?"""
+        try:
+            self.var(pid, name)
+            return True
+        except KeyError:
+            return False
+
+    def process_vars(self, pid: str) -> dict[str, Any]:
+        """All of one process's variables as a plain dict."""
+        for p, variables in self.processes:
+            if p == pid:
+                return dict(variables)
+        raise KeyError(f"no process {pid}")
+
+    def pids(self) -> tuple[str, ...]:
+        """Process ids present in the snapshot (sorted)."""
+        return tuple(p for p, _ in self.processes)
+
+    def channel_contents(self, src: str, dst: str) -> ChannelContent:
+        """(kind, payload) pairs in flight from ``src`` to ``dst``."""
+        for key, content in self.channels:
+            if key == (src, dst):
+                return content
+        raise KeyError(f"no channel {src}->{dst}")
+
+    def messages_in_flight(self) -> int:
+        """Total queued messages across all channels."""
+        return sum(len(content) for _key, content in self.channels)
+
+    def local_projection(self, pid: str) -> "GlobalState":
+        """The per-process projection used by *local* specifications:
+        only ``pid``'s variables, no channels."""
+        for p, variables in self.processes:
+            if p == pid:
+                return GlobalState(((p, variables),), ())
+        raise KeyError(f"no process {pid}")
+
+
+@dataclass(frozen=True)
+class StepRecord:
+    """What happened at one simulator step."""
+
+    index: int
+    kind: str  # "internal" | "deliver" | "stutter"
+    pid: str | None = None
+    action: str | None = None
+    delivered_kind: str | None = None
+    delivered_from: str | None = None
+    sends: tuple[tuple[str, str], ...] = ()  # (kind, receiver) pairs
+    faults: tuple[str, ...] = ()
+
+    @property
+    def is_wrapper_step(self) -> bool:
+        """Was this step a wrapper (``W:``-prefixed) action?"""
+        return bool(self.action) and self.action.startswith("W:")
+
+
+@dataclass
+class Trace:
+    """A recorded execution: states[i] is the state *before* steps[i]."""
+
+    states: list[GlobalState] = field(default_factory=list)
+    steps: list[StepRecord] = field(default_factory=list)
+    events: list[RecordedEvent] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.states)
+
+    def __iter__(self) -> Iterator[GlobalState]:
+        return iter(self.states)
+
+    def __getitem__(self, index: int) -> GlobalState:
+        return self.states[index]
+
+    @property
+    def final(self) -> GlobalState:
+        """The last recorded global state."""
+        return self.states[-1]
+
+    def last_fault_index(self) -> int | None:
+        """Index of the last step at which any fault was injected."""
+        last = None
+        for step in self.steps:
+            if step.faults:
+                last = step.index
+        return last
+
+    def suffix_states(self, start: int) -> Sequence[GlobalState]:
+        """States from index ``start`` to the end."""
+        return self.states[start:]
+
+    def states_where(
+        self, predicate: Callable[[GlobalState], bool]
+    ) -> list[int]:
+        """Indices of states satisfying ``predicate``."""
+        return [i for i, s in enumerate(self.states) if predicate(s)]
+
+    def count_sends(self, kind: str | None = None, wrapper_only: bool = False) -> int:
+        """Messages sent over the trace, optionally filtered by kind and
+        by wrapper-issued steps."""
+        total = 0
+        for step in self.steps:
+            if wrapper_only and not step.is_wrapper_step:
+                continue
+            for k, _receiver in step.sends:
+                if kind is None or k == kind:
+                    total += 1
+        return total
+
+    def fault_step_indices(self) -> list[int]:
+        """Indices of steps at which the fault injector struck."""
+        return [s.index for s in self.steps if s.faults]

@@ -1,0 +1,99 @@
+"""The client side of TME: when to request and when to release the CS.
+
+Client Spec (Section 3.2) constrains the *client* of a mutual exclusion
+program: the structural phases cycle ``t -> h -> e -> t`` (Structural and
+Flow Spec) and eating is transient (CS Spec: ``e.j |-> ~e.j``).
+
+We realize clients with two countdown timers local to each process:
+
+* ``think_timer`` -- while thinking, counts down; the Request-CS action is
+  guarded on it reaching zero (``think_delay`` steps of thinking between
+  CS sessions);
+* ``eat_timer`` -- while eating, counts down; the Release-CS action is
+  guarded on it reaching zero (``eat_delay`` steps inside the CS).
+
+Delays are client *workload* parameters, not protocol parameters; the
+benchmark harness sweeps them.  A ``think_delay`` of ``None`` makes the
+process request only ``max_sessions`` times and then think forever -- useful
+for finite workloads with a defined completion point.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.dsl.guards import Effect, GuardedAction, LocalView
+from repro.tme.interfaces import EATING, THINKING
+
+
+@dataclass(frozen=True)
+class ClientConfig:
+    """Workload shape for one process's client."""
+
+    think_delay: int = 2
+    eat_delay: int = 1
+    max_sessions: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.think_delay < 0 or self.eat_delay < 0:
+            raise ValueError("delays must be non-negative")
+        if self.max_sessions is not None and self.max_sessions < 0:
+            raise ValueError("max_sessions must be non-negative")
+
+
+def client_vars(config: ClientConfig) -> dict[str, int]:
+    """Initial client bookkeeping variables for a process."""
+    return {
+        "think_timer": config.think_delay,
+        "eat_timer": config.eat_delay,
+        "sessions_left": (
+            -1 if config.max_sessions is None else config.max_sessions
+        ),
+    }
+
+
+def wants_cs(view: LocalView) -> bool:
+    """May this process issue a request now?  (Guard fragment for the
+    implementations' Request-CS actions.)"""
+    return (
+        view.phase == THINKING
+        and view.think_timer <= 0
+        and view.sessions_left != 0
+    )
+
+
+def may_release(view: LocalView) -> bool:
+    """Guard fragment for Release-CS: eating and done with the CS work."""
+    return view.phase == EATING and view.eat_timer <= 0
+
+
+def on_request_updates(view: LocalView, config: ClientConfig) -> dict[str, int]:
+    """Client bookkeeping performed by a Request-CS action."""
+    left = view.sessions_left
+    return {"sessions_left": left - 1 if left > 0 else left}
+
+
+def on_release_updates(config: ClientConfig) -> dict[str, int]:
+    """Client bookkeeping performed by a Release-CS action."""
+    return {"think_timer": config.think_delay, "eat_timer": config.eat_delay}
+
+
+def client_tick_actions(config: ClientConfig) -> tuple[GuardedAction, ...]:
+    """The two countdown actions (internal, scheduler-driven)."""
+
+    def think_tick_guard(view: LocalView) -> bool:
+        return view.phase == THINKING and view.think_timer > 0
+
+    def think_tick(view: LocalView) -> Effect:
+        return Effect({"think_timer": view.think_timer - 1})
+
+    def eat_tick_guard(view: LocalView) -> bool:
+        return view.phase == EATING and view.eat_timer > 0
+
+    def eat_tick(view: LocalView) -> Effect:
+        return Effect({"eat_timer": view.eat_timer - 1})
+
+    return (
+        GuardedAction("client:think-tick", think_tick_guard, think_tick),
+        GuardedAction("client:eat-tick", eat_tick_guard, eat_tick),
+    )

@@ -1,0 +1,276 @@
+"""Lamport's mutual exclusion (Lamport_ME), Section 5.2 / Appendix A1.
+
+Classic Lamport ME with the paper's **two modifications** that make it
+everywhere-implement Lspec:
+
+1. The ``Insert`` primitive keeps *at most one request per process* in
+   ``request_queue.j`` -- a newly received request from ``k`` replaces any
+   (possibly corrupted) older entry of ``k``.
+2. After receiving replies from all other processes, ``j`` may enter the CS
+   if its request is **equal to or less than** the request at the head of
+   ``request_queue.j`` (rather than exactly at the head), so a corrupted
+   queue cannot block an entitled process.  Operationally: no *other*
+   process's queue entry is earlier than ``REQ_j``.
+
+Variables beyond the Lspec interface: ``queue`` (the request queue, kept
+sorted by ``lt``) and ``grant`` (per-peer reply-received flags).  Those are
+*private*: the paper does not give Lamport_ME an explicit ``j.REQ_k``;
+instead it publishes the abstraction (Section 5.2)::
+
+    REQ_j lt j.REQ_k  ==  grant.j.k  /\\  (REQ_k is not ahead of REQ_j in
+                                            request_queue.j)
+
+:func:`lamport_adapter` realizes exactly this as the program's Lspec-
+interface adapter: ``j.REQ_k`` is *derived* from ``grant`` and ``queue``.
+The graybox wrapper consumes only the adapter's output, so it works for
+Lamport_ME without ever seeing a queue or a grant bit.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+from typing import Any
+
+from repro.clocks.timestamps import Timestamp, bottom
+from repro.dsl.guards import Effect, GuardedAction, LocalView, Send
+from repro.dsl.program import ProcessProgram
+from repro.tme.client import (
+    ClientConfig,
+    client_tick_actions,
+    client_vars,
+    may_release,
+    on_release_updates,
+    on_request_updates,
+    wants_cs,
+)
+from repro.tme.interfaces import (
+    EATING,
+    HUNGRY,
+    PHASES,
+    RELEASE,
+    REPLY,
+    REQUEST,
+    THINKING,
+    LspecView,
+    register_adapter,
+    tmap,
+    tmap_as_dict,
+)
+
+PROGRAM_NAME = "Lamport_ME"
+
+Queue = tuple[Timestamp, ...]
+
+
+def queue_insert(queue: Queue, entry: Timestamp) -> Queue:
+    """Modification 1: insert keeping <= 1 entry per process, sorted by lt."""
+    kept = [e for e in queue if isinstance(e, Timestamp) and e.pid != entry.pid]
+    kept.append(entry)
+    return tuple(sorted(kept))
+
+
+def queue_remove_pid(queue: Queue, pid: str) -> Queue:
+    """Drop every entry owned by ``pid`` (used on release/receive-release)."""
+    return tuple(e for e in queue if not (isinstance(e, Timestamp) and e.pid == pid))
+
+
+def blocking_entry(queue: Queue, req: Timestamp, pid: str) -> Timestamp | None:
+    """The earliest *other-process* entry ahead of ``req``, if any."""
+    earlier = [
+        e
+        for e in queue
+        if isinstance(e, Timestamp) and e.pid != pid and e.lt(req)
+    ]
+    return min(earlier) if earlier else None
+
+
+def _observe(lc: int, incoming: object, msg_clock: object) -> int:
+    """Lamport clock merge on receive (see ricart_agrawala._observe: the
+    piggybacked send-event clock, not just the payload, must be merged)."""
+    seen = lc
+    if isinstance(incoming, Timestamp):
+        seen = max(seen, incoming.clock)
+    if isinstance(msg_clock, int) and msg_clock >= 0:
+        seen = max(seen, msg_clock)
+    return seen + 1
+
+
+def lamport_program(
+    pid: str, all_pids: tuple[str, ...], client: ClientConfig
+) -> ProcessProgram:
+    """Build the Lamport_ME program for process ``pid``."""
+    peers = tuple(k for k in all_pids if k != pid)
+
+    def request_body(view: LocalView) -> Effect:
+        lc = view.lc + 1
+        req = Timestamp(lc, pid)
+        updates = {
+            "lc": lc,
+            "req": req,
+            "phase": HUNGRY,
+            "queue": queue_insert(view.queue, req),
+            **on_request_updates(view, client),
+        }
+        sends = tuple(Send(k, REQUEST, req) for k in peers)
+        return Effect(updates, sends)
+
+    def recv_request_body(view: LocalView) -> Effect:
+        sender = view["_sender"]
+        incoming = view["_msg"]
+        lc = _observe(view.lc, incoming, view["_msg_clock"] if "_msg_clock" in view else None)
+        updates: dict = {"lc": lc}
+        if not isinstance(incoming, Timestamp):
+            return Effect(updates)
+        stamp = Timestamp(lc, pid)
+        updates["queue"] = queue_insert(view.queue, incoming)
+        if view.phase == THINKING:
+            updates["req"] = stamp
+        # Lamport replies to every request immediately (the paper's
+        # received(j.REQ_k) flag is raised and lowered within this action).
+        return Effect(updates, (Send(sender, REPLY, stamp),))
+
+    def recv_reply_body(view: LocalView) -> Effect:
+        sender = view["_sender"]
+        incoming = view["_msg"]
+        lc = _observe(view.lc, incoming, view["_msg_clock"] if "_msg_clock" in view else None)
+        updates: dict = {"lc": lc}
+        if isinstance(incoming, Timestamp):
+            grant = tmap_as_dict(view.grant)
+            grant[sender] = True
+            updates["grant"] = tmap(grant)
+        if view.phase == THINKING:
+            updates["req"] = Timestamp(lc, pid)
+        return Effect(updates)
+
+    def recv_release_body(view: LocalView) -> Effect:
+        sender = view["_sender"]
+        incoming = view["_msg"]
+        lc = _observe(view.lc, incoming, view["_msg_clock"] if "_msg_clock" in view else None)
+        updates: dict = {"lc": lc, "queue": queue_remove_pid(view.queue, sender)}
+        if view.phase == THINKING:
+            updates["req"] = Timestamp(lc, pid)
+        return Effect(updates)
+
+    def grant_guard(view: LocalView) -> bool:
+        if view.phase != HUNGRY or not isinstance(view.req, Timestamp):
+            return False
+        grant = tmap_as_dict(view.grant)
+        if not all(grant.get(k, False) for k in peers):
+            return False
+        return blocking_entry(view.queue, view.req, pid) is None
+
+    def grant_body(view: LocalView) -> Effect:
+        return Effect({"lc": view.lc + 1, "phase": EATING})
+
+    def release_body(view: LocalView) -> Effect:
+        lc = view.lc + 1
+        stamp = Timestamp(lc, pid)
+        updates = {
+            "lc": lc,
+            "req": stamp,
+            "phase": THINKING,
+            "queue": queue_remove_pid(view.queue, pid),
+            "grant": tmap({k: False for k in peers}),
+            **on_release_updates(client),
+        }
+        sends = tuple(Send(k, RELEASE, stamp) for k in peers)
+        return Effect(updates, sends)
+
+    initial = {
+        "phase": THINKING,
+        "lc": 0,
+        "req": Timestamp(0, pid),
+        "queue": (),
+        "grant": tmap({k: False for k in peers}),
+        **client_vars(client),
+    }
+    return ProcessProgram(
+        PROGRAM_NAME,
+        initial,
+        actions=(
+            GuardedAction("lamport:request", wants_cs, request_body),
+            GuardedAction("lamport:grant", grant_guard, grant_body),
+            GuardedAction("lamport:release", may_release, release_body),
+            *client_tick_actions(client),
+        ),
+        receive_actions=(
+            GuardedAction(
+                "lamport:recv-request",
+                lambda _view: True,
+                recv_request_body,
+                message_kind=REQUEST,
+            ),
+            GuardedAction(
+                "lamport:recv-reply",
+                lambda _view: True,
+                recv_reply_body,
+                message_kind=REPLY,
+            ),
+            GuardedAction(
+                "lamport:recv-release",
+                lambda _view: True,
+                recv_release_body,
+                message_kind=RELEASE,
+            ),
+        ),
+    )
+
+
+def lamport_adapter(
+    variables: Mapping[str, Any], pid: str, peers: tuple[str, ...]
+) -> LspecView:
+    """The published abstraction of Section 5.2 (see module docstring).
+
+    The derived ``j.REQ_k`` only needs to stand in the right ``lt`` relation
+    to ``REQ_j``; we materialize it as:
+
+    * no grant from ``k``                      -> ``bottom(k)``
+      (no confirmed information: strictly below every possible ``REQ_j``);
+    * ``k`` granted, but ``k``'s queue entry is ahead of ``REQ_j``
+      -> that entry (an earlier request we know about);
+    * ``k`` granted and not ahead              -> a timestamp just above
+      ``REQ_j`` (all that matters is ``REQ_j lt j.REQ_k``).
+    """
+    req = variables.get("req")
+    if not isinstance(req, Timestamp):
+        req = Timestamp(0, pid)
+    phase = variables.get("phase")
+    if phase not in PHASES:
+        phase = THINKING
+    lc = variables.get("lc")
+    if not isinstance(lc, int) or lc < 0:
+        lc = 0
+    queue = variables.get("queue") or ()
+    grant = dict(variables.get("grant") or ())
+    req_of: dict[str, Timestamp] = {}
+    for k in peers:
+        if not grant.get(k, False):
+            # "no confirmed information": strictly below any REQ_j, so the
+            # wrapper's suspect set X always includes an ungranted peer.
+            req_of[k] = bottom(k)
+            continue
+        entry = next(
+            (
+                e
+                for e in queue
+                if isinstance(e, Timestamp) and e.pid == k and e.lt(req)
+            ),
+            None,
+        )
+        if entry is not None:
+            req_of[k] = entry
+        else:
+            req_of[k] = Timestamp(req.clock + 1, k)
+    received = {k: False for k in peers}
+    return LspecView(phase=phase, lc=lc, req=req, req_of=req_of, received=received)
+
+
+register_adapter(PROGRAM_NAME, lamport_adapter)
+
+
+def lamport_programs(
+    all_pids: tuple[str, ...], client: ClientConfig | None = None
+) -> dict[str, ProcessProgram]:
+    """Lamport_ME for every process."""
+    cfg = client or ClientConfig()
+    return {pid: lamport_program(pid, all_pids, cfg) for pid in all_pids}

@@ -1,0 +1,221 @@
+"""A third everywhere-implementation of Lspec: reply-counting RA.
+
+Corollary 11 promises the wrapper for *every* everywhere-implementation of
+Lspec, not just the two the paper works out.  ``RACount_ME`` is a deliberately
+different third implementation in the style of Ricart-Agrawala's original
+presentation: it keeps an explicit ``awaiting`` set (peers whose reply is
+outstanding for the current request) and an explicit ``deferred`` set
+(requests to answer at release), instead of deriving everything from
+timestamps.
+
+The Lspec interface variables are maintained alongside (explicit adapter),
+and the CS-entry guard is the *conjunction* of the classic rule ("no reply
+outstanding") and the Lspec rule ("every copy later than my request") --
+the belt-and-braces needed to everywhere-implement CS Entry Spec even when
+the private ``awaiting`` set is corrupted to empty.
+
+Corruption of the private sets is repaired through the same channel the
+paper's wrapper uses: retransmitted requests provoke fresh replies, and
+replies simultaneously shrink ``awaiting`` and raise ``j.REQ_k``.  The
+reuse experiment (E6) and the test suite attach the *identical* wrapper
+object used for RA_ME and Lamport_ME.
+"""
+
+from __future__ import annotations
+
+from repro.clocks.timestamps import Timestamp
+from repro.dsl.guards import Effect, GuardedAction, LocalView, Send
+from repro.dsl.program import ProcessProgram
+from repro.tme.client import (
+    ClientConfig,
+    client_tick_actions,
+    client_vars,
+    may_release,
+    on_release_updates,
+    on_request_updates,
+    wants_cs,
+)
+from repro.tme.interfaces import (
+    EATING,
+    HUNGRY,
+    REPLY,
+    REQUEST,
+    THINKING,
+    initial_lspec_vars,
+    tmap_as_dict,
+    tmap_set,
+)
+from repro.tme.ricart_agrawala import _observe
+
+PROGRAM_NAME = "RACount_ME"
+
+
+def _as_pid_set(value: object, peers: tuple[str, ...]) -> frozenset[str]:
+    """Corruption-tolerant read of a peer-set variable."""
+    if isinstance(value, frozenset):
+        return value & frozenset(peers)
+    return frozenset()
+
+
+def ra_counting_program(
+    pid: str, all_pids: tuple[str, ...], client: ClientConfig
+) -> ProcessProgram:
+    """Build the reply-counting RA program for process ``pid``."""
+    peers = tuple(k for k in all_pids if k != pid)
+
+    def request_body(view: LocalView) -> Effect:
+        lc = view.lc + 1
+        req = Timestamp(lc, pid)
+        updates = {
+            "lc": lc,
+            "req": req,
+            "phase": HUNGRY,
+            "awaiting": frozenset(peers),
+            **on_request_updates(view, client),
+        }
+        sends = tuple(Send(k, REQUEST, req) for k in peers)
+        return Effect(updates, sends)
+
+    def recv_request_body(view: LocalView) -> Effect:
+        sender = view["_sender"]
+        incoming = view["_msg"]
+        lc = _observe(
+            view.lc, incoming, view["_msg_clock"] if "_msg_clock" in view else None
+        )
+        updates: dict = {"lc": lc}
+        if not isinstance(incoming, Timestamp):
+            return Effect(updates)
+        req = view.req
+        if view.phase == THINKING or not isinstance(req, Timestamp):
+            req = Timestamp(lc, pid)
+        updates["req"] = req
+        updates["req_of"] = tmap_set(view.req_of, sender, incoming)
+        received = tmap_set(view.received, sender, True)
+        deferred = _as_pid_set(view.deferred, peers)
+        sends: tuple[Send, ...] = ()
+        if incoming.lt(req):
+            sends = (Send(sender, REPLY, req),)
+            received = tmap_set(received, sender, False)
+            updates["deferred"] = deferred - {sender}
+        else:
+            updates["deferred"] = deferred | {sender}
+        updates["received"] = received
+        return Effect(updates, sends)
+
+    def recv_reply_body(view: LocalView) -> Effect:
+        sender = view["_sender"]
+        incoming = view["_msg"]
+        lc = _observe(
+            view.lc, incoming, view["_msg_clock"] if "_msg_clock" in view else None
+        )
+        updates: dict = {
+            "lc": lc,
+            "awaiting": _as_pid_set(view.awaiting, peers) - {sender},
+        }
+        if isinstance(incoming, Timestamp):
+            updates["req_of"] = tmap_set(view.req_of, sender, incoming)
+        if view.phase == THINKING:
+            updates["req"] = Timestamp(lc, pid)
+        return Effect(updates)
+
+    def grant_guard(view: LocalView) -> bool:
+        if view.phase != HUNGRY or not isinstance(view.req, Timestamp):
+            return False
+        if _as_pid_set(view.awaiting, peers):
+            return False
+        req_of = tmap_as_dict(view.req_of)
+        # the Lspec half of the guard: without it, a corrupted empty
+        # `awaiting` would let a blocked process barge into the CS,
+        # violating CS Entry Spec from that state.
+        return all(
+            isinstance(req_of.get(k), Timestamp) and view.req.lt(req_of[k])
+            for k in peers
+        )
+
+    def grant_body(view: LocalView) -> Effect:
+        return Effect({"lc": view.lc + 1, "phase": EATING})
+
+    def reconcile_guard(view: LocalView) -> bool:
+        # Internal consistency (the paper's level-1 concern): a peer whose
+        # copy is already LATER than our request has effectively yielded --
+        # keeping it in `awaiting` is stale private state.  Without this
+        # action, a corrupted `awaiting` entry for a peer whose copy is
+        # high would block CS entry forever while CS Entry Spec's
+        # antecedent holds: the program would not everywhere-implement
+        # Lspec.  (The wrapper cannot help here -- the suspect set X is
+        # empty precisely because the copies look fine.)
+        if view.phase != HUNGRY or not isinstance(view.req, Timestamp):
+            return False
+        req_of = tmap_as_dict(view.req_of)
+        return any(
+            isinstance(req_of.get(k), Timestamp) and view.req.lt(req_of[k])
+            for k in _as_pid_set(view.awaiting, peers)
+        )
+
+    def reconcile_body(view: LocalView) -> Effect:
+        req_of = tmap_as_dict(view.req_of)
+        yielded = {
+            k
+            for k in _as_pid_set(view.awaiting, peers)
+            if isinstance(req_of.get(k), Timestamp)
+            and view.req.lt(req_of[k])
+        }
+        return Effect(
+            {"awaiting": _as_pid_set(view.awaiting, peers) - yielded}
+        )
+
+    def release_body(view: LocalView) -> Effect:
+        lc = view.lc + 1
+        stamp = Timestamp(lc, pid)
+        deferred = _as_pid_set(view.deferred, peers)
+        sends = tuple(Send(k, REPLY, stamp) for k in sorted(deferred))
+        updates = {
+            "lc": lc,
+            "req": stamp,
+            "phase": THINKING,
+            "deferred": frozenset(),
+            "received": tuple((k, False) for k, _v in view.received),
+            "awaiting": frozenset(),
+            **on_release_updates(client),
+        }
+        return Effect(updates, sends)
+
+    initial = {
+        **initial_lspec_vars(pid, all_pids),
+        **client_vars(client),
+        "awaiting": frozenset(),
+        "deferred": frozenset(),
+    }
+    return ProcessProgram(
+        PROGRAM_NAME,
+        initial,
+        actions=(
+            GuardedAction("rac:request", wants_cs, request_body),
+            GuardedAction("rac:grant", grant_guard, grant_body),
+            GuardedAction("rac:reconcile", reconcile_guard, reconcile_body),
+            GuardedAction("rac:release", may_release, release_body),
+            *client_tick_actions(client),
+        ),
+        receive_actions=(
+            GuardedAction(
+                "rac:recv-request",
+                lambda _view: True,
+                recv_request_body,
+                message_kind=REQUEST,
+            ),
+            GuardedAction(
+                "rac:recv-reply",
+                lambda _view: True,
+                recv_reply_body,
+                message_kind=REPLY,
+            ),
+        ),
+    )
+
+
+def ra_counting_programs(
+    all_pids: tuple[str, ...], client: ClientConfig | None = None
+) -> dict[str, ProcessProgram]:
+    """Reply-counting RA for every process."""
+    cfg = client or ClientConfig()
+    return {pid: ra_counting_program(pid, all_pids, cfg) for pid in all_pids}

@@ -1,0 +1,222 @@
+"""Ricart-Agrawala mutual exclusion (RA_ME), Section 5.1.
+
+The program exactly follows the paper's guarded commands:
+
+* **Request CS** (``t.j``, client wants CS): stamp a fresh timestamp,
+  ``REQ_j := lc:j``, become hungry, send a timestamped request to every
+  other process.
+* **receive-request** from ``k`` carrying ``REQ_k``: record
+  ``j.REQ_k := REQ_k`` and ``received(j.REQ_k) := true``; refresh
+  ``REQ_j := lc:j`` if thinking (CS Release Spec); if the incoming request
+  is *earlier* than our own (``j.REQ_k lt REQ_j``) reply immediately with
+  our current ``REQ_j`` and clear the received flag -- otherwise the sender
+  stays in the (derived) *deferred set*.
+* **receive-reply** from ``k``: record the reply value in ``j.REQ_k``
+  (a reply carries the replier's current ``REQ_k`` -- the Reply Spec's
+  ``send(REQ_k, k, j)`` -- so the copy is always a sound bound; for a
+  fresh request the awaited replies all exceed ``REQ_j``: "REQ_j is always
+  less-than the reply from k"); refresh ``REQ_j`` if thinking.
+* **Grant CS** (CS Entry Spec made operational):
+  ``h.j /\\ (forall k : REQ_j lt j.REQ_k) -> e.j``.
+* **Release CS** (``e.j``, client done): send a freshly stamped reply to
+  every process in the deferred set, reset all received flags, set
+  ``REQ_j := lc:j`` and think.
+
+The deferred set is *derived* (the paper defines it in an always-section)::
+
+    deferred_set.j = { k : received(j.REQ_k) /\\ REQ_j lt j.REQ_k }
+
+so it never exists as mutable state that faults could corrupt separately.
+"""
+
+from __future__ import annotations
+
+from repro.clocks.timestamps import Timestamp
+from repro.dsl.guards import Effect, GuardedAction, LocalView, Send
+from repro.dsl.program import ProcessProgram
+from repro.tme.client import (
+    ClientConfig,
+    client_tick_actions,
+    client_vars,
+    may_release,
+    on_release_updates,
+    on_request_updates,
+    wants_cs,
+)
+from repro.tme.interfaces import (
+    EATING,
+    HUNGRY,
+    REPLY,
+    REQUEST,
+    THINKING,
+    initial_lspec_vars,
+    tmap_as_dict,
+    tmap_set,
+)
+
+PROGRAM_NAME = "RA_ME"
+
+
+def deferred_set(view: LocalView) -> list[str]:
+    """The always-section: peers with a received, later request."""
+    received = tmap_as_dict(view.received)
+    req_of = tmap_as_dict(view.req_of)
+    req = view.req
+    if not isinstance(req, Timestamp):
+        return []
+    return [
+        k
+        for k in sorted(received)
+        if received[k]
+        and isinstance(req_of.get(k), Timestamp)
+        and req.lt(req_of[k])
+    ]
+
+
+def _observe(lc: int, incoming: object, msg_clock: object) -> int:
+    """Lamport clock merge on receive.
+
+    The clock update uses the *send event's* clock piggybacked on the
+    message (``msg_clock``): message payloads such as replies carry REQ
+    values that may be older than the send event, and merging only the
+    payload would break ``send hb receive => ts(send) < ts(receive)``.
+    Corrupted frames (no trustworthy clock) still tick the local clock.
+    """
+    seen = lc
+    if isinstance(incoming, Timestamp):
+        seen = max(seen, incoming.clock)
+    if isinstance(msg_clock, int) and msg_clock >= 0:
+        seen = max(seen, msg_clock)
+    return seen + 1
+
+
+def ra_program(pid: str, all_pids: tuple[str, ...], client: ClientConfig) -> ProcessProgram:
+    """Build the RA_ME program for process ``pid``."""
+    peers = tuple(k for k in all_pids if k != pid)
+
+    def request_body(view: LocalView) -> Effect:
+        lc = view.lc + 1
+        req = Timestamp(lc, pid)
+        updates = {
+            "lc": lc,
+            "req": req,
+            "phase": HUNGRY,
+            **on_request_updates(view, client),
+        }
+        sends = tuple(Send(k, REQUEST, req) for k in peers)
+        return Effect(updates, sends)
+
+    def recv_request_body(view: LocalView) -> Effect:
+        sender = view["_sender"]
+        incoming = view["_msg"]
+        lc = _observe(view.lc, incoming, view["_msg_clock"] if "_msg_clock" in view else None)
+        updates: dict = {"lc": lc}
+        sends: tuple[Send, ...] = ()
+        if not isinstance(incoming, Timestamp):
+            # Corrupted request: no usable timestamp; consume it.  The
+            # sender's wrapper will retransmit a well-formed one.
+            return Effect(updates)
+        req_of = tmap_set(view.req_of, sender, incoming)
+        received = tmap_set(view.received, sender, True)
+        req = view.req
+        if view.phase == THINKING or not isinstance(req, Timestamp):
+            req = Timestamp(lc, pid)  # CS Release Spec: track current event
+        if incoming.lt(req):
+            # Earlier request: reply immediately (Reply Spec).  The reply
+            # carries REQ_j -- the paper's send(REQ_j, j, k) -- NOT the raw
+            # clock: a hungry replier's pending request is its true REQ
+            # lower bound, and echoing the clock instead would let a
+            # duplicated (wrapper-retransmission- or fault-induced) stale
+            # reply overwrite the receiver's copy with a value ABOVE the
+            # replier's real request, violating the invariant
+            # (j.REQ_k = REQ_k \/ j.REQ_k lt REQ_k) that the mutual
+            # exclusion proof (Theorem A.4) rests on.
+            sends = (Send(sender, REPLY, req),)
+            received = tmap_set(received, sender, False)
+        updates.update({"req_of": req_of, "received": received, "req": req})
+        return Effect(updates, sends)
+
+    def recv_reply_body(view: LocalView) -> Effect:
+        sender = view["_sender"]
+        incoming = view["_msg"]
+        lc = _observe(view.lc, incoming, view["_msg_clock"] if "_msg_clock" in view else None)
+        updates: dict = {"lc": lc}
+        if isinstance(incoming, Timestamp):
+            updates["req_of"] = tmap_set(view.req_of, sender, incoming)
+        if view.phase == THINKING:
+            updates["req"] = Timestamp(lc, pid)
+        return Effect(updates)
+
+    def grant_guard(view: LocalView) -> bool:
+        if view.phase != HUNGRY:
+            return False
+        req = view.req
+        if not isinstance(req, Timestamp):
+            return False
+        req_of = tmap_as_dict(view.req_of)
+        return all(
+            isinstance(req_of.get(k), Timestamp) and req.lt(req_of[k])
+            for k in peers
+        )
+
+    def grant_body(view: LocalView) -> Effect:
+        lc = view.lc + 1
+        return Effect({"lc": lc, "phase": EATING})
+
+    def release_guard(view: LocalView) -> bool:
+        return may_release(view)
+
+    def release_body(view: LocalView) -> Effect:
+        lc = view.lc + 1
+        stamp = Timestamp(lc, pid)
+        sends = tuple(Send(k, REPLY, stamp) for k in deferred_set(view))
+        received = tmap_set_all_false(view.received)
+        updates = {
+            "lc": lc,
+            "req": stamp,
+            "phase": THINKING,
+            "received": received,
+            **on_release_updates(client),
+        }
+        return Effect(updates, sends)
+
+    initial = {**initial_lspec_vars(pid, all_pids), **client_vars(client)}
+    return ProcessProgram(
+        PROGRAM_NAME,
+        initial,
+        actions=(
+            GuardedAction("ra:request", wants_cs, request_body),
+            GuardedAction("ra:grant", grant_guard, grant_body),
+            GuardedAction("ra:release", release_guard, release_body),
+            *client_tick_actions(client),
+        ),
+        receive_actions=(
+            GuardedAction(
+                "ra:recv-request",
+                lambda _view: True,
+                recv_request_body,
+                message_kind=REQUEST,
+            ),
+            GuardedAction(
+                "ra:recv-reply",
+                lambda _view: True,
+                recv_reply_body,
+                message_kind=REPLY,
+            ),
+        ),
+    )
+
+
+def tmap_set_all_false(
+    frozen: tuple[tuple[str, object], ...]
+) -> tuple[tuple[str, bool], ...]:
+    """Release CS: ``(forall k :: received(j.REQ_k) := false)``."""
+    return tuple((k, False) for k, _v in frozen)
+
+
+def ra_programs(
+    all_pids: tuple[str, ...], client: ClientConfig | None = None
+) -> dict[str, ProcessProgram]:
+    """RA_ME for every process (the paper's ``C = (box i :: C_i)``)."""
+    cfg = client or ClientConfig()
+    return {pid: ra_program(pid, all_pids, cfg) for pid in all_pids}

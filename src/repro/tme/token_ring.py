@@ -1,0 +1,127 @@
+"""Token-ring mutual exclusion: the *negative control* for graybox reuse.
+
+The paper's guarantee (Theorem 8) is conditional: W stabilizes every system
+that **everywhere implements Lspec**.  A mutual exclusion program that does
+*not* implement Lspec gets no such guarantee -- wrapping it with W is type-
+correct but useless.  ``TokenRing_ME`` is exactly such a program:
+
+* it satisfies ME1 and ME2 from proper initial states (a single token
+  circulates; the holder may eat), but not ME3 (service order is ring
+  order, not timestamp order), and
+* it ignores the Lspec variables entirely: no requests, no replies, no
+  ``REQ_j`` discipline (the Lspec interface variables exist but stay at
+  their Init values).
+
+``tokens`` is a count, and receiving a token adds to it -- duplicated
+tokens therefore never merge: they circulate (and violate mutual exclusion)
+forever, and a lost token deadlocks the ring forever.  That is the classic
+non-stabilizing token ring.
+
+After a transient fault that duplicates (or drops) the token, the system
+violates mutual exclusion forever (or deadlocks forever); W's request
+retransmissions are ignored, so ``TokenRing_ME box W`` is **not**
+stabilizing.  The reuse benchmark (E6) shows this row red while the RA and
+Lamport rows are green -- the wrapper's guarantee is exactly as wide as the
+paper claims, no wider.
+"""
+
+from __future__ import annotations
+
+from repro.dsl.guards import Effect, GuardedAction, LocalView, Send
+from repro.dsl.program import ProcessProgram
+from repro.tme.client import (
+    ClientConfig,
+    client_tick_actions,
+    client_vars,
+    may_release,
+    on_release_updates,
+    on_request_updates,
+    wants_cs,
+)
+from repro.tme.interfaces import EATING, HUNGRY, THINKING, initial_lspec_vars
+
+
+def _count(value: object) -> int:
+    """Corruption-tolerant token count."""
+    return value if isinstance(value, int) and value >= 0 else 0
+
+PROGRAM_NAME = "TokenRing_ME"
+TOKEN = "token"
+
+
+def ring_successor(pid: str, all_pids: tuple[str, ...]) -> str:
+    """The next process around the (sorted) ring."""
+    ordered = sorted(all_pids)
+    return ordered[(ordered.index(pid) + 1) % len(ordered)]
+
+
+def token_ring_program(
+    pid: str, all_pids: tuple[str, ...], client: ClientConfig
+) -> ProcessProgram:
+    """Build the token-ring program for ``pid``; the lexically first process
+    holds the token initially."""
+    nxt = ring_successor(pid, all_pids)
+    has_token_initially = pid == min(all_pids)
+
+    def request_body(view: LocalView) -> Effect:
+        return Effect({"phase": HUNGRY, **on_request_updates(view, client)})
+
+    def grant_guard(view: LocalView) -> bool:
+        return view.phase == HUNGRY and _count(view.tokens) >= 1
+
+    def grant_body(view: LocalView) -> Effect:
+        return Effect({"phase": EATING})
+
+    def release_body(view: LocalView) -> Effect:
+        updates = {
+            "phase": THINKING,
+            "tokens": _count(view.tokens) - 1,
+            **on_release_updates(client),
+        }
+        return Effect(updates, (Send(nxt, TOKEN, True),))
+
+    def pass_guard(view: LocalView) -> bool:
+        # A thinking holder passes a token along so others can eat.
+        return view.phase == THINKING and _count(view.tokens) >= 1
+
+    def pass_body(view: LocalView) -> Effect:
+        return Effect(
+            {"tokens": _count(view.tokens) - 1}, (Send(nxt, TOKEN, True),)
+        )
+
+    def recv_token_body(view: LocalView) -> Effect:
+        # Counts, not booleans: a second token is NOT absorbed.
+        return Effect({"tokens": _count(view.tokens) + 1})
+
+    initial = {
+        **initial_lspec_vars(pid, all_pids),
+        **client_vars(client),
+        "tokens": 1 if has_token_initially else 0,
+    }
+    return ProcessProgram(
+        PROGRAM_NAME,
+        initial,
+        actions=(
+            GuardedAction("ring:request", wants_cs, request_body),
+            GuardedAction("ring:grant", grant_guard, grant_body),
+            GuardedAction("ring:release", may_release, release_body),
+            GuardedAction("ring:pass", pass_guard, pass_body),
+            *client_tick_actions(client),
+        ),
+        receive_actions=(
+            GuardedAction(
+                "ring:recv-token",
+                lambda _view: True,
+                recv_token_body,
+                message_kind=TOKEN,
+            ),
+        ),
+    )
+
+
+def token_ring_programs(
+    all_pids: tuple[str, ...], client: ClientConfig | None = None
+) -> dict[str, ProcessProgram]:
+    """The token ring for every process (negative control)."""
+    cfg = client or ClientConfig()
+    return {pid: token_ring_program(pid, all_pids, cfg) for pid in all_pids}

@@ -1,0 +1,36 @@
+"""Verification: refinement checks, stabilization checking, exploration."""
+
+from repro.verification.explorer import (
+    ExplorationResult,
+    default_message_alphabet,
+    explore_global,
+    explore_local,
+)
+from repro.verification.monitor import VerificationBundle, verify_run
+from repro.verification.refinement import (
+    EverywhereReport,
+    ExhaustiveResult,
+    count_local_states,
+    everywhere_implements_lspec,
+    exhaustive_lspec_check,
+)
+from repro.verification.stabilization import (
+    ConvergenceResult,
+    check_stabilization,
+)
+
+__all__ = [
+    "ConvergenceResult",
+    "EverywhereReport",
+    "ExhaustiveResult",
+    "ExplorationResult",
+    "VerificationBundle",
+    "check_stabilization",
+    "count_local_states",
+    "default_message_alphabet",
+    "everywhere_implements_lspec",
+    "exhaustive_lspec_check",
+    "explore_global",
+    "explore_local",
+    "verify_run",
+]

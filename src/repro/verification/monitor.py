@@ -1,0 +1,67 @@
+"""Combined runtime-verification front end.
+
+Convenience layer used by examples and benchmarks: run one trace through
+both specification levels (TME Spec and Lspec) and the stabilization
+checker, and bundle the verdicts.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+from dataclasses import dataclass
+
+from repro.dsl.program import ProcessProgram
+from repro.runtime.trace import Trace
+from repro.tme.lspec import LspecReport, check_lspec
+from repro.tme.spec import TmeSpecReport, check_tme_spec
+from repro.verification.stabilization import (
+    ConvergenceResult,
+    check_stabilization,
+)
+
+
+@dataclass(frozen=True)
+class VerificationBundle:
+    """All three verdicts for one run."""
+
+    tme: TmeSpecReport
+    lspec: LspecReport
+    convergence: ConvergenceResult
+
+    def describe(self) -> str:
+        """Human-readable three-line summary of the verdicts."""
+        lines = [
+            f"TME Spec     : {self.tme.summary()}",
+            f"Lspec        : {self.lspec.summary()}",
+        ]
+        if not self.convergence.converged:
+            lines.append(
+                f"Stabilization: NOT converged ({self.convergence.detail})"
+            )
+        elif self.convergence.last_fault_step is None:
+            lines.append("Stabilization: no faults injected (fault-free run)")
+        else:
+            lines.append(
+                f"Stabilization: converged {self.convergence.latency} steps "
+                f"after the last fault "
+                f"({self.convergence.entries_after} CS entries afterwards)"
+            )
+        return "\n".join(lines)
+
+
+def verify_run(
+    trace: Trace,
+    programs: Mapping[str, ProcessProgram],
+    liveness_grace: int = 150,
+    check_fcfs: bool = True,
+) -> VerificationBundle:
+    """Evaluate TME Spec, Lspec, and convergence on one recorded run."""
+    horizon = trace.last_fault_index()
+    start = 0 if horizon is None else horizon + 1
+    return VerificationBundle(
+        tme=check_tme_spec(trace, start=start),
+        lspec=check_lspec(trace, programs, start=start),
+        convergence=check_stabilization(
+            trace, liveness_grace=liveness_grace, check_fcfs=check_fcfs
+        ),
+    )

@@ -1,0 +1,108 @@
+"""Smoke tests for the experiment harness (tiny parameter sets).
+
+The benchmarks run the full-size versions; here we verify that every
+experiment function produces well-formed rows and honours its contract on a
+minimal budget.
+"""
+
+from repro.analysis import (
+    CampaignSettings,
+    experiment_deadlock,
+    experiment_fifo_ablation,
+    experiment_interference,
+    experiment_refinement,
+    experiment_reuse,
+    experiment_stabilization,
+    experiment_synthesis,
+    experiment_theorem5,
+    experiment_timeout,
+    experiment_verification_cost,
+    run_campaign,
+)
+from repro.tme import WrapperConfig
+
+QUICK = CampaignSettings(steps=1200, fault_start=50, fault_stop=200, grace=300)
+
+
+class TestRunCampaign:
+    def test_returns_trace_and_metrics(self):
+        trace, metrics = run_campaign(
+            "ra", 2, WrapperConfig(theta=4), seed=1, settings=QUICK
+        )
+        assert len(trace.states) == QUICK.steps + 1
+        assert metrics.steps == QUICK.steps
+        assert metrics.total_messages > 0
+
+    def test_faults_confined_to_window(self):
+        trace, _m = run_campaign(
+            "ra", 2, None, seed=1, settings=QUICK
+        )
+        for i in trace.fault_step_indices():
+            assert QUICK.fault_start <= i < QUICK.fault_stop
+
+
+class TestExperiments:
+    def test_stabilization_rows(self):
+        rows = experiment_stabilization(
+            algorithms=("ra",), seeds=(1,), settings=QUICK
+        )
+        assert len(rows) == 2
+        wrappers = {r["wrapper"] for r in rows}
+        assert "none" in wrappers
+
+    def test_deadlock_rows(self):
+        rows = experiment_deadlock(
+            algorithms=("ra",), seeds=(1,), steps=600
+        )
+        by_wrapper = {r["wrapper"]: r for r in rows}
+        assert by_wrapper["none"]["recovered"] == 0
+        assert by_wrapper["W'(theta=2)"]["recovered"] == 1
+
+    def test_timeout_rows(self):
+        rows = experiment_timeout(thetas=(0, 4), seeds=(1,), settings=QUICK)
+        assert [r["theta"] for r in rows] == [0, 4]
+
+    def test_reuse_covers_all_algorithms(self):
+        rows = experiment_reuse(seeds=(1,), settings=QUICK)
+        assert len(rows) == 8
+
+    def test_verification_cost_rows(self):
+        rows = experiment_verification_cost(ns=(2, 3), max_clock=1)
+        assert rows[0]["n"] == 2
+        assert float(rows[1]["ratio"]) > float(rows[0]["ratio"])
+
+    def test_interference_zero_violations(self):
+        rows = experiment_interference(
+            algorithms=("ra",), seeds=(1,), steps=800, thetas=(4,)
+        )
+        assert rows[0]["lspec_violations"] == 0
+
+    def test_theorem5_implication(self):
+        rows = experiment_theorem5(
+            algorithms=("ra",), seeds=(1,), steps=800
+        )
+        assert rows[0]["implication_held"] == "1/1"
+
+    def test_synthesis_rows(self):
+        rows = experiment_synthesis(sizes=(4,), specs_per_size=5, seed=2)
+        assert rows[0]["A+W fair-stabilizing"] == 5
+        assert rows[0]["C+W fair-stabilizing"] == 5
+
+    def test_fifo_ablation_rows(self):
+        rows = experiment_fifo_ablation(seeds=(1,), steps=900)
+        modes = [r["reordering"] for r in rows]
+        assert modes == ["none", "finite burst", "persistent"]
+        assert rows[2]["reorder_faults"] > 0
+
+    def test_refinement_rows(self):
+        rows = experiment_refinement(seeds=(1,), settings=QUICK)
+        assert [r["wrapper"] for r in rows] == [
+            "W'(theta=4)-unrefined",
+            "W'(theta=4)",
+        ]
+
+    def test_reuse_includes_third_implementation(self):
+        rows = experiment_reuse(seeds=(1,), settings=QUICK)
+        assert {"ra", "ra-count", "lamport", "token"} == {
+            r["algorithm"] for r in rows
+        }

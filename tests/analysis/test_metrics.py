@@ -1,0 +1,96 @@
+"""Unit tests for the analysis metrics."""
+
+from repro.analysis import Aggregate, cs_entries, total_sends, wrapper_sends
+from repro.analysis.metrics import RunMetrics
+from repro.runtime import GlobalState, StepRecord, Trace
+
+
+def gs(phases):
+    return GlobalState(
+        processes=tuple(
+            (pid, (("phase", ph),)) for pid, ph in sorted(phases.items())
+        ),
+        channels=(),
+    )
+
+
+def make_trace():
+    trace = Trace()
+    trace.states = [
+        gs({"p0": "t", "p1": "t"}),
+        gs({"p0": "h", "p1": "t"}),
+        gs({"p0": "e", "p1": "t"}),
+        gs({"p0": "t", "p1": "h"}),
+        gs({"p0": "t", "p1": "e"}),
+    ]
+    trace.steps = [
+        StepRecord(0, "internal", "p0", action="ra:request",
+                   sends=(("request", "p1"),)),
+        StepRecord(1, "internal", "p0", action="W:correct",
+                   sends=(("request", "p1"), ("request", "p1"))),
+        StepRecord(2, "internal", "p0", action="ra:release",
+                   sends=(("reply", "p1"),)),
+        StepRecord(3, "internal", "p1", action="ra:grant"),
+    ]
+    return trace
+
+
+class TestCounters:
+    def test_cs_entries(self):
+        assert cs_entries(make_trace()) == 2
+
+    def test_cs_entries_with_start(self):
+        assert cs_entries(make_trace(), start=3) == 1
+
+    def test_total_sends(self):
+        assert total_sends(make_trace()) == 4
+
+    def test_total_sends_window(self):
+        assert total_sends(make_trace(), start=2) == 1
+
+    def test_wrapper_sends_only_wrapper_requests(self):
+        assert wrapper_sends(make_trace()) == 2
+
+    def test_wrapper_sends_window(self):
+        assert wrapper_sends(make_trace(), 0, 1) == 0
+
+
+class TestAggregate:
+    def test_of_values(self):
+        agg = Aggregate.of([1, 2, 3])
+        assert agg.mean == 2.0
+        assert agg.minimum == 1
+        assert agg.maximum == 3
+        assert agg.n == 3
+        assert agg.stdev > 0
+
+    def test_empty(self):
+        agg = Aggregate.of([])
+        assert agg.n == 0 and agg.mean == 0.0
+
+    def test_single_value_no_stdev(self):
+        assert Aggregate.of([5]).stdev == 0.0
+
+    def test_format(self):
+        text = format(Aggregate.of([1.0, 3.0]))
+        assert "2.0" in text and "min" in text
+
+
+class TestRunMetrics:
+    def test_derived_properties(self):
+        metrics = RunMetrics(
+            steps=200,
+            cs_entries=10,
+            total_messages=50,
+            wrapper_messages=20,
+            converged=True,
+            convergence_latency=30,
+            me1_violations=0,
+        )
+        assert metrics.throughput == 5.0
+        assert metrics.wrapper_overhead_per_step == 0.1
+
+    def test_zero_steps_safe(self):
+        metrics = RunMetrics(0, 0, 0, 0, False, None, 0)
+        assert metrics.throughput == 0.0
+        assert metrics.wrapper_overhead_per_step == 0.0

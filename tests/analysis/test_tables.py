@@ -1,0 +1,39 @@
+"""Unit tests for ASCII table rendering."""
+
+from repro.analysis import Aggregate, render_table
+
+
+class TestRenderTable:
+    def test_empty(self):
+        assert "(no rows)" in render_table([], "T")
+
+    def test_headers_and_rows(self):
+        text = render_table([{"a": 1, "b": "x"}, {"a": 22, "b": "yy"}])
+        lines = text.splitlines()
+        assert "| a " in lines[1]
+        assert any("22" in line for line in lines)
+
+    def test_title_included(self):
+        assert render_table([{"a": 1}], "My Title").startswith("My Title")
+
+    def test_bool_rendering(self):
+        text = render_table([{"ok": True}, {"ok": False}])
+        assert "yes" in text and "no" in text
+
+    def test_float_rounding(self):
+        assert "3.14" in render_table([{"pi": 3.14159}])
+
+    def test_aggregate_cells(self):
+        text = render_table([{"lat": Aggregate.of([1.0, 3.0])}])
+        assert "min" in text
+        empty = render_table([{"lat": Aggregate.of([])}])
+        assert "-" in empty
+
+    def test_alignment(self):
+        text = render_table([{"col": "a"}, {"col": "bbbb"}])
+        widths = {len(line) for line in text.splitlines()}
+        assert len(widths) == 1  # all lines equal width
+
+    def test_missing_keys_blank(self):
+        text = render_table([{"a": 1, "b": 2}, {"a": 3}])
+        assert text.count("|") % 3 == 0

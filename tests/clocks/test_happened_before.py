@@ -1,0 +1,121 @@
+"""Unit tests for vector clocks, hb, and the Timestamp Spec checker."""
+
+from repro.clocks import (
+    RecordedEvent,
+    Timestamp,
+    VectorClock,
+    check_timestamp_spec,
+    happened_before,
+    vector_clocks_for,
+)
+
+PIDS = ("p0", "p1")
+
+
+def ev(uid, pid, seq, clock, send_uid=None):
+    return RecordedEvent(
+        uid=uid,
+        pid=pid,
+        seq=seq,
+        kind="e",
+        timestamp=Timestamp(clock, pid),
+        send_uid=send_uid,
+    )
+
+
+class TestVectorClock:
+    def test_zero(self):
+        assert VectorClock.zero(PIDS).as_dict() == {"p0": 0, "p1": 0}
+
+    def test_increment(self):
+        vc = VectorClock.zero(PIDS).incremented("p0")
+        assert vc.as_dict() == {"p0": 1, "p1": 0}
+
+    def test_increment_unknown_pid(self):
+        import pytest
+
+        with pytest.raises(KeyError):
+            VectorClock.zero(PIDS).incremented("ghost")
+
+    def test_merge(self):
+        a = VectorClock.zero(PIDS).incremented("p0")
+        b = VectorClock.zero(PIDS).incremented("p1")
+        assert a.merged(b).as_dict() == {"p0": 1, "p1": 1}
+
+    def test_merge_mismatched_pids(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            VectorClock.zero(["a"]).merged(VectorClock.zero(["b"]))
+
+    def test_dominates_and_strictly_after(self):
+        a = VectorClock.zero(PIDS).incremented("p0")
+        b = a.incremented("p1")
+        assert b.dominates(a)
+        assert b.strictly_after(a)
+        assert not a.strictly_after(a)
+
+    def test_concurrent_neither_dominates(self):
+        a = VectorClock.zero(PIDS).incremented("p0")
+        b = VectorClock.zero(PIDS).incremented("p1")
+        assert not a.strictly_after(b) and not b.strictly_after(a)
+
+
+class TestHappenedBefore:
+    def test_program_order(self):
+        events = [ev(1, "p0", 1, 1), ev(2, "p0", 2, 2)]
+        assert (1, 2) in happened_before(events, PIDS)
+
+    def test_send_receive_order(self):
+        events = [ev(1, "p0", 1, 1), ev(2, "p1", 1, 2, send_uid=1)]
+        assert (1, 2) in happened_before(events, PIDS)
+
+    def test_concurrent_events_unrelated(self):
+        events = [ev(1, "p0", 1, 1), ev(2, "p1", 1, 1)]
+        hb = happened_before(events, PIDS)
+        assert (1, 2) not in hb and (2, 1) not in hb
+
+    def test_transitivity_through_message(self):
+        events = [
+            ev(1, "p0", 1, 1),
+            ev(2, "p0", 2, 2),
+            ev(3, "p1", 1, 3, send_uid=2),
+            ev(4, "p1", 2, 4),
+        ]
+        assert (1, 4) in happened_before(events, PIDS)
+
+    def test_forged_message_has_no_history(self):
+        # receive referencing a send that is not in the log (fault-forged)
+        events = [ev(1, "p0", 1, 5), ev(2, "p1", 1, 1, send_uid=999)]
+        hb = happened_before(events, PIDS)
+        assert (1, 2) not in hb
+
+    def test_vector_clocks_assigned_to_all(self):
+        events = [ev(1, "p0", 1, 1), ev(2, "p1", 1, 2, send_uid=1)]
+        vcs = vector_clocks_for(events, PIDS)
+        assert set(vcs) == {1, 2}
+
+
+class TestTimestampSpec:
+    def test_clean_log_passes(self):
+        events = [
+            ev(1, "p0", 1, 1),
+            ev(2, "p0", 2, 2),
+            ev(3, "p1", 1, 3, send_uid=2),
+        ]
+        assert check_timestamp_spec(events, PIDS) == []
+
+    def test_local_decrease_flagged(self):
+        events = [ev(1, "p0", 1, 5), ev(2, "p0", 2, 2)]
+        violations = check_timestamp_spec(events, PIDS)
+        assert len(violations) == 1
+        assert violations[0].earlier.uid == 1
+
+    def test_receive_before_send_timestamp_flagged(self):
+        events = [ev(1, "p0", 1, 9), ev(2, "p1", 1, 3, send_uid=1)]
+        violations = check_timestamp_spec(events, PIDS)
+        assert violations and "hb" in violations[0].describe()
+
+    def test_equal_timestamps_same_process_flagged(self):
+        events = [ev(1, "p0", 1, 4), ev(2, "p0", 2, 4)]
+        assert check_timestamp_spec(events, PIDS)

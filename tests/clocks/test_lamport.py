@@ -1,0 +1,82 @@
+"""Unit + property tests for LamportClock."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.clocks import LamportClock, Timestamp
+
+
+class TestBasics:
+    def test_starts_at_zero(self):
+        assert LamportClock("p0").now() == Timestamp(0, "p0")
+
+    def test_tick_increments(self):
+        clock = LamportClock("p0")
+        assert clock.tick() == Timestamp(1, "p0")
+        assert clock.tick() == Timestamp(2, "p0")
+
+    def test_observe_jumps_past(self):
+        clock = LamportClock("p0")
+        assert clock.observe(Timestamp(10, "p1")) == Timestamp(11, "p0")
+
+    def test_observe_small_still_ticks(self):
+        clock = LamportClock("p0")
+        clock.tick()
+        clock.tick()
+        assert clock.observe(Timestamp(0, "p1")) == Timestamp(3, "p0")
+
+    def test_observe_accepts_raw_int(self):
+        clock = LamportClock("p0")
+        assert clock.observe(5).clock == 6
+
+    def test_history(self):
+        clock = LamportClock("p0")
+        clock.tick()
+        clock.observe(9)
+        assert clock.history == (1, 10)
+
+
+class TestCorruption:
+    def test_corrupt_sets_value(self):
+        clock = LamportClock("p0")
+        clock.tick()
+        clock.corrupt(0)
+        assert clock.counter == 0
+        assert not clock.is_locally_monotone()
+
+    def test_corrupt_negative_rejected(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            LamportClock("p0").corrupt(-1)
+
+    def test_monotone_without_corruption(self):
+        clock = LamportClock("p0")
+        for _ in range(5):
+            clock.tick()
+        clock.observe(2)
+        assert clock.is_locally_monotone()
+
+
+@given(
+    ops=st.lists(
+        st.one_of(st.none(), st.integers(min_value=0, max_value=40)),
+        max_size=30,
+    )
+)
+def test_send_receive_causality_property(ops):
+    """Whatever mix of local ticks (None) and observes (int), the clock
+    strictly exceeds everything it has observed and strictly increases."""
+    clock = LamportClock("p0")
+    observed_max = -1
+    last = 0
+    for op in ops:
+        if op is None:
+            clock.tick()
+        else:
+            observed_max = max(observed_max, op)
+            clock.observe(op)
+        assert clock.counter > last - 1
+        assert clock.counter > observed_max
+        last = clock.counter
+    assert clock.is_locally_monotone()

@@ -1,0 +1,92 @@
+"""Unit + property tests for Timestamp and the lt total order."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.clocks import Timestamp, earliest, is_total_order_consistent, zero
+
+clocks = st.integers(min_value=0, max_value=50)
+pids = st.sampled_from(["p0", "p1", "p2", "p9"])
+timestamps = st.builds(Timestamp, clocks, pids)
+
+
+class TestConstruction:
+    def test_fields(self):
+        ts = Timestamp(3, "p1")
+        assert ts.clock == 3 and ts.pid == "p1"
+
+    def test_clock_below_bottom_rejected(self):
+        with pytest.raises(ValueError):
+            Timestamp(-2, "p0")
+
+    def test_bottom_below_everything(self):
+        from repro.clocks import bottom
+
+        assert bottom("p9").lt(Timestamp(0, "p0"))
+
+    def test_non_int_clock_rejected(self):
+        with pytest.raises(TypeError):
+            Timestamp(1.5, "p0")
+
+    def test_zero(self):
+        assert zero("p3") == Timestamp(0, "p3")
+
+    def test_advanced_to(self):
+        assert Timestamp(1, "p0").advanced_to(7) == Timestamp(7, "p0")
+
+
+class TestOrder:
+    def test_clock_dominates(self):
+        assert Timestamp(1, "p9").lt(Timestamp(2, "p0"))
+
+    def test_pid_breaks_ties(self):
+        assert Timestamp(1, "p0").lt(Timestamp(1, "p1"))
+        assert not Timestamp(1, "p1").lt(Timestamp(1, "p0"))
+
+    def test_irreflexive(self):
+        ts = Timestamp(1, "p0")
+        assert not ts.lt(ts)
+
+    def test_operator_forms(self):
+        assert Timestamp(1, "p0") < Timestamp(2, "p0")
+        assert Timestamp(2, "p0") >= Timestamp(1, "p9")
+
+    @given(a=timestamps, b=timestamps)
+    def test_totality(self, a, b):
+        assert (a == b) or a.lt(b) or b.lt(a)
+
+    @given(a=timestamps, b=timestamps)
+    def test_antisymmetry(self, a, b):
+        assert not (a.lt(b) and b.lt(a))
+
+    @given(a=timestamps, b=timestamps, c=timestamps)
+    def test_transitivity(self, a, b, c):
+        if a.lt(b) and b.lt(c):
+            assert a.lt(c)
+
+    @given(sample=st.lists(timestamps, min_size=1, max_size=6))
+    def test_is_total_order_consistent_on_real_timestamps(self, sample):
+        assert is_total_order_consistent(sample)
+
+
+class TestEarliest:
+    def test_earliest_picks_minimum(self):
+        table = {
+            "p0": Timestamp(5, "p0"),
+            "p1": Timestamp(3, "p1"),
+            "p2": Timestamp(3, "p0"),
+        }
+        assert earliest(table) == "p2"
+
+    def test_earliest_empty_raises(self):
+        with pytest.raises(ValueError):
+            earliest({})
+
+    @given(sample=st.dictionaries(pids, timestamps, min_size=1))
+    def test_earliest_is_lower_bound(self, sample):
+        winner = earliest(sample)
+        assert all(
+            sample[winner] == ts or sample[winner].lt(ts)
+            for ts in sample.values()
+        )

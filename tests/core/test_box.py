@@ -1,0 +1,75 @@
+"""Unit tests for the box operator."""
+
+import pytest
+
+from repro.core import TransitionSystem, box, box_all
+
+
+def sys_ab(name, edges, initial):
+    return TransitionSystem(name, edges, initial)
+
+
+class TestBox:
+    def test_union_of_transitions(self):
+        left = sys_ab("L", {"a": {"b"}, "b": {"b"}}, {"a"})
+        right = sys_ab("R", {"a": {"a"}, "b": {"a"}}, {"a"})
+        composed = box(left, right)
+        assert composed.edge_set() == {
+            ("a", "b"), ("b", "b"), ("a", "a"), ("b", "a"),
+        }
+
+    def test_common_initial_states(self):
+        left = sys_ab("L", {"a": {"a"}, "b": {"b"}}, {"a", "b"})
+        right = sys_ab("R", {"a": {"a"}, "b": {"b"}}, {"b"})
+        assert box(left, right).initial == {"b"}
+
+    def test_wrapper_without_initials_imposes_no_constraint(self):
+        system = sys_ab("S", {"a": {"a"}}, {"a"})
+        wrapper = sys_ab("W", {"a": {"a"}}, set())
+        assert box(system, wrapper).initial == {"a"}
+        assert box(wrapper, system).initial == {"a"}
+
+    def test_disjoint_state_spaces_union(self):
+        left = sys_ab("L", {"a": {"a"}}, {"a"})
+        right = sys_ab("R", {"b": {"b"}}, {"b"})
+        composed = box(left, right)
+        assert composed.states == {"a", "b"}
+
+    def test_commutative(self):
+        left = sys_ab("L", {"a": {"b"}, "b": {"b"}}, {"a"})
+        right = sys_ab("R", {"a": {"a"}, "b": {"a"}}, {"a"})
+        assert box(left, right) == box(right, left)
+
+    def test_associative(self):
+        s1 = sys_ab("1", {"a": {"b"}, "b": {"b"}}, {"a"})
+        s2 = sys_ab("2", {"a": {"a"}, "b": {"a"}}, {"a"})
+        s3 = sys_ab("3", {"a": {"a"}, "b": {"b"}}, {"a", "b"})
+        assert box(box(s1, s2), s3) == box(s1, box(s2, s3))
+
+    def test_idempotent(self):
+        s = sys_ab("S", {"a": {"b"}, "b": {"a"}}, {"a"})
+        assert box(s, s) == s
+
+    def test_name_override(self):
+        s = sys_ab("S", {"a": {"a"}}, {"a"})
+        assert box(s, s, name="X").name == "X"
+
+
+class TestBoxAll:
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            box_all()
+
+    def test_single(self):
+        s = sys_ab("S", {"a": {"a"}}, {"a"})
+        assert box_all(s) == s
+
+    def test_three_way(self):
+        s1 = sys_ab("1", {"a": {"b"}, "b": {"b"}}, {"a"})
+        s2 = sys_ab("2", {"b": {"a"}, "a": {"a"}}, {"a"})
+        s3 = sys_ab("3", {"a": {"a"}, "b": {"b"}}, {"a"})
+        composed = box_all(s1, s2, s3, name="ALL")
+        assert composed.name == "ALL"
+        assert composed.edge_set() == (
+            s1.edge_set() | s2.edge_set() | s3.edge_set()
+        )

@@ -1,0 +1,125 @@
+"""Unit tests for FinitePath and Lasso."""
+
+from itertools import islice
+
+import pytest
+
+from repro.core import FinitePath, Lasso
+
+
+class TestFinitePath:
+    def test_requires_nonempty(self):
+        with pytest.raises(ValueError):
+            FinitePath([])
+
+    def test_basic_accessors(self):
+        p = FinitePath(["a", "b", "c"])
+        assert len(p) == 3
+        assert p.first == "a"
+        assert p.last == "c"
+        assert p[1] == "b"
+        assert list(p) == ["a", "b", "c"]
+
+    def test_transitions(self):
+        p = FinitePath(["a", "b", "c"])
+        assert list(p.transitions()) == [("a", "b"), ("b", "c")]
+
+    def test_single_state_has_no_transitions(self):
+        assert list(FinitePath(["a"]).transitions()) == []
+
+    def test_suffix_prefix(self):
+        p = FinitePath(["a", "b", "c", "d"])
+        assert list(p.suffix_from(2)) == ["c", "d"]
+        assert list(p.prefix_to(1)) == ["a", "b"]
+
+    def test_suffix_out_of_range(self):
+        with pytest.raises(IndexError):
+            FinitePath(["a"]).suffix_from(1)
+
+    def test_fuse_shares_state_once(self):
+        left = FinitePath(["a", "x"])
+        right = FinitePath(["x", "b"])
+        assert list(left.fuse(right)) == ["a", "x", "b"]
+
+    def test_fuse_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            FinitePath(["a", "x"]).fuse(FinitePath(["y", "b"]))
+
+    def test_fuse_associativity(self):
+        p1 = FinitePath(["a", "x"])
+        p2 = FinitePath(["x", "y"])
+        p3 = FinitePath(["y", "b"])
+        assert p1.fuse(p2).fuse(p3) == p1.fuse(p2.fuse(p3))
+
+
+class TestLasso:
+    def test_requires_cycle(self):
+        with pytest.raises(ValueError):
+            Lasso(["a"], [])
+
+    def test_first_with_and_without_stem(self):
+        assert Lasso(["a"], ["b"]).first == "a"
+        assert Lasso([], ["b"]).first == "b"
+
+    def test_state_at_unrolls(self):
+        lasso = Lasso(["s"], ["x", "y"])
+        assert [lasso.state_at(i) for i in range(6)] == [
+            "s", "x", "y", "x", "y", "x",
+        ]
+
+    def test_states_iterator_matches_state_at(self):
+        lasso = Lasso(["s", "t"], ["x", "y", "z"])
+        from_iter = list(islice(lasso.states(), 10))
+        assert from_iter == [lasso.state_at(i) for i in range(10)]
+
+    def test_prefix(self):
+        lasso = Lasso(["s"], ["x"])
+        assert list(lasso.prefix(4)) == ["s", "x", "x", "x"]
+
+    def test_prefix_requires_positive(self):
+        with pytest.raises(ValueError):
+            Lasso([], ["x"]).prefix(0)
+
+    def test_transitions_include_cycle_closure(self):
+        lasso = Lasso(["s"], ["x", "y"])
+        assert lasso.transitions() == frozenset(
+            [("s", "x"), ("x", "y"), ("y", "x")]
+        )
+
+    def test_recurring_transitions_exclude_stem(self):
+        lasso = Lasso(["s"], ["x", "y"])
+        assert lasso.recurring_transitions() == frozenset(
+            [("x", "y"), ("y", "x")]
+        )
+
+    def test_self_loop(self):
+        lasso = Lasso([], ["x"])
+        assert lasso.transitions() == frozenset([("x", "x")])
+
+    def test_suffix_within_stem(self):
+        lasso = Lasso(["a", "b"], ["x", "y"])
+        assert lasso.suffix_from(1) == Lasso(["b"], ["x", "y"])
+
+    def test_suffix_into_cycle_rotates(self):
+        lasso = Lasso(["a"], ["x", "y"])
+        assert lasso.suffix_from(2) == Lasso([], ["y", "x"])
+
+    def test_suffix_far_into_cycle(self):
+        lasso = Lasso([], ["x", "y", "z"])
+        assert lasso.suffix_from(7) == Lasso([], ["y", "z", "x"])
+
+    def test_eventually_satisfies(self):
+        lasso = Lasso(["a"], ["x"])
+        assert lasso.eventually_satisfies(lambda s: s == "x")
+        assert lasso.eventually_satisfies(lambda s: s == "a")
+        assert not lasso.eventually_satisfies(lambda s: s == "q")
+
+    def test_always_eventually_only_sees_cycle(self):
+        lasso = Lasso(["a"], ["x"])
+        assert lasso.always_eventually_satisfies(lambda s: s == "x")
+        assert not lasso.always_eventually_satisfies(lambda s: s == "a")
+
+    def test_recurring_states(self):
+        assert Lasso(["a"], ["x", "y"]).recurring_states() == frozenset(
+            ["x", "y"]
+        )

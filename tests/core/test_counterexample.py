@@ -1,0 +1,68 @@
+"""Figure 1, verified exactly as the paper states it."""
+
+from repro.core import (
+    everywhere_implements,
+    fault_F,
+    figure1_A,
+    figure1_C,
+    implements,
+    is_stabilizing_to,
+)
+
+
+class TestFigure1:
+    def test_C_implements_A_from_init(self):
+        assert implements(figure1_C(), figure1_A())
+
+    def test_A_is_stabilizing_to_A(self):
+        assert is_stabilizing_to(figure1_A(), figure1_A())
+
+    def test_C_is_not_stabilizing_to_A(self):
+        report = is_stabilizing_to(figure1_C(), figure1_A())
+        assert not report
+        assert ("s*", "s*") in report.witness_transitions
+
+    def test_C_does_not_everywhere_implement_A(self):
+        report = everywhere_implements(figure1_C(), figure1_A())
+        assert not report
+        assert ("s*", "s*") in report.witness_transitions
+
+    def test_the_papers_moral(self):
+        """[C => A]init and A stab A do NOT imply C stab A."""
+        A, C = figure1_A(), figure1_C()
+        premises = implements(C, A).holds and is_stabilizing_to(A, A).holds
+        conclusion = is_stabilizing_to(C, A).holds
+        assert premises and not conclusion
+
+    def test_fault_F(self):
+        assert fault_F("s0") == "s*"
+        assert fault_F("s1") == "s1"
+
+    def test_A_recovers_from_fault(self):
+        A = figure1_A()
+        state = fault_F("s0")
+        seen = [state]
+        for _ in range(4):
+            state = sorted(A.successors(state))[0]
+            seen.append(state)
+        assert seen == ["s*", "s2", "s3", "s3", "s3"]
+
+    def test_C_trapped_after_fault(self):
+        C = figure1_C()
+        assert C.successors(fault_F("s0")) == {"s*"}
+
+    def test_shared_initial_computation(self):
+        """Both systems have the single init computation s0,s1,s2,s3,..."""
+        for system in (figure1_A(), figure1_C()):
+            state = "s0"
+            path = [state]
+            for _ in range(4):
+                succs = system.successors(state)
+                assert len(succs) == 1
+                state = next(iter(succs))
+                path.append(state)
+            assert path == ["s0", "s1", "s2", "s3", "s3"]
+
+    def test_recovery_computation_only_in_A(self):
+        assert figure1_A().has_transition("s*", "s2")
+        assert not figure1_C().has_transition("s*", "s2")

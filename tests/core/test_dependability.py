@@ -1,0 +1,206 @@
+"""Tests for graybox masking / fail-safe / nonmasking (Section 6)."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    FaultClass,
+    TransitionSystem,
+    check_graybox_failsafe,
+    check_graybox_masking,
+    fault_span,
+    is_failsafe_tolerant,
+    is_masking_tolerant,
+    is_nonmasking_tolerant,
+    random_subsystem,
+    random_system,
+    safety_violating_transitions,
+    with_faults,
+)
+
+
+def spec():
+    """g0 <-> g1 legit cycle; x recovers to g0."""
+    return TransitionSystem(
+        "A",
+        {"g0": {"g1"}, "g1": {"g0"}, "x": {"g0"}},
+        initial={"g0"},
+    )
+
+
+class TestFaultClass:
+    def test_len(self):
+        assert len(FaultClass("F", {("g0", "x")})) == 1
+
+    def test_with_faults_adds_edges(self):
+        faulty = with_faults(spec(), FaultClass("F", {("g0", "x")}))
+        assert faulty.has_transition("g0", "x")
+        assert faulty.has_transition("g0", "g1")
+
+    def test_with_faults_rejects_foreign_states(self):
+        with pytest.raises(ValueError):
+            with_faults(spec(), FaultClass("F", {("g0", "ghost")}))
+        with pytest.raises(ValueError):
+            with_faults(spec(), FaultClass("F", {("ghost", "g0")}))
+
+    def test_fault_span(self):
+        span = fault_span(spec(), FaultClass("F", {("g0", "x")}))
+        assert span == {"g0", "g1", "x"}
+        assert fault_span(spec(), FaultClass("F", set())) == {"g0", "g1"}
+
+
+class TestMasking:
+    def test_spec_allowed_perturbation_is_masked(self):
+        # fault g1 -> g0 mimics a legal transition: invisible
+        faults = FaultClass("F", {("g1", "g0")})
+        assert is_masking_tolerant(spec(), spec(), faults)
+
+    def test_visible_perturbation_not_masked(self):
+        faults = FaultClass("F", {("g0", "x")})
+        report = is_masking_tolerant(spec(), spec(), faults)
+        assert not report
+        assert ("g0", "x") in report.witness_transitions
+
+    def test_initial_states_must_agree(self):
+        c = spec().with_initial({"g1"})
+        a = spec().with_initial({"g0"})
+        assert not is_masking_tolerant(c, a, FaultClass("F", set()))
+
+
+class TestFailsafe:
+    def test_safe_after_fault(self):
+        # after the fault the program's own steps (x->g0, cycle) are legal
+        faults = FaultClass("F", {("g0", "x")})
+        assert is_failsafe_tolerant(spec(), spec(), faults)
+
+    def test_unsafe_program_step_detected(self):
+        c = TransitionSystem(
+            "C",
+            {"g0": {"g1"}, "g1": {"g0"}, "x": {"x"}},
+            initial={"g0"},
+        )
+        a = spec()
+        faults = FaultClass("F", {("g0", "x")})
+        report = is_failsafe_tolerant(c, a, faults)
+        assert not report
+        assert ("x", "x") in report.witness_transitions
+
+    def test_safety_violations_helper(self):
+        c = TransitionSystem(
+            "C", {"g0": {"g1"}, "g1": {"g1"}}, initial={"g0"}
+        )
+        a = TransitionSystem(
+            "A", {"g0": {"g1"}, "g1": {"g0"}}, initial={"g0"}
+        )
+        bad = safety_violating_transitions(c, a, frozenset({"g0", "g1"}))
+        assert bad == {("g1", "g1")}
+
+    def test_failsafe_does_not_require_liveness(self):
+        """A system that freezes (self-loops outside the spec's liveness)
+        can still be fail-safe if the spec allows the self-loop."""
+        a = TransitionSystem(
+            "A", {"g": {"g", "h"}, "h": {"g"}, "x": {"x"}}, initial={"g"}
+        )
+        c = TransitionSystem(
+            "C", {"g": {"g"}, "h": {"g"}, "x": {"x"}}, initial={"g"}
+        )
+        faults = FaultClass("F", {("g", "x")})
+        assert is_failsafe_tolerant(c, a, faults)
+
+
+class TestNonmasking:
+    def test_recovering_system(self):
+        faults = FaultClass("F", {("g0", "x")})
+        assert is_nonmasking_tolerant(spec(), spec(), faults)
+
+    def test_trap_breaks_nonmasking(self):
+        c = TransitionSystem(
+            "C",
+            {"g0": {"g1"}, "g1": {"g0"}, "x": {"x"}},
+            initial={"g0"},
+        )
+        faults = FaultClass("F", {("g0", "x")})
+        report = is_nonmasking_tolerant(c, spec(), faults)
+        assert not report
+
+    def test_unreached_trap_is_harmless(self):
+        """A trap outside the fault span does not affect tolerance."""
+        c = TransitionSystem(
+            "C",
+            {"g0": {"g1"}, "g1": {"g0"}, "x": {"g0"}, "trap": {"trap"}},
+            initial={"g0"},
+        )
+        a = TransitionSystem(
+            "A",
+            {"g0": {"g1"}, "g1": {"g0"}, "x": {"g0"}, "trap": {"g0"}},
+            initial={"g0"},
+        )
+        faults = FaultClass("F", {("g0", "x")})
+        assert is_nonmasking_tolerant(c, a, faults)
+        # whereas full stabilization over ALL states fails:
+        from repro.core import is_stabilizing_to
+
+        assert not is_stabilizing_to(c, a)
+
+    def test_masking_implies_failsafe_and_nonmasking(self):
+        """The classical hierarchy on a concrete instance."""
+        faults = FaultClass("F", {("g1", "g0")})
+        assert is_masking_tolerant(spec(), spec(), faults)
+        assert is_failsafe_tolerant(spec(), spec(), faults)
+        assert is_nonmasking_tolerant(spec(), spec(), faults)
+
+
+seeds = st.integers(min_value=0, max_value=5000)
+
+
+@settings(max_examples=50, deadline=None)
+@given(seed=seeds)
+def test_graybox_masking_never_falsified(seed):
+    rng = random.Random(seed)
+    abstract = random_system(rng, 5, 0.5, "A")
+    concrete = random_subsystem(rng, abstract, "C")
+    wrapper_spec = random_system(rng, 5, 0.3, "W", states=sorted(abstract.states))
+    wrapper_impl = random_subsystem(rng, wrapper_spec, "W'")
+    states = sorted(abstract.states)
+    fault_edges = {
+        (rng.choice(states), rng.choice(states)) for _ in range(3)
+    }
+    faults = FaultClass("F", fault_edges)
+    assert check_graybox_masking(
+        concrete, abstract, wrapper_impl, wrapper_spec, faults
+    )
+
+
+@settings(max_examples=50, deadline=None)
+@given(seed=seeds)
+def test_graybox_failsafe_never_falsified(seed):
+    rng = random.Random(seed)
+    abstract = random_system(rng, 5, 0.5, "A")
+    concrete = random_subsystem(rng, abstract, "C")
+    wrapper_spec = random_system(rng, 5, 0.3, "W", states=sorted(abstract.states))
+    wrapper_impl = random_subsystem(rng, wrapper_spec, "W'")
+    states = sorted(abstract.states)
+    fault_edges = {
+        (rng.choice(states), rng.choice(states)) for _ in range(3)
+    }
+    faults = FaultClass("F", fault_edges)
+    assert check_graybox_failsafe(
+        concrete, abstract, wrapper_impl, wrapper_spec, faults
+    )
+
+
+@settings(max_examples=50, deadline=None)
+@given(seed=seeds)
+def test_masking_implies_failsafe_property(seed):
+    rng = random.Random(seed)
+    a = random_system(rng, 5, 0.5, "A")
+    c = random_subsystem(rng, a, "C")
+    states = sorted(a.states)
+    faults = FaultClass(
+        "F", {(rng.choice(states), rng.choice(states)) for _ in range(3)}
+    )
+    if is_masking_tolerant(c, a, faults):
+        assert is_failsafe_tolerant(c, a, faults)

@@ -1,0 +1,107 @@
+"""Direct unit tests for the fairness-aware stabilization relation."""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    TransitionSystem,
+    is_stabilizing_to,
+    is_stabilizing_to_fair,
+    random_system,
+)
+
+
+def spec_with_limbo():
+    return TransitionSystem(
+        "A",
+        {"g": {"g"}, "x": {"y"}, "y": {"x"}},
+        initial={"g"},
+    )
+
+
+class TestFairStabilization:
+    def test_fair_edges_break_bad_cycles(self):
+        """The x<->y limbo cycle is unfair once every limbo state has a
+        recovery (fair) edge available in the composition."""
+        composed = TransitionSystem(
+            "A+W",
+            {"g": {"g"}, "x": {"y", "g"}, "y": {"x", "g"}},
+            initial={"g"},
+        )
+        fair = frozenset({("x", "g"), ("y", "g")})
+        assert not is_stabilizing_to(composed, spec_with_limbo())
+        assert is_stabilizing_to_fair(composed, spec_with_limbo(), fair)
+
+    def test_unprotected_state_keeps_violation(self):
+        """If one limbo state has no fair edge, a fair computation can loop
+        through it forever: fair stabilization must fail."""
+        composed = TransitionSystem(
+            "A+W",
+            {"g": {"g"}, "x": {"y", "g"}, "y": {"x"}},
+            initial={"g"},
+        )
+        fair = frozenset({("x", "g")})
+        report = is_stabilizing_to_fair(composed, spec_with_limbo(), fair)
+        assert not report
+        assert report.witness_transitions
+
+    def test_no_fair_edges_reduces_to_plain(self):
+        system = spec_with_limbo()
+        plain = is_stabilizing_to(system, system)
+        fair = is_stabilizing_to_fair(system, system, frozenset())
+        assert bool(plain) == bool(fair) == False  # noqa: E712
+
+    def test_plain_stabilizing_is_fair_stabilizing(self):
+        healthy = TransitionSystem(
+            "A", {"g": {"g"}, "x": {"g"}}, initial={"g"}
+        )
+        assert is_stabilizing_to(healthy, healthy)
+        assert is_stabilizing_to_fair(healthy, healthy, frozenset())
+
+    def test_good_cycles_unaffected_by_fairness(self):
+        """Legitimate cycles must stay allowed even when fair edges exist
+        elsewhere."""
+        composed = TransitionSystem(
+            "A+W",
+            {"g0": {"g1"}, "g1": {"g0"}, "x": {"g0", "x"}},
+            initial={"g0"},
+        )
+        spec = TransitionSystem(
+            "A",
+            {"g0": {"g1"}, "g1": {"g0"}, "x": {"x"}},
+            initial={"g0"},
+        )
+        fair = frozenset({("x", "g0")})
+        assert is_stabilizing_to_fair(composed, spec, fair)
+
+
+seeds = st.integers(min_value=0, max_value=5000)
+
+
+@settings(max_examples=80, deadline=None)
+@given(seed=seeds, n=st.integers(min_value=2, max_value=6))
+def test_plain_implies_fair(seed, n):
+    """Plain stabilization is strictly stronger: whenever it holds, the
+    fairness-aware check holds for ANY fair-edge set."""
+    rng = random.Random(seed)
+    abstract = random_system(rng, n, 0.4, "A")
+    concrete = random_system(rng, n, 0.4, "C", states=sorted(abstract.states))
+    states = sorted(abstract.states)
+    fair = frozenset(
+        (rng.choice(states), rng.choice(states)) for _ in range(3)
+    ) & concrete.edge_set()
+    if is_stabilizing_to(concrete, abstract):
+        assert is_stabilizing_to_fair(concrete, abstract, fair)
+
+
+@settings(max_examples=80, deadline=None)
+@given(seed=seeds, n=st.integers(min_value=2, max_value=6))
+def test_fair_with_empty_set_equals_plain(seed, n):
+    rng = random.Random(seed)
+    abstract = random_system(rng, n, 0.4, "A")
+    concrete = random_system(rng, n, 0.4, "C", states=sorted(abstract.states))
+    plain = bool(is_stabilizing_to(concrete, abstract))
+    fair = bool(is_stabilizing_to_fair(concrete, abstract, frozenset()))
+    assert plain == fair

@@ -1,0 +1,180 @@
+"""Unit tests for the Section-2 relations."""
+
+from repro.core import (
+    TransitionSystem,
+    chain_system,
+    closure_and_convergence,
+    everywhere_implements,
+    good_transitions,
+    implements,
+    is_self_stabilizing,
+    is_stabilizing_to,
+    legitimate_states,
+)
+
+
+def spec_ab() -> TransitionSystem:
+    """a <-> b with both initial."""
+    return TransitionSystem(
+        "A", {"a": {"b"}, "b": {"a", "b"}}, initial={"a", "b"}
+    )
+
+
+class TestEverywhereImplements:
+    def test_subsystem_everywhere_implements(self):
+        sub = TransitionSystem("C", {"a": {"b"}, "b": {"a"}}, initial={"a"})
+        assert everywhere_implements(sub, spec_ab())
+
+    def test_extra_transition_refutes(self):
+        sup = TransitionSystem(
+            "C", {"a": {"a", "b"}, "b": {"a"}}, initial={"a"}
+        )
+        report = everywhere_implements(sup, spec_ab())
+        assert not report
+        assert ("a", "a") in report.witness_transitions
+
+    def test_extra_state_refutes(self):
+        c = TransitionSystem(
+            "C", {"a": {"b"}, "b": {"a"}, "x": {"x"}}, initial={"a"}
+        )
+        report = everywhere_implements(c, spec_ab())
+        assert not report
+        assert "x" in report.witness_states
+
+    def test_reflexive(self):
+        assert everywhere_implements(spec_ab(), spec_ab())
+
+
+class TestImplements:
+    def test_unreachable_junk_allowed(self):
+        # C has a bad transition x->x, but x is unreachable from init.
+        c = TransitionSystem(
+            "C", {"a": {"b"}, "b": {"a"}, "x": {"x"}}, initial={"a"}
+        )
+        a = TransitionSystem(
+            "A", {"a": {"b"}, "b": {"a"}, "x": {"a"}}, initial={"a"}
+        )
+        assert implements(c, a)
+        assert not everywhere_implements(c, a)
+
+    def test_initial_states_must_be_shared(self):
+        c = TransitionSystem("C", {"a": {"a"}}, initial={"a"})
+        a = TransitionSystem("A", {"a": {"a"}}, initial=set())
+        report = implements(c, a)
+        assert not report
+        assert "a" in report.witness_states
+
+    def test_reachable_bad_transition_refutes(self):
+        c = TransitionSystem("C", {"a": {"a"}}, initial={"a"})
+        a = TransitionSystem("A", {"a": {"a"}}, initial={"a"})
+        a2 = TransitionSystem(
+            "A2", {"a": {"b"}, "b": {"b"}}, initial={"a"}
+        )
+        assert implements(c, a)
+        assert not implements(c, a2)
+
+    def test_everywhere_implies_init_when_initials_agree(self):
+        sub = TransitionSystem("C", {"a": {"b"}, "b": {"a"}}, initial={"a"})
+        assert everywhere_implements(sub, spec_ab())
+        assert implements(sub, spec_ab())
+
+
+class TestLegitimateStates:
+    def test_reachable_from_init(self):
+        a = TransitionSystem(
+            "A", {"a": {"b"}, "b": {"b"}, "x": {"b"}}, initial={"a"}
+        )
+        assert legitimate_states(a) == {"a", "b"}
+
+    def test_good_transitions(self):
+        a = TransitionSystem(
+            "A", {"a": {"b"}, "b": {"b"}, "x": {"b"}}, initial={"a"}
+        )
+        c = TransitionSystem(
+            "C", {"a": {"b"}, "b": {"b"}, "x": {"x"}}, initial={"a"}
+        )
+        assert good_transitions(c, a) == {("a", "b"), ("b", "b")}
+
+
+class TestStabilization:
+    def test_recovering_system_stabilizes(self):
+        # every stray state funnels into the legit cycle
+        a = TransitionSystem(
+            "A", {"g": {"g"}, "x": {"g"}, "y": {"x"}}, initial={"g"}
+        )
+        assert is_stabilizing_to(a, a)
+        assert is_self_stabilizing(a)
+
+    def test_trap_state_breaks_stabilization(self):
+        c = TransitionSystem(
+            "C", {"g": {"g"}, "x": {"x"}}, initial={"g"}
+        )
+        a = TransitionSystem(
+            "A", {"g": {"g"}, "x": {"g"}}, initial={"g"}
+        )
+        report = is_stabilizing_to(c, a)
+        assert not report
+        assert ("x", "x") in report.witness_transitions
+
+    def test_bad_cycle_outside_legit(self):
+        c = TransitionSystem(
+            "C", {"g": {"g"}, "x": {"y"}, "y": {"x"}}, initial={"g"}
+        )
+        a = TransitionSystem(
+            "A", {"g": {"g"}, "x": {"g"}, "y": {"g"}}, initial={"g"}
+        )
+        assert not is_stabilizing_to(c, a)
+
+    def test_transient_detour_is_fine(self):
+        # x -> y -> g: a finite detour then the legit cycle.
+        c = TransitionSystem(
+            "C", {"g": {"g"}, "x": {"y"}, "y": {"g"}}, initial={"g"}
+        )
+        a = TransitionSystem("A", {"g": {"g"}}, initial={"g"})
+        # C's states x,y are outside A's space: everywhere fails but
+        # stabilization holds (the suffix lives in A).
+        assert not everywhere_implements(c, a)
+        assert is_stabilizing_to(c, a)
+
+    def test_cycle_through_legit_with_illegit_edge(self):
+        # g -> x -> g: the cycle visits legit g but uses non-A edges.
+        c = TransitionSystem(
+            "C", {"g": {"x"}, "x": {"g"}}, initial={"g"}
+        )
+        a = TransitionSystem(
+            "A", {"g": {"g"}, "x": {"g"}}, initial={"g"}
+        )
+        assert not is_stabilizing_to(c, a)
+
+
+class TestClosureConvergence:
+    def test_closed_and_converging(self):
+        s = TransitionSystem(
+            "S", {"g": {"g"}, "x": {"g"}}, initial={"g"}
+        )
+        closed, converges = closure_and_convergence(s, frozenset({"g"}))
+        assert closed and converges
+
+    def test_not_closed(self):
+        s = TransitionSystem(
+            "S", {"g": {"x"}, "x": {"g"}}, initial={"g"}
+        )
+        closed, _ = closure_and_convergence(s, frozenset({"g"}))
+        assert not closed
+
+    def test_not_converging(self):
+        s = TransitionSystem(
+            "S", {"g": {"g"}, "x": {"y"}, "y": {"x"}}, initial={"g"}
+        )
+        closed, converges = closure_and_convergence(s, frozenset({"g"}))
+        assert closed and not converges
+
+    def test_whitebox_matches_graybox_on_self_stabilizing(self):
+        s = TransitionSystem(
+            "S", {"g": {"g"}, "x": {"g"}, "y": {"x"}}, initial={"g"}
+        )
+        closed, converges = closure_and_convergence(
+            s, frozenset(legitimate_states(s))
+        )
+        assert closed and converges
+        assert is_self_stabilizing(s)

@@ -1,0 +1,95 @@
+"""Unit tests for repro.core.state.State."""
+
+import pytest
+
+from repro.core import State
+
+
+class TestConstruction:
+    def test_from_kwargs(self):
+        s = State(x=1, y="a")
+        assert s["x"] == 1
+        assert s["y"] == "a"
+
+    def test_from_mapping(self):
+        s = State({"x": 1}, y=2)
+        assert s["x"] == 1 and s["y"] == 2
+
+    def test_kwargs_override_mapping(self):
+        s = State({"x": 1}, x=9)
+        assert s["x"] == 9
+
+    def test_rejects_non_string_names(self):
+        with pytest.raises(TypeError):
+            State({1: "x"})
+
+    def test_rejects_unhashable_values(self):
+        with pytest.raises(TypeError):
+            State(x=[1, 2])
+
+    def test_empty_state(self):
+        assert len(State()) == 0
+
+
+class TestAccess:
+    def test_attribute_access(self):
+        assert State(hungry=True).hungry is True
+
+    def test_missing_attribute(self):
+        with pytest.raises(AttributeError):
+            State(x=1).y
+
+    def test_missing_key(self):
+        with pytest.raises(KeyError):
+            State(x=1)["y"]
+
+    def test_iteration_sorted(self):
+        assert list(State(b=1, a=2)) == ["a", "b"]
+
+    def test_contains(self):
+        s = State(x=1)
+        assert "x" in s and "y" not in s
+
+
+class TestImmutability:
+    def test_setattr_rejected(self):
+        s = State(x=1)
+        with pytest.raises(AttributeError):
+            s.x = 2
+
+    def test_assoc_returns_new(self):
+        s = State(x=1)
+        t = s.assoc(x=2, y=3)
+        assert s["x"] == 1
+        assert t["x"] == 2 and t["y"] == 3
+
+    def test_without(self):
+        s = State(x=1, y=2).without("x")
+        assert "x" not in s and s["y"] == 2
+
+    def test_project(self):
+        s = State(x=1, y=2, z=3).project("x", "z")
+        assert dict(s) == {"x": 1, "z": 3}
+
+    def test_project_missing_raises(self):
+        with pytest.raises(KeyError):
+            State(x=1).project("y")
+
+
+class TestIdentity:
+    def test_equal_states_hash_equal(self):
+        assert hash(State(x=1, y=2)) == hash(State(y=2, x=1))
+        assert State(x=1, y=2) == State(y=2, x=1)
+
+    def test_unequal(self):
+        assert State(x=1) != State(x=2)
+
+    def test_equals_plain_mapping(self):
+        assert State(x=1) == {"x": 1}
+
+    def test_usable_as_dict_key(self):
+        d = {State(x=1): "a"}
+        assert d[State(x=1)] == "a"
+
+    def test_repr_shows_variables(self):
+        assert "x=1" in repr(State(x=1))

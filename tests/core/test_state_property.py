@@ -1,0 +1,64 @@
+"""Property-based tests for State and for snapshot round-trips."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core import State
+
+names = st.builds(
+    lambda head, tail: head + tail,
+    st.sampled_from("abcdefghij"),
+    st.text(alphabet="abcdefghij_", max_size=5),
+)
+values = st.one_of(st.integers(), st.booleans(), st.text(max_size=5))
+valuations = st.dictionaries(names, values, max_size=6)
+
+
+@given(d=valuations)
+def test_state_roundtrip(d):
+    s = State(d)
+    assert dict(s) == d
+
+
+@given(d=valuations)
+def test_state_hash_consistent_with_eq(d):
+    assert State(d) == State(dict(d))
+    assert hash(State(d)) == hash(State(dict(d)))
+
+
+@given(d=valuations, extra=valuations)
+def test_assoc_overrides_and_preserves(d, extra):
+    s = State(d).assoc(**extra)
+    for k, v in extra.items():
+        assert s[k] == v
+    for k, v in d.items():
+        if k not in extra:
+            assert s[k] == v
+
+
+@given(d=valuations)
+def test_without_removes_exactly(d):
+    if not d:
+        return
+    victim = sorted(d)[0]
+    s = State(d).without(victim)
+    assert victim not in s
+    assert len(s) == len(d) - 1
+
+
+@given(d=valuations)
+def test_project_then_merge_identity(d):
+    s = State(d)
+    keys = sorted(d)
+    half = keys[: len(keys) // 2]
+    rest = keys[len(keys) // 2:]
+    left = s.project(*half) if half else State()
+    right = s.project(*rest) if rest else State()
+    merged = dict(left)
+    merged.update(dict(right))
+    assert merged == d
+
+
+@given(d=valuations)
+def test_iteration_sorted(d):
+    assert list(State(d)) == sorted(d)

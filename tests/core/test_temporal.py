@@ -1,0 +1,143 @@
+"""Unit tests for the UNITY temporal operators (both semantics)."""
+
+from repro.core import (
+    ObligationTracker,
+    TransitionSystem,
+    holds_invariant,
+    holds_leads_to,
+    holds_leads_to_always,
+    holds_stable,
+    holds_unless,
+    invariant_on_trace,
+    leads_to_always_on_trace,
+    leads_to_on_trace,
+    stable_on_trace,
+    unless_on_trace,
+)
+
+
+def counterup() -> TransitionSystem:
+    """0 -> 1 -> 2 -> 2 (monotone counter)."""
+    return TransitionSystem(
+        "count", {0: {1}, 1: {2}, 2: {2}}, initial={0}
+    )
+
+
+class TestExactSafety:
+    def test_unless_holds(self):
+        # (x >= 1) unless false, i.e. stability of x>=1
+        assert holds_unless(counterup(), lambda s: s >= 1, lambda s: False)
+
+    def test_unless_violated(self):
+        wobble = TransitionSystem("w", {0: {1}, 1: {0}}, initial={0})
+        assert not holds_unless(wobble, lambda s: s == 1, lambda s: False)
+
+    def test_unless_discharged_by_q(self):
+        wobble = TransitionSystem("w", {0: {1}, 1: {0}}, initial={0})
+        # p=at 1, q=at 0: p unless q holds (p falls only when q rises)
+        assert holds_unless(wobble, lambda s: s == 1, lambda s: s == 0)
+
+    def test_stable(self):
+        assert holds_stable(counterup(), lambda s: s == 2)
+        assert not holds_stable(counterup(), lambda s: s == 1)
+
+    def test_invariant_needs_initial(self):
+        assert holds_invariant(counterup(), lambda s: s >= 0)
+        assert not holds_invariant(counterup(), lambda s: s >= 1)
+
+
+class TestExactLiveness:
+    def test_leads_to_on_chain(self):
+        assert holds_leads_to(counterup(), lambda s: s == 0, lambda s: s == 2)
+
+    def test_leads_to_violated_by_avoiding_cycle(self):
+        branch = TransitionSystem(
+            "b", {0: {1, 2}, 1: {1}, 2: {2}}, initial={0}
+        )
+        # from 0 the run may settle in 1 and never reach 2
+        assert not holds_leads_to(branch, lambda s: s == 0, lambda s: s == 2)
+
+    def test_leads_to_everywhere_vs_init(self):
+        system = TransitionSystem(
+            "s", {0: {1}, 1: {1}, 9: {9}}, initial={0}
+        )
+        p, q = (lambda s: s == 9), (lambda s: s == 1)
+        # state 9 avoids q forever, but 9 is unreachable from init
+        assert not holds_leads_to(system, p, q, from_anywhere=True)
+        assert holds_leads_to(system, p, q, from_anywhere=False)
+
+    def test_p_state_satisfying_q_counts(self):
+        assert holds_leads_to(counterup(), lambda s: s == 2, lambda s: s == 2)
+
+    def test_leads_to_always(self):
+        assert holds_leads_to_always(
+            counterup(), lambda s: s == 0, lambda s: s == 2
+        )
+        # q = (s==1) is not stable, so ,-> fails even though |-> holds
+        assert holds_leads_to(counterup(), lambda s: s == 0, lambda s: s == 1)
+        assert not holds_leads_to_always(
+            counterup(), lambda s: s == 0, lambda s: s == 1
+        )
+
+
+class TestTraceSemantics:
+    def test_unless_on_trace_ok(self):
+        trace = [0, 1, 1, 2]
+        verdict = unless_on_trace(trace, lambda s: s == 1, lambda s: s == 2)
+        assert verdict.ok
+
+    def test_unless_on_trace_violation_index(self):
+        trace = [1, 0]
+        verdict = unless_on_trace(trace, lambda s: s == 1, lambda s: s == 9)
+        assert verdict.violated_at == 0
+
+    def test_stable_on_trace(self):
+        assert stable_on_trace([2, 2, 2], lambda s: s == 2).ok
+        assert stable_on_trace([2, 1], lambda s: s == 2).violated
+
+    def test_invariant_on_trace_checks_first(self):
+        assert invariant_on_trace([1, 1], lambda s: s == 1).ok
+        assert invariant_on_trace([0, 1], lambda s: s == 1).violated_at == 0
+
+    def test_leads_to_on_trace_discharged(self):
+        # indices: 0 raises, 1 discharges, 2 raises, 3 discharges -> ok
+        verdict = leads_to_on_trace(
+            [0, 1, 0, 1], lambda s: s == 0, lambda s: s == 1
+        )
+        assert verdict.ok
+
+    def test_leads_to_on_trace_pending(self):
+        verdict = leads_to_on_trace([1, 0, 0], lambda s: s == 0, lambda s: s == 1)
+        assert verdict.pending
+        assert verdict.pending_since == 1
+        assert verdict.pending_age(3) == 1
+
+    def test_leads_to_always_on_trace(self):
+        assert leads_to_always_on_trace(
+            [0, 2, 2], lambda s: s == 0, lambda s: s == 2
+        ).ok
+        assert leads_to_always_on_trace(
+            [0, 2, 0], lambda s: s == 0, lambda s: s == 2
+        ).violated
+
+
+class TestObligationTracker:
+    def test_latency_measured(self):
+        tracker = ObligationTracker(lambda s: s == "p", lambda s: s == "q")
+        for s in ["x", "p", "x", "x", "q", "p", "q"]:
+            tracker.observe(s)
+        assert tracker.pending_since is None
+        assert tracker.discharged == [(1, 4), (5, 6)]
+        assert tracker.max_latency() == 3
+
+    def test_pending_reported(self):
+        tracker = ObligationTracker(lambda s: s == "p", lambda s: s == "q")
+        for s in ["p", "x"]:
+            tracker.observe(s)
+        assert tracker.pending_since == 0
+        assert tracker.steps_observed == 2
+
+    def test_p_and_q_same_state_no_obligation(self):
+        tracker = ObligationTracker(lambda s: True, lambda s: True)
+        tracker.observe("s")
+        assert tracker.pending_since is None

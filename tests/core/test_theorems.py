@@ -1,0 +1,120 @@
+"""Unit tests for the executable theorem checkers."""
+
+import random
+
+import pytest
+
+from repro.core import (
+    TransitionSystem,
+    box,
+    check_lemma0,
+    check_lemma2,
+    check_theorem1,
+    check_theorem4,
+    everywhere_implements,
+    random_subsystem,
+    random_system,
+)
+
+
+def spec():
+    return TransitionSystem(
+        "A", {"g": {"g"}, "x": {"g", "x"}}, initial={"g"}
+    )
+
+
+def impl():
+    return TransitionSystem("C", {"g": {"g"}, "x": {"g"}}, initial={"g"})
+
+
+def wrapper_spec():
+    return TransitionSystem("W", {"g": {"g"}, "x": {"g"}}, initial=set())
+
+
+class TestLemma0:
+    def test_holds_on_refinements(self):
+        verdict = check_lemma0(impl(), spec(), wrapper_spec(), wrapper_spec())
+        assert verdict.premises_hold
+        assert verdict.conclusion_holds
+        assert verdict.theorem_respected
+
+    def test_vacuous_when_premise_fails(self):
+        not_impl = TransitionSystem(
+            "C", {"g": {"x"}, "x": {"x"}}, initial={"g"}
+        )
+        verdict = check_lemma0(not_impl, spec(), wrapper_spec(), wrapper_spec())
+        assert verdict.vacuous
+        assert verdict.theorem_respected  # vacuously
+
+    def test_details_recorded(self):
+        verdict = check_lemma0(impl(), spec(), wrapper_spec(), wrapper_spec())
+        assert len(verdict.details) == 3
+
+
+class TestTheorem1:
+    def test_conclusion_follows_when_premises_hold(self):
+        a = spec()
+        w = wrapper_spec()
+        # A box W is stabilizing to A: the only cycles are g->g (legit) and
+        # x->x from A... x->x is still present in A box W, so premise fails.
+        composed = box(a, w)
+        assert composed.has_transition("x", "x")
+        verdict = check_theorem1(impl(), a, w, w)
+        # premise "A box W stabilizing to A" fails -> vacuous instance
+        assert verdict.vacuous
+
+    def test_nonvacuous_positive_instance(self):
+        a = TransitionSystem(
+            "A", {"g": {"g"}, "x": {"g"}}, initial={"g"}
+        )
+        c = TransitionSystem("C", {"g": {"g"}, "x": {"g"}}, initial={"g"})
+        w = TransitionSystem("W", {"g": {"g"}, "x": {"g"}}, initial=set())
+        verdict = check_theorem1(c, a, w, w)
+        assert verdict.premises_hold
+        assert verdict.conclusion_holds
+
+
+class TestComponentLemmas:
+    def test_lemma2(self):
+        locals_a = [spec().renamed("A0"), spec().renamed("A1")]
+        locals_c = [impl().renamed("C0"), impl().renamed("C1")]
+        verdict = check_lemma2(locals_c, locals_a)
+        assert verdict.premises_hold and verdict.conclusion_holds
+
+    def test_lemma2_length_mismatch(self):
+        with pytest.raises(ValueError):
+            check_lemma2([impl()], [])
+
+    def test_theorem4(self):
+        a = TransitionSystem("A", {"g": {"g"}, "x": {"g"}}, initial={"g"})
+        c = TransitionSystem("C", {"g": {"g"}, "x": {"g"}}, initial={"g"})
+        w = TransitionSystem("W", {"g": {"g"}, "x": {"g"}}, initial=set())
+        verdict = check_theorem4([c, c], [a, a], [w, w], [w, w])
+        assert verdict.theorem_respected
+        assert verdict.premises_hold
+        assert verdict.conclusion_holds
+
+    def test_theorem4_length_mismatch(self):
+        with pytest.raises(ValueError):
+            check_theorem4([impl()], [spec()], [], [])
+
+
+class TestRandomGenerators:
+    def test_random_system_is_total(self):
+        rng = random.Random(3)
+        for _ in range(20):
+            system = random_system(rng, n_states=6, density=0.2)
+            assert all(system.successors(s) for s in system.states)
+            assert system.initial
+
+    def test_random_subsystem_everywhere_implements(self):
+        rng = random.Random(4)
+        for _ in range(30):
+            parent = random_system(rng, n_states=5, density=0.5)
+            child = random_subsystem(rng, parent)
+            assert everywhere_implements(child, parent)
+
+    def test_random_system_custom_states(self):
+        rng = random.Random(5)
+        system = random_system(rng, states=["u", "v"])
+        assert system.states == {"u", "v"}

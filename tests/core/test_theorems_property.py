@@ -1,0 +1,133 @@
+"""Property-based tests: the paper's composition theorems must never be
+falsified by our encodings of box / refinement / stabilization.
+
+A single surviving counterexample instance would mean the core layer is
+unsound; hypothesis shrinks any such instance for diagnosis.
+"""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    box,
+    check_lemma0,
+    check_lemma2,
+    check_theorem1,
+    check_theorem4,
+    everywhere_implements,
+    implements,
+    is_stabilizing_to,
+    random_subsystem,
+    random_system,
+)
+
+seeds = st.integers(min_value=0, max_value=10_000)
+sizes = st.integers(min_value=2, max_value=6)
+densities = st.floats(min_value=0.1, max_value=0.9)
+
+
+@settings(max_examples=60, deadline=None)
+@given(seed=seeds, n=sizes, density=densities)
+def test_lemma0_never_falsified(seed, n, density):
+    rng = random.Random(seed)
+    abstract = random_system(rng, n, density, "A")
+    concrete = random_subsystem(rng, abstract, "C")
+    wrapper_spec = random_system(
+        rng, n, density, "W", states=sorted(abstract.states)
+    )
+    wrapper_impl = random_subsystem(rng, wrapper_spec, "W'")
+    assert check_lemma0(concrete, abstract, wrapper_impl, wrapper_spec)
+
+
+@settings(max_examples=60, deadline=None)
+@given(seed=seeds, n=sizes, density=densities)
+def test_theorem1_never_falsified(seed, n, density):
+    rng = random.Random(seed)
+    abstract = random_system(rng, n, density, "A")
+    concrete = random_subsystem(rng, abstract, "C")
+    wrapper_spec = random_system(
+        rng, n, density, "W", states=sorted(abstract.states)
+    )
+    wrapper_impl = random_subsystem(rng, wrapper_spec, "W'")
+    assert check_theorem1(concrete, abstract, wrapper_impl, wrapper_spec)
+
+
+@settings(max_examples=40, deadline=None)
+@given(seed=seeds, n=st.integers(min_value=2, max_value=4))
+def test_lemma2_never_falsified(seed, n):
+    rng = random.Random(seed)
+    states = [f"q{i}" for i in range(n)]
+    locals_a = [
+        random_system(rng, n, 0.5, f"A{i}", states=list(states))
+        for i in range(2)
+    ]
+    locals_c = [random_subsystem(rng, a, f"C{i}") for i, a in enumerate(locals_a)]
+    assert check_lemma2(locals_c, locals_a)
+
+
+@settings(max_examples=30, deadline=None)
+@given(seed=seeds)
+def test_theorem4_never_falsified(seed):
+    rng = random.Random(seed)
+    states = ["q0", "q1", "q2"]
+    locals_a = [
+        random_system(rng, 3, 0.5, f"A{i}", states=list(states))
+        for i in range(2)
+    ]
+    locals_c = [random_subsystem(rng, a, f"C{i}") for i, a in enumerate(locals_a)]
+    locals_w = [
+        random_system(rng, 3, 0.4, f"W{i}", states=list(states))
+        for i in range(2)
+    ]
+    locals_wi = [random_subsystem(rng, w, f"W'{i}") for i, w in enumerate(locals_w)]
+    assert check_theorem4(locals_c, locals_a, locals_wi, locals_w)
+
+
+@settings(max_examples=60, deadline=None)
+@given(seed=seeds, n=sizes, density=densities)
+def test_everywhere_implies_init_implements(seed, n, density):
+    """[C => A] plus shared initials implies [C => A]init."""
+    rng = random.Random(seed)
+    abstract = random_system(rng, n, density, "A")
+    concrete = random_subsystem(rng, abstract, "C")
+    if everywhere_implements(concrete, abstract):
+        assert implements(concrete, abstract)
+
+
+@settings(max_examples=60, deadline=None)
+@given(seed=seeds, n=sizes, density=densities)
+def test_everywhere_and_self_stabilizing_implies_stabilizing(seed, n, density):
+    """The paper's first observation: [C => A] and A stab A => C stab A."""
+    rng = random.Random(seed)
+    abstract = random_system(rng, n, density, "A")
+    concrete = random_subsystem(rng, abstract, "C")
+    if everywhere_implements(concrete, abstract) and is_stabilizing_to(
+        abstract, abstract
+    ):
+        assert is_stabilizing_to(concrete, abstract)
+
+
+@settings(max_examples=60, deadline=None)
+@given(seed=seeds, n=sizes)
+def test_box_monotone_in_both_arguments(seed, n):
+    """Box is monotone: refining either side refines the composition."""
+    rng = random.Random(seed)
+    left = random_system(rng, n, 0.5, "L")
+    right = random_system(rng, n, 0.5, "R", states=sorted(left.states))
+    left_sub = random_subsystem(rng, left, "L'")
+    right_sub = random_subsystem(rng, right, "R'")
+    assert everywhere_implements(box(left_sub, right_sub), box(left, right))
+
+
+@settings(max_examples=60, deadline=None)
+@given(seed=seeds, n=sizes, density=densities)
+def test_stabilizing_to_is_reflexive_on_init_closed_systems(seed, n, density):
+    """Any system whose cycles all sit in its init-reachable, self-agreeing
+    region is stabilizing to itself; in particular a system whose every
+    state is reachable from init is always self-stabilizing."""
+    rng = random.Random(seed)
+    system = random_system(rng, n, density, "S")
+    full_init = system.with_initial(sorted(system.states))
+    assert is_stabilizing_to(full_init, full_init)

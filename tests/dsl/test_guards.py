@@ -1,0 +1,96 @@
+"""Unit tests for the guarded-command DSL primitives."""
+
+import pytest
+
+from repro.dsl import (
+    Effect,
+    GuardedAction,
+    LocalView,
+    Send,
+    action,
+    always_enabled,
+    sends_to_all,
+)
+
+
+class TestLocalView:
+    def test_attribute_and_item_access(self):
+        view = LocalView({"x": 1, "a.b": 2})
+        assert view.x == 1
+        assert view["a.b"] == 2
+
+    def test_missing_attribute(self):
+        with pytest.raises(AttributeError):
+            LocalView({}).nothing
+
+    def test_read_only(self):
+        view = LocalView({"x": 1})
+        with pytest.raises(AttributeError):
+            view.x = 2
+
+    def test_contains_and_as_dict(self):
+        view = LocalView({"x": 1})
+        assert "x" in view and "y" not in view
+        assert view.as_dict() == {"x": 1}
+
+    def test_as_dict_is_copy(self):
+        view = LocalView({"x": 1})
+        d = view.as_dict()
+        d["x"] = 9
+        assert view.x == 1
+
+
+class TestEffect:
+    def test_defaults_empty(self):
+        e = Effect()
+        assert not e.updates and not e.sends
+
+    def test_none_helper(self):
+        assert Effect.none().updates == {}
+
+    def test_merged_with_right_bias(self):
+        left = Effect({"x": 1, "y": 1}, (Send("p", "k", 0),))
+        right = Effect({"y": 2}, (Send("q", "k", 1),))
+        merged = left.merged_with(right)
+        assert merged.updates == {"x": 1, "y": 2}
+        assert [s.receiver for s in merged.sends] == ["p", "q"]
+
+    def test_sends_normalized_to_tuple(self):
+        e = Effect(sends=[Send("p", "k", 1)])
+        assert isinstance(e.sends, tuple)
+
+
+class TestGuardedAction:
+    def test_enabled_and_execute(self):
+        act = action(
+            "inc",
+            lambda v: v.x < 2,
+            lambda v: Effect({"x": v.x + 1}),
+        )
+        view = LocalView({"x": 1})
+        assert act.enabled(view)
+        assert act.execute(view).updates == {"x": 2}
+
+    def test_execute_while_disabled_raises(self):
+        act = action("never", lambda v: False, lambda v: Effect())
+        with pytest.raises(RuntimeError):
+            act.execute(LocalView({}))
+
+    def test_always_enabled(self):
+        assert always_enabled(LocalView({}))
+
+    def test_repr_mentions_kind(self):
+        act = GuardedAction("r", always_enabled, lambda v: Effect(), "ping")
+        assert "ping" in repr(act)
+
+
+class TestSendsToAll:
+    def test_broadcast(self):
+        sends = sends_to_all(["a", "b"], "request", lambda k: f"to-{k}")
+        assert sends == (
+            Send("a", "request", "to-a"),
+            Send("b", "request", "to-b"),
+        )
+
+    def test_empty_peers(self):
+        assert sends_to_all([], "request", lambda k: k) == ()

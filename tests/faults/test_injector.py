@@ -1,0 +1,90 @@
+"""Unit tests for the injector combinators."""
+
+import pytest
+
+from repro.faults import (
+    BudgetedFaults,
+    Composite,
+    FaultInjector,
+    NoFaults,
+    Scripted,
+    Windowed,
+)
+
+
+class AlwaysStrikes(FaultInjector):
+    def __init__(self, label="zap"):
+        self.label = label
+        self.calls = 0
+
+    def before_step(self, simulator, step_index):
+        self.calls += 1
+        return [f"{self.label}@{step_index}"]
+
+
+class TestNoFaults:
+    def test_silent(self):
+        assert NoFaults().before_step(None, 0) == []
+
+
+class TestComposite:
+    def test_applies_all_in_order(self):
+        a, b = AlwaysStrikes("a"), AlwaysStrikes("b")
+        out = Composite([a, b]).before_step(None, 3)
+        assert out == ["a@3", "b@3"]
+
+    def test_empty_composite(self):
+        assert Composite([]).before_step(None, 0) == []
+
+
+class TestWindowed:
+    def test_strikes_only_inside_window(self):
+        inner = AlwaysStrikes()
+        window = Windowed(inner, 2, 4)
+        hits = [bool(window.before_step(None, i)) for i in range(6)]
+        assert hits == [False, False, True, True, False, False]
+
+    def test_invalid_window_rejected(self):
+        with pytest.raises(ValueError):
+            Windowed(NoFaults(), 5, 2)
+
+    def test_empty_window_never_strikes(self):
+        window = Windowed(AlwaysStrikes(), 3, 3)
+        assert all(not window.before_step(None, i) for i in range(6))
+
+
+class TestScripted:
+    def test_fires_exactly_on_schedule(self):
+        script = Scripted({2: lambda sim: "boom"})
+        out = [script.before_step(None, i) for i in range(4)]
+        assert out == [[], [], ["boom"], []]
+        assert script.fired == [2]
+
+    def test_receives_simulator(self):
+        seen = {}
+        script = Scripted({0: lambda sim: seen.setdefault("sim", sim) and "" or "x"})
+        script.before_step("SIM", 0)
+        assert seen["sim"] == "SIM"
+
+
+class TestBudgeted:
+    def test_caps_total_faults(self):
+        budgeted = BudgetedFaults(AlwaysStrikes(), budget=2)
+        total = sum(len(budgeted.before_step(None, i)) for i in range(10))
+        assert total == 2
+        assert budgeted.remaining == 0
+
+    def test_zero_budget(self):
+        budgeted = BudgetedFaults(AlwaysStrikes(), budget=0)
+        assert budgeted.before_step(None, 0) == []
+
+    def test_negative_budget_rejected(self):
+        with pytest.raises(ValueError):
+            BudgetedFaults(NoFaults(), budget=-1)
+
+    def test_inner_not_called_after_exhaustion(self):
+        inner = AlwaysStrikes()
+        budgeted = BudgetedFaults(inner, budget=1)
+        for i in range(5):
+            budgeted.before_step(None, i)
+        assert inner.calls == 1

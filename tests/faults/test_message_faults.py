@@ -1,0 +1,135 @@
+"""Unit tests for channel fault injectors (against a real simulator)."""
+
+import random
+
+from repro.faults import (
+    ChannelFlush,
+    MessageCorruption,
+    MessageDuplication,
+    MessageLoss,
+)
+from repro.tme import build_simulation
+
+
+def loaded_sim(seed=1):
+    """A small RA system with some requests in flight."""
+    sim = build_simulation("ra", n=3, seed=seed)
+    # run a few steps so channels carry traffic
+    for _ in range(30):
+        sim.step()
+        if sim.network.in_flight() >= 2:
+            break
+    assert sim.network.in_flight() >= 1
+    return sim
+
+
+class TestMessageLoss:
+    def test_loss_removes_a_message(self):
+        sim = loaded_sim()
+        before = sim.network.in_flight()
+        injector = MessageLoss(random.Random(1), prob=1.0)
+        out = injector.before_step(sim, 0)
+        assert len(out) == 1 and out[0].startswith("loss:")
+        assert sim.network.in_flight() == before - 1
+        assert injector.count == 1
+
+    def test_prob_zero_never_strikes(self):
+        sim = loaded_sim()
+        injector = MessageLoss(random.Random(1), prob=0.0)
+        assert injector.before_step(sim, 0) == []
+
+    def test_no_victim_no_fault(self):
+        sim = build_simulation("ra", n=2, seed=1)
+        injector = MessageLoss(random.Random(1), prob=1.0)
+        assert injector.before_step(sim, 0) == []
+
+
+class TestMessageDuplication:
+    def test_duplicate_adds_copy(self):
+        sim = loaded_sim()
+        before = sim.network.in_flight()
+        injector = MessageDuplication(random.Random(2), prob=1.0)
+        out = injector.before_step(sim, 0)
+        assert out and out[0].startswith("dup:")
+        assert sim.network.in_flight() == before + 1
+
+    def test_duplicate_preserves_payload(self):
+        sim = loaded_sim()
+        chan = sim.network.nonempty_channels()[0]
+        original = list(chan)[0]
+        chan.duplicate_at(0, sim.network.fresh_uid())
+        copies = [m for m in chan if m.payload == original.payload]
+        assert len(copies) >= 2
+
+
+class TestMessageCorruption:
+    def test_default_corrupter_garbles_payload(self):
+        sim = loaded_sim()
+        injector = MessageCorruption(random.Random(3), prob=1.0)
+        out = injector.before_step(sim, 0)
+        assert out and out[0].startswith("corrupt:")
+        garbled = [
+            m
+            for chan in sim.network.nonempty_channels()
+            for m in chan
+            if m.payload == "<garbage>"
+        ]
+        assert garbled
+        assert all(m.send_event_uid is None for m in garbled)
+
+    def test_custom_corrupter_used(self):
+        sim = loaded_sim()
+        injector = MessageCorruption(
+            random.Random(3),
+            prob=1.0,
+            corrupter=lambda m, rng, uid: m.corrupted(uid, payload="EVIL"),
+        )
+        injector.before_step(sim, 0)
+        assert any(
+            m.payload == "EVIL"
+            for chan in sim.network.nonempty_channels()
+            for m in chan
+        )
+
+
+class TestMessageReorder:
+    def test_swaps_head_with_later(self):
+        from repro.faults import MessageReorder
+
+        sim = build_simulation("ra", n=2, seed=1)
+        chan = sim.network.channel("p0", "p1")
+        from repro.clocks import Timestamp
+
+        sim.network.send("request", "p0", "p1", Timestamp(1, "p0"))
+        sim.network.send("request", "p0", "p1", Timestamp(2, "p0"))
+        before = [m.payload for m in chan]
+        injector = MessageReorder(random.Random(3), prob=1.0)
+        out = injector.before_step(sim, 0)
+        assert out and out[0].startswith("reorder:")
+        after = [m.payload for m in chan]
+        assert sorted(map(repr, after)) == sorted(map(repr, before))
+        assert after != before
+
+    def test_needs_two_messages(self):
+        from repro.faults import MessageReorder
+
+        sim = build_simulation("ra", n=2, seed=1)
+        from repro.clocks import Timestamp
+
+        sim.network.send("request", "p0", "p1", Timestamp(1, "p0"))
+        injector = MessageReorder(random.Random(3), prob=1.0)
+        assert injector.before_step(sim, 0) == []
+
+
+class TestChannelFlush:
+    def test_flush_drops_everything(self):
+        sim = loaded_sim()
+        injector = ChannelFlush(random.Random(4), prob=1.0)
+        out = injector.before_step(sim, 0)
+        assert out and "flush" in out[0]
+        assert sim.network.in_flight() == 0
+
+    def test_flush_on_empty_network_is_silent(self):
+        sim = build_simulation("ra", n=2, seed=1)
+        injector = ChannelFlush(random.Random(4), prob=1.0)
+        assert injector.before_step(sim, 0) == []

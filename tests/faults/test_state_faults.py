@@ -1,0 +1,121 @@
+"""Unit tests for process-state fault injectors."""
+
+import random
+
+from repro.clocks import Timestamp
+from repro.faults import CrashRecover, ImproperInitialization, StateCorruption
+from repro.tme import build_simulation, garbage_channel_filler, scramble_tme_state
+
+
+class TestStateCorruption:
+    def test_corrupts_one_process(self):
+        sim = build_simulation("ra", n=3, seed=1)
+        baseline = {
+            pid: dict(proc.variables) for pid, proc in sim.processes.items()
+        }
+        injector = StateCorruption(
+            random.Random(5), prob=1.0, scrambler=scramble_tme_state
+        )
+        changed: list[str] = []
+        for attempt in range(10):
+            out = injector.before_step(sim, attempt)
+            assert len(out) == 1 and out[0].startswith("state-corrupt:")
+            changed = [
+                pid
+                for pid, proc in sim.processes.items()
+                if dict(proc.variables) != baseline[pid]
+            ]
+            if changed:
+                break
+        # the scrambler may draw values equal to the current ones, but ten
+        # draws changing nothing would be a bug
+        assert changed
+
+    def test_prob_zero(self):
+        sim = build_simulation("ra", n=2, seed=1)
+        injector = StateCorruption(
+            random.Random(5), prob=0.0, scrambler=scramble_tme_state
+        )
+        assert injector.before_step(sim, 0) == []
+
+    def test_scrambler_respects_domains(self):
+        sim = build_simulation("lamport", n=3, seed=1)
+        rng = random.Random(9)
+        for _ in range(50):
+            proc = sim.processes["p0"]
+            updates = scramble_tme_state(proc, rng)
+            for name, value in updates.items():
+                if name == "phase":
+                    assert value in ("t", "h", "e")
+                elif name in ("lc", "w_timer"):
+                    assert isinstance(value, int) and value >= 0
+                elif name == "req":
+                    assert isinstance(value, Timestamp)
+                elif name == "queue":
+                    assert all(isinstance(e, Timestamp) for e in value)
+                elif name in ("req_of", "received", "grant"):
+                    assert isinstance(value, tuple)
+
+    def test_client_workload_counters_untouched(self):
+        sim = build_simulation("ra", n=2, seed=1)
+        rng = random.Random(0)
+        for _ in range(40):
+            updates = scramble_tme_state(sim.processes["p0"], rng)
+            assert "think_timer" not in updates
+            assert "eat_timer" not in updates
+            assert "sessions_left" not in updates
+
+
+class TestImproperInitialization:
+    def test_fires_once_at_step_zero(self):
+        sim = build_simulation("ra", n=2, seed=1)
+        injector = ImproperInitialization(
+            random.Random(2), scramble_tme_state, garbage_channel_filler
+        )
+        first = injector.before_step(sim, 0)
+        assert any("improper-init" in d for d in first)
+        assert injector.before_step(sim, 1) == []
+        assert injector.before_step(sim, 0) == []  # already fired
+
+    def test_not_at_later_steps(self):
+        sim = build_simulation("ra", n=2, seed=1)
+        injector = ImproperInitialization(random.Random(2), scramble_tme_state)
+        assert injector.before_step(sim, 5) == []
+
+    def test_channel_garbage_preloaded(self):
+        sim = build_simulation("ra", n=2, seed=1)
+        injector = ImproperInitialization(
+            random.Random(7),
+            scramble_tme_state,
+            lambda s, d, rng: garbage_channel_filler(s, d, rng, max_messages=3),
+        )
+        injector.before_step(sim, 0)
+        # with max 3 per channel and 2 channels, some garbage very likely
+        assert sim.network.in_flight() >= 0  # structurally intact
+        for chan in sim.network.channels():
+            for message in chan:
+                assert message.channel() == (chan.src, chan.dst)
+
+
+class TestCrashRecover:
+    def test_resets_to_program_initial(self):
+        sim = build_simulation("ra", n=2, seed=1)
+        proc = sim.processes["p0"]
+        proc.variables["lc"] = 99
+        injector = CrashRecover(random.Random(11), prob=1.0)
+        out = injector.before_step(sim, 0)
+        assert out and out[0].startswith("crash-recover:")
+        reset = [
+            p
+            for p in sim.processes.values()
+            if dict(p.variables) == dict(p.program.initial_vars)
+        ]
+        assert reset
+
+    def test_drops_mail(self):
+        sim = build_simulation("ra", n=2, seed=1)
+        sim.network.send("request", "p0", "p1", Timestamp(1, "p0"))
+        sim.network.send("reply", "p1", "p0", Timestamp(1, "p1"))
+        injector = CrashRecover(random.Random(11), prob=1.0, drop_mail=True)
+        injector.before_step(sim, 0)
+        assert sim.network.in_flight() == 0

@@ -1,0 +1,112 @@
+"""Adversarial schedules: the fairness boundary of the guarantees.
+
+The paper's specifications live in UNITY, whose execution model is weakly
+fair.  Safety (ME1) must survive ANY schedule; liveness (ME2, convergence)
+is only promised under fairness.  These tests pin both sides: an adversary
+cannot manufacture a mutual exclusion violation, but it can starve liveness
+by never scheduling the decisive action -- which is exactly why the
+theorems are stated over fair computations.
+"""
+
+import random
+
+from repro.runtime import AdversarialScheduler, InternalStep, Simulator
+from repro.tme import (
+    ClientConfig,
+    WrapperConfig,
+    check_tme_spec,
+    deadlock_overrides,
+    ra_programs,
+    tme_programs,
+)
+
+
+class TestSafetyUnderAdversary:
+    def test_me1_holds_under_any_schedule(self):
+        """Drive RA with an adversary that always prefers grant actions
+        (trying to shove two processes into the CS): safety must hold."""
+
+        def grant_hungry_policy(candidates, step_index):
+            grants = [
+                c
+                for c in candidates
+                if isinstance(c, InternalStep) and c.action == "ra:grant"
+            ]
+            if grants:
+                return grants[0]
+            return sorted(candidates, key=lambda s: s.key)[
+                step_index % len(candidates)
+            ]
+
+        programs = ra_programs(("p0", "p1", "p2"), ClientConfig(0, 0))
+        sim = Simulator(programs, AdversarialScheduler(grant_hungry_policy))
+        trace = sim.run(1500)
+        report = check_tme_spec(trace)
+        assert not report.me1
+        assert not report.me3
+
+    def test_me1_holds_with_delayed_deliveries(self):
+        """An adversary that starves message delivery as long as anything
+        else is enabled (maximal message delay) still cannot break ME1."""
+
+        def starve_delivery(candidates, step_index):
+            internal = [c for c in candidates if isinstance(c, InternalStep)]
+            pool = internal or candidates
+            return sorted(pool, key=lambda s: s.key)[
+                step_index % len(pool)
+            ]
+
+        programs = ra_programs(("p0", "p1"), ClientConfig(1, 1))
+        sim = Simulator(programs, AdversarialScheduler(starve_delivery))
+        trace = sim.run(1000)
+        assert not check_tme_spec(trace).me1
+
+
+class TestLivenessNeedsFairness:
+    def test_adversary_can_starve_recovery(self):
+        """From the Section-4 deadlock, recovery needs the wrapper's
+        retransmissions to be DELIVERED.  An adversary realizing unbounded
+        message delay (never schedule a delivery while anything else is
+        enabled) starves convergence forever: the wrapper keeps
+        retransmitting into channels nobody drains.  The theorems'
+        weak-fairness premise ("arbitrary but finite delays") is
+        necessary, not decorative."""
+
+        def never_deliver(candidates, step_index):
+            internal = [c for c in candidates if isinstance(c, InternalStep)]
+            pool = internal or candidates
+            return sorted(pool, key=lambda s: s.key)[
+                step_index % len(pool)
+            ]
+
+        programs = tme_programs(
+            "ra", 2, ClientConfig(2, 1), WrapperConfig(theta=0)
+        )
+        overrides = deadlock_overrides("ra", ("p0", "p1"))
+        sim = Simulator(
+            programs,
+            AdversarialScheduler(never_deliver),
+            overrides=overrides,
+        )
+        trace = sim.run(800)
+        report = check_tme_spec(trace)
+        assert sum(r.entries for r in report.me2) == 0
+        assert sim.network.in_flight() > 0  # retransmissions pile up undelivered
+
+    def test_fair_scheduler_recovers_same_configuration(self):
+        """The identical system under a weakly fair scheduler recovers --
+        isolating fairness as the only difference."""
+        from repro.runtime import RandomScheduler
+
+        programs = tme_programs(
+            "ra", 2, ClientConfig(2, 1), WrapperConfig(theta=0)
+        )
+        overrides = deadlock_overrides("ra", ("p0", "p1"))
+        sim = Simulator(
+            programs,
+            RandomScheduler(random.Random(4)),
+            overrides=overrides,
+        )
+        trace = sim.run(800)
+        report = check_tme_spec(trace)
+        assert sum(r.entries for r in report.me2) > 0

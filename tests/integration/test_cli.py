@@ -1,0 +1,97 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import EXPERIMENTS, build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["run"])
+        assert args.algorithm == "ra"
+        assert args.n == 3
+        assert args.theta is None
+        assert args.faults is None
+
+    def test_run_full_flags(self):
+        args = build_parser().parse_args(
+            [
+                "run",
+                "--algorithm", "lamport",
+                "--n", "4",
+                "--seed", "9",
+                "--steps", "500",
+                "--theta", "2",
+                "--faults", "10", "50",
+            ]
+        )
+        assert args.algorithm == "lamport"
+        assert args.faults == [10, 50]
+
+    def test_rejects_unknown_algorithm(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--algorithm", "paxos"])
+
+    def test_experiment_id_validated(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["experiment", "E99"])
+
+
+class TestCommands:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for exp_id in EXPERIMENTS:
+            assert exp_id in out
+
+    def test_figure1(self, capsys):
+        assert main(["figure1"]) == 0
+        out = capsys.readouterr().out
+        assert "HOLDS" in out and "FAILS" in out
+
+    def test_run_wrapped_succeeds(self, capsys):
+        code = main(
+            [
+                "run",
+                "--algorithm", "ra",
+                "--seed", "4",
+                "--steps", "1500",
+                "--theta", "4",
+                "--faults", "80", "250",
+                "--grace", "400",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0, out
+        assert "converged" in out
+
+    def test_run_bare_deadlock_exits_nonzero(self, capsys):
+        """A bare run that fails to stabilize exits 1 (scriptable)."""
+        code = main(
+            [
+                "run",
+                "--algorithm", "lamport",
+                "--seed", "1",
+                "--steps", "1500",
+                "--faults", "80", "300",
+                "--grace", "300",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 1, out
+        assert "NOT converged" in out
+
+    def test_experiment_table_printed(self, capsys):
+        assert main(["experiment", "E7"]) == 0
+        out = capsys.readouterr().out
+        assert "whitebox" in out
+        assert "E7" in out
+
+    def test_experiment_with_seeds(self, capsys):
+        assert main(["experiment", "E3", "--seeds", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "recovered" in out

@@ -1,0 +1,115 @@
+"""End-to-end integration: the paper's headline claims on real runs."""
+
+import pytest
+
+from repro.analysis import cs_entries
+from repro.tme import (
+    WrapperConfig,
+    build_simulation,
+    check_lspec,
+    check_tme_spec,
+    standard_fault_campaign,
+)
+from repro.verification import check_stabilization, verify_run
+
+
+def programs_of(sim):
+    return {pid: proc.program for pid, proc in sim.processes.items()}
+
+
+class TestTheorem8EndToEnd:
+    """M box W is stabilizing for every everywhere-implementation M."""
+
+    @pytest.mark.parametrize("algorithm", ["ra", "lamport"])
+    @pytest.mark.parametrize("seed", [11, 12])
+    def test_wrapped_system_stabilizes(self, algorithm, seed):
+        sim = build_simulation(
+            algorithm,
+            n=3,
+            seed=seed,
+            wrapper=WrapperConfig(theta=4),
+            fault_hook=standard_fault_campaign(
+                seed=seed + 100, start=80, stop=320
+            ),
+            deliver_bias=2.0,
+        )
+        trace = sim.run(2600)
+        assert len(trace.fault_step_indices()) > 5, "campaign must strike"
+        result = check_stabilization(trace, liveness_grace=450)
+        assert result.converged, result.detail
+        assert result.entries_after >= 1
+
+    @pytest.mark.parametrize("algorithm", ["ra", "lamport"])
+    def test_lspec_clean_on_faultfree_suffix(self, algorithm):
+        sim = build_simulation(
+            algorithm,
+            n=3,
+            seed=21,
+            wrapper=WrapperConfig(theta=4),
+            fault_hook=standard_fault_campaign(seed=5, start=80, stop=250),
+            deliver_bias=2.0,
+        )
+        trace = sim.run(2400)
+        horizon = trace.last_fault_index() + 1
+        report = check_lspec(trace, programs_of(sim), start=horizon)
+        for name, clause in report.clauses.items():
+            assert not clause.violations, (name, clause.violations[:3])
+
+
+class TestSeparationOfLevels:
+    """The paper's level-1/level-2 decomposition: internal consistency is
+    the implementation's duty (no level-1 wrapper needed for Lspec);
+    mutual consistency is W's duty."""
+
+    def test_internal_consistency_restored_without_wrapper(self):
+        """After pure state corruption, each UNWRAPPED process returns to
+        internally consistent behaviour (Lspec transitions clean) -- it is
+        only MUTUAL consistency that may stay broken (deadlock)."""
+        import random
+
+        from repro.faults import StateCorruption, Windowed
+        from repro.runtime import RandomScheduler, Simulator
+        from repro.tme import ra_programs, scramble_tme_state
+
+        programs = ra_programs(("p0", "p1", "p2"))
+        sim = Simulator(
+            programs,
+            RandomScheduler(random.Random(33)),
+            fault_hook=Windowed(
+                StateCorruption(random.Random(34), 0.5, scramble_tme_state),
+                20,
+                60,
+            ),
+        )
+        trace = sim.run(1500)
+        report = check_lspec(trace, programs, start=61)
+        for name, clause in report.clauses.items():
+            assert not clause.violations, (name, clause.violations[:3])
+
+
+class TestWholeRunAccounting:
+    def test_violations_only_near_faults(self):
+        """ME1 violations in a wrapped run cluster in/after the fault
+        window and die out; the tail is clean."""
+        sim = build_simulation(
+            "ra",
+            n=3,
+            seed=31,
+            wrapper=WrapperConfig(theta=4),
+            fault_hook=standard_fault_campaign(seed=6, start=100, stop=300),
+            deliver_bias=2.0,
+        )
+        trace = sim.run(3000)
+        report = check_tme_spec(trace)
+        if report.me1:
+            assert max(report.me1) < 2400, "violations must die out"
+        tail = check_tme_spec(trace, start=2400)
+        assert not tail.me1
+
+    def test_verify_run_bundle_consistent(self):
+        sim = build_simulation("lamport", n=3, seed=41)
+        trace = sim.run(1200)
+        bundle = verify_run(trace, programs_of(sim), liveness_grace=250)
+        assert bundle.tme.holds(liveness_grace=250)
+        assert bundle.lspec.ok(grace=250)
+        assert cs_entries(trace) == sum(r.entries for r in bundle.tme.me2)

@@ -1,0 +1,117 @@
+"""Unit + property tests for FifoChannel (Communication Spec)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.runtime import FifoChannel, Message
+
+
+def msg(uid, payload="x"):
+    return Message(uid, "kind", "a", "b", payload)
+
+
+def channel_with(*messages):
+    chan = FifoChannel("a", "b")
+    for m in messages:
+        chan.enqueue(m)
+    return chan
+
+
+class TestFifoBasics:
+    def test_enqueue_dequeue_order(self):
+        chan = channel_with(msg(1), msg(2), msg(3))
+        assert [chan.dequeue().uid for _ in range(3)] == [1, 2, 3]
+
+    def test_peek_does_not_remove(self):
+        chan = channel_with(msg(1))
+        assert chan.peek().uid == 1
+        assert len(chan) == 1
+
+    def test_peek_empty_is_none(self):
+        assert FifoChannel("a", "b").peek() is None
+
+    def test_dequeue_empty_raises(self):
+        with pytest.raises(IndexError):
+            FifoChannel("a", "b").dequeue()
+
+    def test_wrong_channel_rejected(self):
+        chan = FifoChannel("a", "b")
+        with pytest.raises(ValueError):
+            chan.enqueue(Message(1, "k", "x", "y", None))
+
+    def test_counters(self):
+        chan = channel_with(msg(1), msg(2))
+        chan.dequeue()
+        assert chan.total_enqueued == 2
+        assert chan.total_delivered == 1
+
+    def test_snapshot_order(self):
+        chan = channel_with(msg(1), msg(2))
+        assert [m.uid for m in chan.snapshot()] == [1, 2]
+
+
+class TestFaultSurface:
+    def test_drop_at(self):
+        chan = channel_with(msg(1), msg(2), msg(3))
+        dropped = chan.drop_at(1)
+        assert dropped.uid == 2
+        assert [m.uid for m in chan] == [1, 3]
+
+    def test_duplicate_at_preserves_fifo_of_copies(self):
+        chan = channel_with(msg(1), msg(2))
+        dup = chan.duplicate_at(0, new_uid=99)
+        assert dup.uid == 99
+        assert [m.uid for m in chan] == [1, 99, 2]
+        assert dup.payload == msg(1).payload
+
+    def test_corrupt_at(self):
+        chan = channel_with(msg(1, payload="good"))
+        chan.corrupt_at(0, lambda m: m.corrupted(50, payload="bad"))
+        head = chan.peek()
+        assert head.payload == "bad"
+        assert head.send_event_uid is None
+
+    def test_corrupt_must_not_move_channels(self):
+        chan = channel_with(msg(1))
+        with pytest.raises(ValueError):
+            chan.corrupt_at(
+                0, lambda m: Message(9, m.kind, "other", "b", m.payload)
+            )
+
+    def test_replace_contents(self):
+        chan = channel_with(msg(1))
+        chan.replace_contents([msg(7), msg(8)])
+        assert [m.uid for m in chan] == [7, 8]
+
+    def test_replace_rejects_foreign(self):
+        chan = FifoChannel("a", "b")
+        with pytest.raises(ValueError):
+            chan.replace_contents([Message(1, "k", "x", "y", None)])
+
+    def test_clear(self):
+        chan = channel_with(msg(1), msg(2))
+        assert chan.clear() == 2
+        assert chan.empty
+
+
+@given(
+    payloads=st.lists(st.integers(), max_size=20),
+    interleave=st.lists(st.booleans(), max_size=40),
+)
+def test_fifo_property(payloads, interleave):
+    """Whatever interleaving of enqueues and dequeues, delivery order is a
+    prefix-respecting subsequence of enqueue order."""
+    chan = FifoChannel("a", "b")
+    pending = list(payloads)
+    sent, received = [], []
+    uid = 0
+    for do_send in interleave:
+        if do_send and pending:
+            uid += 1
+            value = pending.pop(0)
+            chan.enqueue(msg(uid, value))
+            sent.append(value)
+        elif not chan.empty:
+            received.append(chan.dequeue().payload)
+    assert received == sent[: len(received)]

@@ -1,0 +1,37 @@
+"""Unit tests for Message."""
+
+from repro.runtime import Message
+
+
+def test_fields_and_channel():
+    m = Message(1, "request", "a", "b", 42, send_event_uid=7)
+    assert m.channel() == ("a", "b")
+    assert m.payload == 42
+
+
+def test_corrupted_severs_causality():
+    m = Message(1, "request", "a", "b", 42, send_event_uid=7)
+    c = m.corrupted(2, payload="junk")
+    assert c.uid == 2
+    assert c.payload == "junk"
+    assert c.send_event_uid is None
+    assert c.kind == "request"
+    # original untouched
+    assert m.payload == 42 and m.send_event_uid == 7
+
+
+def test_corrupted_can_flip_kind():
+    m = Message(1, "request", "a", "b", 42)
+    assert m.corrupted(2, kind="reply").kind == "reply"
+
+
+def test_duplicated_keeps_causality():
+    m = Message(1, "request", "a", "b", 42, send_event_uid=7)
+    d = m.duplicated(9)
+    assert d.uid == 9
+    assert d.send_event_uid == 7
+    assert d.payload == m.payload
+
+
+def test_repr_mentions_route():
+    assert "a->b" in repr(Message(1, "k", "a", "b", None))

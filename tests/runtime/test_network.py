@@ -1,0 +1,74 @@
+"""Unit tests for Network."""
+
+import pytest
+
+from repro.runtime import Network
+
+
+def net():
+    return Network(["p0", "p1", "p2"])
+
+
+class TestTopology:
+    def test_complete_directed_graph(self):
+        n = net()
+        for a in n.pids:
+            for b in n.pids:
+                if a != b:
+                    assert n.channel(a, b) is not None
+
+    def test_no_self_channel(self):
+        with pytest.raises(KeyError):
+            net().channel("p0", "p0")
+
+    def test_duplicate_pids_rejected(self):
+        with pytest.raises(ValueError):
+            Network(["a", "a"])
+
+    def test_pids_sorted(self):
+        assert Network(["b", "a"]).pids == ("a", "b")
+
+
+class TestSending:
+    def test_send_enqueues(self):
+        n = net()
+        m = n.send("request", "p0", "p1", 42)
+        assert n.channel("p0", "p1").peek() is m
+        assert n.in_flight() == 1
+
+    def test_uids_unique(self):
+        n = net()
+        m1 = n.send("k", "p0", "p1", 1)
+        m2 = n.send("k", "p0", "p2", 2)
+        assert m1.uid != m2.uid
+
+    def test_accounting_by_kind(self):
+        n = net()
+        n.send("request", "p0", "p1", 1)
+        n.send("request", "p1", "p0", 2)
+        n.send("reply", "p0", "p2", 3)
+        assert n.sent_by_kind == {"request": 2, "reply": 1}
+        assert n.total_sent() == 3
+
+    def test_nonempty_channels(self):
+        n = net()
+        n.send("k", "p0", "p1", 1)
+        nonempty = n.nonempty_channels()
+        assert len(nonempty) == 1
+        assert (nonempty[0].src, nonempty[0].dst) == ("p0", "p1")
+
+    def test_flush_all(self):
+        n = net()
+        n.send("k", "p0", "p1", 1)
+        n.send("k", "p1", "p2", 2)
+        assert n.flush_all() == 2
+        assert n.in_flight() == 0
+
+    def test_snapshot_sorted_and_complete(self):
+        n = net()
+        n.send("k", "p2", "p0", 5)
+        snap = n.snapshot()
+        keys = [key for key, _content in snap]
+        assert keys == sorted(keys)
+        contents = dict(snap)
+        assert [m.payload for m in contents[("p2", "p0")]] == [5]

@@ -1,0 +1,118 @@
+"""Unit tests for the schedulers."""
+
+import random
+
+import pytest
+
+from repro.runtime import (
+    AdversarialScheduler,
+    DeliverStep,
+    InternalStep,
+    RandomScheduler,
+    RoundRobinScheduler,
+)
+
+CANDIDATES = [
+    DeliverStep("p0", "p1"),
+    InternalStep("p0", "act-a"),
+    InternalStep("p1", "act-b"),
+]
+
+
+class TestRandomScheduler:
+    def test_chooses_candidate(self):
+        sched = RandomScheduler(random.Random(1))
+        for i in range(20):
+            assert sched.choose(CANDIDATES, i) in CANDIDATES
+
+    def test_deterministic_under_seed(self):
+        a = [
+            RandomScheduler(random.Random(7)).choose(CANDIDATES, i)
+            for i in range(5)
+        ]
+        b = [
+            RandomScheduler(random.Random(7)).choose(CANDIDATES, i)
+            for i in range(5)
+        ]
+        assert a == b
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            RandomScheduler(random.Random(1)).choose([], 0)
+
+    def test_bias_must_be_positive(self):
+        with pytest.raises(ValueError):
+            RandomScheduler(random.Random(1), deliver_bias=0)
+
+    def test_deliver_bias_shifts_distribution(self):
+        rng = random.Random(3)
+        biased = RandomScheduler(rng, deliver_bias=20.0)
+        picks = [biased.choose(CANDIDATES, i) for i in range(300)]
+        deliver_share = sum(
+            1 for p in picks if isinstance(p, DeliverStep)
+        ) / len(picks)
+        assert deliver_share > 0.7
+
+    def test_weak_fairness_statistically(self):
+        sched = RandomScheduler(random.Random(5))
+        picks = {s.key: 0 for s in CANDIDATES}
+        for i in range(600):
+            picks[sched.choose(CANDIDATES, i).key] += 1
+        assert all(count > 100 for count in picks.values())
+
+
+class TestRoundRobinScheduler:
+    def test_serves_least_recent(self):
+        sched = RoundRobinScheduler()
+        first = sched.choose(CANDIDATES, 0)
+        second = sched.choose(CANDIDATES, 1)
+        third = sched.choose(CANDIDATES, 2)
+        assert {first.key, second.key, third.key} == {
+            s.key for s in CANDIDATES
+        }
+
+    def test_weakly_fair_by_construction(self):
+        sched = RoundRobinScheduler()
+        window = [sched.choose(CANDIDATES, i) for i in range(9)]
+        for candidate in CANDIDATES:
+            assert window.count(candidate) == 3
+
+    def test_handles_changing_candidate_sets(self):
+        sched = RoundRobinScheduler()
+        only_two = CANDIDATES[:2]
+        picks = [sched.choose(only_two, i) for i in range(4)]
+        assert picks.count(only_two[0]) == 2
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            RoundRobinScheduler().choose([], 0)
+
+
+class TestAdversarialScheduler:
+    def test_follows_policy(self):
+        sched = AdversarialScheduler(lambda cands, i: cands[0])
+        assert sched.choose(CANDIDATES, 0) == CANDIDATES[0]
+
+    def test_rejects_non_candidate(self):
+        rogue = AdversarialScheduler(
+            lambda cands, i: InternalStep("ghost", "x")
+        )
+        with pytest.raises(ValueError):
+            rogue.choose(CANDIDATES, 0)
+
+    def test_can_starve_a_step(self):
+        """An adversary may never serve act-b -- the schedulers make no
+        fairness promise here, which is why liveness claims are stated
+        under weak fairness only."""
+        avoid_b = AdversarialScheduler(
+            lambda cands, i: next(
+                c for c in cands if getattr(c, "action", None) != "act-b"
+            )
+        )
+        picks = [avoid_b.choose(CANDIDATES, i) for i in range(50)]
+        assert all(getattr(p, "action", None) != "act-b" for p in picks)
+
+
+def test_step_keys_distinct():
+    keys = {s.key for s in CANDIDATES}
+    assert len(keys) == 3

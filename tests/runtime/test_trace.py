@@ -1,0 +1,108 @@
+"""Unit tests for GlobalState / StepRecord / Trace."""
+
+import pytest
+
+from repro.runtime import GlobalState, StepRecord, Trace
+
+
+def gs(phase0="t", phase1="h", channel=()):
+    return GlobalState(
+        processes=(
+            ("p0", (("phase", phase0), ("x", 1))),
+            ("p1", (("phase", phase1),)),
+        ),
+        channels=((("p0", "p1"), tuple(channel)),),
+    )
+
+
+class TestGlobalState:
+    def test_var_lookup(self):
+        assert gs().var("p0", "phase") == "t"
+        assert gs().var("p0", "x") == 1
+
+    def test_var_missing(self):
+        with pytest.raises(KeyError):
+            gs().var("p0", "nope")
+        with pytest.raises(KeyError):
+            gs().var("ghost", "phase")
+
+    def test_has_var(self):
+        assert gs().has_var("p0", "x")
+        assert not gs().has_var("p1", "x")
+
+    def test_process_vars(self):
+        assert gs().process_vars("p1") == {"phase": "h"}
+
+    def test_pids(self):
+        assert gs().pids() == ("p0", "p1")
+
+    def test_channel_contents(self):
+        state = gs(channel=[("request", 5)])
+        assert state.channel_contents("p0", "p1") == (("request", 5),)
+        with pytest.raises(KeyError):
+            state.channel_contents("p1", "p0")
+
+    def test_messages_in_flight(self):
+        assert gs(channel=[("a", 1), ("b", 2)]).messages_in_flight() == 2
+
+    def test_local_projection(self):
+        local = gs().local_projection("p1")
+        assert local.pids() == ("p1",)
+        assert local.channels == ()
+
+    def test_hashable(self):
+        assert hash(gs()) == hash(gs())
+
+
+class TestStepRecord:
+    def test_wrapper_step_detection(self):
+        assert StepRecord(0, "internal", "p0", action="W:correct").is_wrapper_step
+        assert not StepRecord(0, "internal", "p0", action="ra:grant").is_wrapper_step
+        assert not StepRecord(0, "stutter").is_wrapper_step
+
+
+class TestTrace:
+    def make_trace(self):
+        trace = Trace()
+        trace.states = [gs("t"), gs("h"), gs("e")]
+        trace.steps = [
+            StepRecord(0, "internal", "p0", action="a", sends=(("request", "p1"),)),
+            StepRecord(
+                1,
+                "internal",
+                "p0",
+                action="W:correct",
+                sends=(("request", "p1"),),
+                faults=("zap",),
+            ),
+        ]
+        return trace
+
+    def test_sequence_protocol(self):
+        trace = self.make_trace()
+        assert len(trace) == 3
+        assert trace[0].var("p0", "phase") == "t"
+        assert trace.final.var("p0", "phase") == "e"
+        assert len(list(iter(trace))) == 3
+
+    def test_last_fault_index(self):
+        assert self.make_trace().last_fault_index() == 1
+        assert Trace().last_fault_index() is None
+
+    def test_states_where(self):
+        trace = self.make_trace()
+        hungry = trace.states_where(lambda s: s.var("p0", "phase") == "h")
+        assert hungry == [1]
+
+    def test_count_sends(self):
+        trace = self.make_trace()
+        assert trace.count_sends() == 2
+        assert trace.count_sends(kind="request") == 2
+        assert trace.count_sends(kind="reply") == 0
+        assert trace.count_sends(wrapper_only=True) == 1
+
+    def test_fault_step_indices(self):
+        assert self.make_trace().fault_step_indices() == [1]
+
+    def test_suffix_states(self):
+        assert len(self.make_trace().suffix_states(1)) == 2

@@ -1,0 +1,109 @@
+"""Unit tests for the client workload layer."""
+
+import pytest
+
+from repro.dsl import LocalView
+from repro.tme.client import (
+    ClientConfig,
+    client_tick_actions,
+    client_vars,
+    may_release,
+    on_release_updates,
+    on_request_updates,
+    wants_cs,
+)
+
+
+def view(**kwargs):
+    base = {
+        "phase": "t",
+        "think_timer": 0,
+        "eat_timer": 0,
+        "sessions_left": -1,
+    }
+    base.update(kwargs)
+    return LocalView(base)
+
+
+class TestConfig:
+    def test_negative_delays_rejected(self):
+        with pytest.raises(ValueError):
+            ClientConfig(think_delay=-1)
+        with pytest.raises(ValueError):
+            ClientConfig(eat_delay=-1)
+
+    def test_negative_sessions_rejected(self):
+        with pytest.raises(ValueError):
+            ClientConfig(max_sessions=-1)
+
+    def test_client_vars(self):
+        assert client_vars(ClientConfig(3, 2, max_sessions=5)) == {
+            "think_timer": 3,
+            "eat_timer": 2,
+            "sessions_left": 5,
+        }
+
+    def test_unbounded_sessions_encoded_as_minus_one(self):
+        assert client_vars(ClientConfig())["sessions_left"] == -1
+
+
+class TestGuards:
+    def test_wants_cs_when_ready(self):
+        assert wants_cs(view())
+
+    def test_wants_cs_blocked_by_timer(self):
+        assert not wants_cs(view(think_timer=2))
+
+    def test_wants_cs_robust_to_negative_timer(self):
+        assert wants_cs(view(think_timer=-5))
+
+    def test_wants_cs_blocked_by_phase(self):
+        assert not wants_cs(view(phase="h"))
+
+    def test_wants_cs_blocked_when_sessions_exhausted(self):
+        assert not wants_cs(view(sessions_left=0))
+
+    def test_may_release(self):
+        assert may_release(view(phase="e"))
+        assert not may_release(view(phase="e", eat_timer=1))
+        assert not may_release(view(phase="h"))
+        assert may_release(view(phase="e", eat_timer=-2))
+
+
+class TestBookkeeping:
+    def test_request_decrements_sessions(self):
+        cfg = ClientConfig(max_sessions=2)
+        assert on_request_updates(view(sessions_left=2), cfg) == {
+            "sessions_left": 1
+        }
+
+    def test_unbounded_sessions_stay_unbounded(self):
+        cfg = ClientConfig()
+        assert on_request_updates(view(sessions_left=-1), cfg) == {
+            "sessions_left": -1
+        }
+
+    def test_release_resets_timers(self):
+        cfg = ClientConfig(think_delay=4, eat_delay=2)
+        assert on_release_updates(cfg) == {"think_timer": 4, "eat_timer": 2}
+
+
+class TestTickActions:
+    def test_think_tick(self):
+        think, eat = client_tick_actions(ClientConfig())
+        v = view(think_timer=2)
+        assert think.enabled(v)
+        assert think.execute(v).updates == {"think_timer": 1}
+        assert not eat.enabled(v)
+
+    def test_eat_tick(self):
+        think, eat = client_tick_actions(ClientConfig())
+        v = view(phase="e", eat_timer=1)
+        assert eat.enabled(v)
+        assert eat.execute(v).updates == {"eat_timer": 0}
+        assert not think.enabled(v)
+
+    def test_ticks_disabled_at_zero(self):
+        think, eat = client_tick_actions(ClientConfig())
+        assert not think.enabled(view(think_timer=0))
+        assert not eat.enabled(view(phase="e", eat_timer=0))

@@ -1,0 +1,271 @@
+"""Unit + behavioural tests for Lamport_ME and its derived adapter."""
+
+from repro.clocks import Timestamp
+from repro.dsl import LocalView
+from repro.runtime import RoundRobinScheduler, Simulator
+from repro.tme import (
+    ClientConfig,
+    build_simulation,
+    check_tme_spec,
+    lamport_adapter,
+    lamport_program,
+    lamport_programs,
+    tmap,
+)
+from repro.tme.lamport_me import (
+    blocking_entry,
+    queue_insert,
+    queue_remove_pid,
+)
+
+PIDS = ("p0", "p1")
+
+
+def lam_view(**over):
+    base = {
+        "phase": "t",
+        "lc": 0,
+        "req": Timestamp(0, "p0"),
+        "queue": (),
+        "grant": tmap({"p1": False}),
+        "think_timer": 0,
+        "eat_timer": 0,
+        "sessions_left": -1,
+        "_pid": "p0",
+        "_peers": ("p1",),
+    }
+    base.update(over)
+    return LocalView(base)
+
+
+def act(name):
+    prog = lamport_program("p0", PIDS, ClientConfig(0, 0))
+    return next(
+        a for a in prog.actions + prog.receive_actions if a.name == name
+    )
+
+
+class TestQueuePrimitives:
+    def test_insert_sorted(self):
+        q = queue_insert((), Timestamp(5, "p1"))
+        q = queue_insert(q, Timestamp(2, "p0"))
+        assert q == (Timestamp(2, "p0"), Timestamp(5, "p1"))
+
+    def test_insert_replaces_same_pid(self):
+        """Modification 1: at most one request per process."""
+        q = (Timestamp(2, "p1"), Timestamp(5, "p0"))
+        q2 = queue_insert(q, Timestamp(9, "p1"))
+        assert q2 == (Timestamp(5, "p0"), Timestamp(9, "p1"))
+
+    def test_insert_drops_garbage(self):
+        q2 = queue_insert(("junk",), Timestamp(1, "p0"))
+        assert q2 == (Timestamp(1, "p0"),)
+
+    def test_remove_pid(self):
+        q = (Timestamp(2, "p1"), Timestamp(5, "p0"))
+        assert queue_remove_pid(q, "p1") == (Timestamp(5, "p0"),)
+
+    def test_blocking_entry_ignores_own(self):
+        """Modification 2: our own (possibly stale) entry cannot block us."""
+        q = (Timestamp(1, "p0"), Timestamp(3, "p1"))
+        # own stale entry at ts 1 is ignored; p1's entry (3) is NOT earlier
+        assert blocking_entry(q, Timestamp(2, "p0"), "p0") is None
+
+    def test_blocking_entry_found(self):
+        q = (Timestamp(1, "p1"),)
+        assert blocking_entry(q, Timestamp(5, "p0"), "p0") == Timestamp(1, "p1")
+
+
+class TestActions:
+    def test_request_inserts_own_and_broadcasts(self):
+        effect = act("lamport:request").execute(lam_view())
+        assert effect.updates["phase"] == "h"
+        assert effect.updates["queue"] == (Timestamp(1, "p0"),)
+        assert [(s.kind, s.receiver) for s in effect.sends] == [
+            ("request", "p1")
+        ]
+
+    def test_recv_request_always_replies(self):
+        v = lam_view(
+            phase="h",
+            lc=5,
+            req=Timestamp(5, "p0"),
+            _msg=Timestamp(9, "p1"),
+            _sender="p1",
+        )
+        effect = act("lamport:recv-request").body(v)
+        assert [(s.kind, s.receiver) for s in effect.sends] == [("reply", "p1")]
+        assert Timestamp(9, "p1") in effect.updates["queue"]
+
+    def test_recv_reply_sets_grant(self):
+        v = lam_view(phase="h", _msg=Timestamp(9, "p1"), _sender="p1")
+        effect = act("lamport:recv-reply").body(v)
+        assert dict(effect.updates["grant"])["p1"] is True
+
+    def test_recv_release_removes_entry(self):
+        v = lam_view(
+            queue=(Timestamp(3, "p1"),), _msg=Timestamp(9, "p1"), _sender="p1"
+        )
+        effect = act("lamport:recv-release").body(v)
+        assert effect.updates["queue"] == ()
+
+    def test_grant_needs_all_grants_and_head(self):
+        grant = act("lamport:grant")
+        ungranted = lam_view(
+            phase="h", req=Timestamp(5, "p0"), queue=(Timestamp(5, "p0"),)
+        )
+        assert not grant.enabled(ungranted)
+        blocked = lam_view(
+            phase="h",
+            req=Timestamp(5, "p0"),
+            queue=(Timestamp(1, "p1"), Timestamp(5, "p0")),
+            grant=tmap({"p1": True}),
+        )
+        assert not grant.enabled(blocked)
+        ready = lam_view(
+            phase="h",
+            req=Timestamp(5, "p0"),
+            queue=(Timestamp(5, "p0"), Timestamp(9, "p1")),
+            grant=tmap({"p1": True}),
+        )
+        assert grant.enabled(ready)
+
+    def test_grant_with_corrupted_empty_queue(self):
+        """Modification 2: an empty queue cannot block an entitled process."""
+        ready = lam_view(
+            phase="h",
+            req=Timestamp(5, "p0"),
+            queue=(),
+            grant=tmap({"p1": True}),
+        )
+        assert act("lamport:grant").enabled(ready)
+
+    def test_release_clears_grants_and_broadcasts(self):
+        v = lam_view(
+            phase="e",
+            lc=7,
+            req=Timestamp(5, "p0"),
+            queue=(Timestamp(5, "p0"),),
+            grant=tmap({"p1": True}),
+        )
+        effect = act("lamport:release").execute(v)
+        assert effect.updates["phase"] == "t"
+        assert effect.updates["queue"] == ()
+        assert dict(effect.updates["grant"])["p1"] is False
+        assert [(s.kind, s.receiver) for s in effect.sends] == [
+            ("release", "p1")
+        ]
+
+
+class TestAdapter:
+    def test_no_grant_means_zero_copy(self):
+        view = lamport_adapter(
+            {
+                "phase": "h",
+                "lc": 5,
+                "req": Timestamp(5, "p0"),
+                "queue": (),
+                "grant": tmap({"p1": False}),
+            },
+            "p0",
+            ("p1",),
+        )
+        from repro.clocks import bottom
+
+        assert view.req_of["p1"] == bottom("p1")
+        assert view.req_of["p1"].lt(view.req)
+
+    def test_granted_and_unblocked_means_later_copy(self):
+        view = lamport_adapter(
+            {
+                "phase": "h",
+                "lc": 5,
+                "req": Timestamp(5, "p0"),
+                "queue": (Timestamp(5, "p0"),),
+                "grant": tmap({"p1": True}),
+            },
+            "p0",
+            ("p1",),
+        )
+        assert view.req.lt(view.req_of["p1"])
+
+    def test_granted_but_blocked_reports_the_earlier_entry(self):
+        view = lamport_adapter(
+            {
+                "phase": "h",
+                "lc": 5,
+                "req": Timestamp(5, "p0"),
+                "queue": (Timestamp(2, "p1"), Timestamp(5, "p0")),
+                "grant": tmap({"p1": True}),
+            },
+            "p0",
+            ("p1",),
+        )
+        assert view.req_of["p1"] == Timestamp(2, "p1")
+
+    def test_garbage_tolerated(self):
+        view = lamport_adapter(
+            {"phase": "?", "lc": "x", "req": None, "queue": ("j",), "grant": ()},
+            "p0",
+            ("p1",),
+        )
+        assert view.phase == "t"
+        assert view.req == Timestamp(0, "p0")
+
+    def test_adapter_consistent_with_grant_guard(self):
+        """CS Entry Spec antecedent == the grant guard, through the adapter
+        (the key alignment the paper's modification 2 establishes)."""
+        import itertools
+        import random
+
+        rng = random.Random(3)
+        grant_action = act("lamport:grant")
+        for _ in range(300):
+            req = Timestamp(rng.randint(0, 6), "p0")
+            queue_pool = [
+                Timestamp(rng.randint(0, 6), pid) for pid in ("p0", "p1")
+            ]
+            queue = tuple(
+                sorted(
+                    ts
+                    for ts in queue_pool
+                    if rng.random() < 0.6
+                )
+            )
+            variables = {
+                "phase": "h",
+                "lc": rng.randint(0, 6),
+                "req": req,
+                "queue": queue,
+                "grant": tmap({"p1": rng.random() < 0.5}),
+                "think_timer": 0,
+                "eat_timer": 0,
+                "sessions_left": -1,
+            }
+            view = LocalView({**variables, "_pid": "p0", "_peers": ("p1",)})
+            lspec = lamport_adapter(variables, "p0", ("p1",))
+            antecedent = all(
+                lspec.req.lt(lspec.req_of[k]) for k in ("p1",)
+            )
+            assert grant_action.enabled(view) == antecedent, variables
+
+
+class TestBehaviour:
+    def test_mutual_exclusion_fault_free(self):
+        sim = build_simulation("lamport", n=3, seed=4)
+        trace = sim.run(1500)
+        report = check_tme_spec(trace)
+        assert not report.me1
+        assert not report.me3
+        assert sum(r.entries for r in report.me2) > 20
+
+    def test_deterministic_under_round_robin(self):
+        def run():
+            sim = Simulator(
+                lamport_programs(("p0", "p1"), ClientConfig(1, 1)),
+                RoundRobinScheduler(),
+            )
+            sim.run(300)
+            return sim.snapshot()
+
+        assert run() == run()

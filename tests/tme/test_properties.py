@@ -1,0 +1,163 @@
+"""Property-based tests on the TME data structures and decision cores."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.clocks import Timestamp
+from repro.tme import LspecView, WrapperConfig, correction_sends, correction_set, tmap, tmap_as_dict, tmap_set
+from repro.tme.lamport_me import blocking_entry, queue_insert, queue_remove_pid
+from repro.tme.lspec import _fifo_step
+
+pids = st.sampled_from(["p0", "p1", "p2", "p3"])
+clocks = st.integers(min_value=0, max_value=12)
+timestamps = st.builds(Timestamp, clocks, pids)
+
+
+# ---------------------------------------------------------------------------
+# tuple-maps
+# ---------------------------------------------------------------------------
+
+
+@given(d=st.dictionaries(pids, clocks, min_size=1))
+def test_tmap_roundtrip(d):
+    assert tmap_as_dict(tmap(d)) == d
+
+
+@given(d=st.dictionaries(pids, clocks, min_size=1), value=clocks)
+def test_tmap_set_only_touches_key(d, value):
+    frozen = tmap(d)
+    key = sorted(d)[0]
+    updated = tmap_as_dict(tmap_set(frozen, key, value))
+    assert updated[key] == value
+    for other in d:
+        if other != key:
+            assert updated[other] == d[other]
+
+
+@given(d=st.dictionaries(pids, clocks, min_size=1))
+def test_tmap_sorted_and_hashable(d):
+    frozen = tmap(d)
+    assert list(frozen) == sorted(frozen)
+    hash(frozen)
+
+
+# ---------------------------------------------------------------------------
+# Lamport queue (modification 1)
+# ---------------------------------------------------------------------------
+
+
+@given(entries=st.lists(timestamps, max_size=8))
+def test_queue_insert_invariants(entries):
+    queue: tuple = ()
+    for entry in entries:
+        queue = queue_insert(queue, entry)
+        # sorted by lt
+        assert list(queue) == sorted(queue)
+        # at most one entry per process
+        owners = [e.pid for e in queue]
+        assert len(owners) == len(set(owners))
+        # the inserted entry is present (it replaces its owner's old one)
+        assert entry in queue
+
+
+@given(entries=st.lists(timestamps, max_size=8), victim=pids)
+def test_queue_remove_removes_all_of_pid(entries, victim):
+    queue: tuple = ()
+    for entry in entries:
+        queue = queue_insert(queue, entry)
+    cleaned = queue_remove_pid(queue, victim)
+    assert all(e.pid != victim for e in cleaned)
+    assert set(cleaned) == {e for e in queue if e.pid != victim}
+
+
+@given(entries=st.lists(timestamps, max_size=6), req=timestamps)
+def test_blocking_entry_is_earliest_foreign(entries, req):
+    queue: tuple = ()
+    for entry in entries:
+        queue = queue_insert(queue, entry)
+    block = blocking_entry(queue, req, "p0")
+    foreign_earlier = [e for e in queue if e.pid != "p0" and e.lt(req)]
+    if foreign_earlier:
+        assert block == min(foreign_earlier)
+    else:
+        assert block is None
+
+
+# ---------------------------------------------------------------------------
+# wrapper decision core
+# ---------------------------------------------------------------------------
+
+
+views = st.builds(
+    lambda phase, req, copies: LspecView(
+        phase=phase,
+        lc=req.clock,
+        req=req,
+        req_of=copies,
+        received={k: False for k in copies},
+    ),
+    st.sampled_from(["t", "h", "e"]),
+    st.builds(Timestamp, clocks, st.just("me")),
+    st.dictionaries(pids, timestamps, min_size=1, max_size=3),
+)
+
+
+@given(view=views)
+def test_correction_set_is_exactly_X(view):
+    X = correction_set(view)
+    for k, ts in view.req_of.items():
+        assert (k in X) == ts.lt(view.req)
+
+
+@given(view=views)
+def test_refined_sends_subset_of_basic(view):
+    refined = {s.receiver for s in correction_sends(view, WrapperConfig(refined=True))}
+    basic = {s.receiver for s in correction_sends(view, WrapperConfig(refined=False))}
+    assert refined <= basic
+    assert basic == set(view.req_of)
+
+
+@given(view=views)
+def test_all_corrections_carry_req(view):
+    for send in correction_sends(view, WrapperConfig(refined=False)):
+        assert send.kind == "request"
+        assert send.payload == view.req
+
+
+# ---------------------------------------------------------------------------
+# the FIFO step checker used by the Communication Spec monitor
+# ---------------------------------------------------------------------------
+
+contents = st.lists(
+    st.tuples(st.sampled_from(["request", "reply"]), clocks), max_size=5
+).map(tuple)
+
+
+@given(before=contents, appended=contents)
+def test_fifo_step_accepts_appends(before, appended):
+    assert _fifo_step(before, before + appended)
+
+
+@given(before=contents, appended=contents)
+def test_fifo_step_accepts_head_removal_plus_appends(before, appended):
+    if before:
+        assert _fifo_step(before, before[1:] + appended)
+
+
+@given(before=contents)
+def test_fifo_step_rejects_middle_removal(before):
+    if len(before) >= 3 and len(set(before)) == len(before):
+        mutated = (before[0],) + before[2:]
+        assert not _fifo_step(before, mutated)
+
+
+def test_fifo_step_head_swap_ambiguity_documented():
+    """A head swap where the old head reappears at the tail is content-
+    indistinguishable from a legal dequeue + append of an identical new
+    message, so the checker (soundly) accepts it; a swap that does NOT
+    mimic that pattern is rejected."""
+    ambiguous = (("request", 1), ("request", 2))
+    assert _fifo_step(ambiguous, (("request", 2), ("request", 1)))
+    three = (("request", 1), ("request", 2), ("request", 3))
+    swapped_inner = (("request", 1), ("request", 3), ("request", 2))
+    assert not _fifo_step(three, swapped_inner)

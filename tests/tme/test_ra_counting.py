@@ -1,0 +1,158 @@
+"""Tests for the third conforming implementation (reply-counting RA)."""
+
+import pytest
+
+from repro.clocks import Timestamp
+from repro.dsl import LocalView
+from repro.tme import (
+    ClientConfig,
+    WrapperConfig,
+    build_simulation,
+    check_lspec,
+    check_tme_spec,
+    ra_counting_program,
+    tmap,
+)
+from repro.verification import check_stabilization
+
+PIDS = ("p0", "p1")
+
+
+def rac_view(**over):
+    base = {
+        "phase": "t",
+        "lc": 0,
+        "req": Timestamp(0, "p0"),
+        "req_of": tmap({"p1": Timestamp(0, "p1")}),
+        "received": tmap({"p1": False}),
+        "awaiting": frozenset(),
+        "deferred": frozenset(),
+        "think_timer": 0,
+        "eat_timer": 0,
+        "sessions_left": -1,
+        "_pid": "p0",
+        "_peers": ("p1",),
+    }
+    base.update(over)
+    return LocalView(base)
+
+
+def act(name):
+    prog = ra_counting_program("p0", PIDS, ClientConfig(0, 0))
+    return next(
+        a for a in prog.actions + prog.receive_actions if a.name == name
+    )
+
+
+class TestActions:
+    def test_request_fills_awaiting(self):
+        effect = act("rac:request").execute(rac_view())
+        assert effect.updates["awaiting"] == frozenset({"p1"})
+        assert effect.updates["phase"] == "h"
+
+    def test_reply_shrinks_awaiting(self):
+        v = rac_view(
+            phase="h",
+            req=Timestamp(1, "p0"),
+            awaiting=frozenset({"p1"}),
+            _msg=Timestamp(9, "p1"),
+            _sender="p1",
+        )
+        effect = act("rac:recv-reply").body(v)
+        assert effect.updates["awaiting"] == frozenset()
+
+    def test_grant_needs_both_halves(self):
+        grant = act("rac:grant")
+        # replies all in, but copies stale: blocked (Lspec half)
+        stale = rac_view(
+            phase="h", req=Timestamp(5, "p0"), awaiting=frozenset()
+        )
+        assert not grant.enabled(stale)
+        # copies fine, but awaiting nonempty: blocked (classic half)
+        waiting = rac_view(
+            phase="h",
+            req=Timestamp(5, "p0"),
+            req_of=tmap({"p1": Timestamp(9, "p1")}),
+            awaiting=frozenset({"p1"}),
+        )
+        assert not grant.enabled(waiting)
+        ready = rac_view(
+            phase="h",
+            req=Timestamp(5, "p0"),
+            req_of=tmap({"p1": Timestamp(9, "p1")}),
+            awaiting=frozenset(),
+        )
+        assert grant.enabled(ready)
+
+    def test_reconcile_clears_yielded_peers(self):
+        """A corrupted awaiting entry for a peer whose copy is high is
+        stale private state; the reconcile action repairs it (required for
+        everywhere-implementation of CS Entry Spec)."""
+        reconcile = act("rac:reconcile")
+        v = rac_view(
+            phase="h",
+            req=Timestamp(5, "p0"),
+            req_of=tmap({"p1": Timestamp(9, "p1")}),
+            awaiting=frozenset({"p1"}),
+        )
+        assert reconcile.enabled(v)
+        assert reconcile.execute(v).updates["awaiting"] == frozenset()
+
+    def test_reconcile_keeps_genuine_waits(self):
+        v = rac_view(
+            phase="h",
+            req=Timestamp(5, "p0"),
+            req_of=tmap({"p1": Timestamp(2, "p1")}),
+            awaiting=frozenset({"p1"}),
+        )
+        assert not act("rac:reconcile").enabled(v)
+
+    def test_deferred_answered_at_release(self):
+        v = rac_view(
+            phase="e",
+            lc=9,
+            req=Timestamp(5, "p0"),
+            deferred=frozenset({"p1"}),
+        )
+        effect = act("rac:release").execute(v)
+        assert [(s.kind, s.receiver) for s in effect.sends] == [("reply", "p1")]
+        assert effect.updates["deferred"] == frozenset()
+
+    def test_corrupted_sets_tolerated(self):
+        v = rac_view(
+            phase="h",
+            req=Timestamp(5, "p0"),
+            awaiting="garbage",
+            req_of=tmap({"p1": Timestamp(9, "p1")}),
+        )
+        # garbage set reads as empty; the Lspec half still gates entry
+        assert act("rac:grant").enabled(v)
+
+
+class TestBehaviour:
+    def test_fault_free_tme_and_lspec(self):
+        sim = build_simulation("ra-count", n=3, seed=5)
+        trace = sim.run(1500)
+        assert check_tme_spec(trace).holds(liveness_grace=200)
+        programs = {pid: p.program for pid, p in sim.processes.items()}
+        assert check_lspec(trace, programs).ok(grace=200)
+
+    @pytest.mark.parametrize("seed", [1, 2])
+    def test_same_wrapper_stabilizes_it(self, seed):
+        """Corollary 11 for the third implementation: the identical wrapper
+        configuration used for RA and Lamport stabilizes RACount_ME."""
+        from repro.tme import standard_fault_campaign
+
+        sim = build_simulation(
+            "ra-count",
+            n=3,
+            seed=seed,
+            wrapper=WrapperConfig(theta=4),
+            fault_hook=standard_fault_campaign(
+                seed=seed + 50, start=80, stop=320
+            ),
+            deliver_bias=2.0,
+        )
+        trace = sim.run(2400)
+        result = check_stabilization(trace, liveness_grace=450)
+        assert result.converged, result.detail

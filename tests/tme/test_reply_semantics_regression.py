@@ -1,0 +1,121 @@
+"""Regression: replies must carry REQ, not the raw clock.
+
+During reproduction we found that replies carrying the replier's *clock*
+(instead of its current ``REQ``) break the invariant
+
+    I == (forall j,k : j != k : j.REQ_k = REQ_k \\/ j.REQ_k lt REQ_k)
+
+once duplicate replies exist (wrapper retransmissions or fault-injected
+duplication): a stale reply for an OLD request lands after the requester
+re-requested, overwrites the receiver's copy of a *hungry* replier with a
+value above the replier's real pending request, and licenses an
+out-of-order (or even overlapping) CS entry.  This module pins the exact
+scenario at the action level and end-to-end.
+"""
+
+from repro.clocks import Timestamp
+from repro.dsl import LocalView
+from repro.tme import ClientConfig, ra_program, tmap
+
+PIDS = ("p0", "p1")
+
+
+def handler(kind):
+    prog = ra_program("p0", PIDS, ClientConfig(0, 0))
+    return prog.receive_action_for(kind)
+
+
+def hungry_replier_view(**over):
+    """p1's standpoint: hungry at ts 298, receiving p0's OLD request 295."""
+    base = {
+        "phase": "h",
+        "lc": 300,
+        "req": Timestamp(298, "p0"),  # pid irrelevant for the check
+        "req_of": tmap({"p1": Timestamp(0, "p1")}),
+        "received": tmap({"p1": False}),
+        "think_timer": 0,
+        "eat_timer": 0,
+        "sessions_left": -1,
+        "_pid": "p0",
+        "_peers": ("p1",),
+    }
+    base.update(over)
+    return LocalView(base)
+
+
+class TestReplyCarriesReq:
+    def test_hungry_replier_sends_pending_request_not_clock(self):
+        """The reply to an earlier request carries the replier's pending
+        REQ (298), although its clock is far ahead (300+)."""
+        view = hungry_replier_view(
+            _msg=Timestamp(295, "p1"), _sender="p1", _msg_clock=295
+        )
+        effect = handler("request").body(view)
+        assert len(effect.sends) == 1
+        reply = effect.sends[0]
+        assert reply.kind == "reply"
+        assert reply.payload == Timestamp(298, "p0")
+        # and definitely not the advanced clock:
+        assert reply.payload.clock < effect.updates["lc"]
+
+    def test_stale_reply_cannot_unblock_newer_request(self):
+        """Receiver side: a (duplicated, late) reply carrying the hungry
+        replier's pending request 298 must LOWER the copy below the
+        receiver's new request 302, keeping the receiver blocked."""
+        receiver = LocalView(
+            {
+                "phase": "h",
+                "lc": 310,
+                "req": Timestamp(302, "p0"),
+                "req_of": tmap({"p1": Timestamp(305, "p1")}),  # poisoned high
+                "received": tmap({"p1": False}),
+                "think_timer": 0,
+                "eat_timer": 0,
+                "sessions_left": -1,
+                "_pid": "p0",
+                "_peers": ("p1",),
+                "_msg": Timestamp(298, "p1"),
+                "_sender": "p1",
+                "_msg_clock": 303,
+            }
+        )
+        effect = handler("reply").body(receiver)
+        assert dict(effect.updates["req_of"])["p1"] == Timestamp(298, "p1")
+
+    def test_clock_still_observes_send_event(self):
+        """Even though the payload is old (298), the receiver's clock must
+        advance past the SEND EVENT's clock (piggybacked, 303) -- Lamport's
+        rule is about events, not payload semantics."""
+        view = hungry_replier_view(
+            lc=10,
+            _msg=Timestamp(298, "p1"),
+            _sender="p1",
+            _msg_clock=303,
+        )
+        effect = handler("reply").body(view)
+        assert effect.updates["lc"] == 304
+
+    def test_end_to_end_duplicated_replies_never_break_me1(self):
+        """Aggressive reply duplication (the trigger of the original bug)
+        must not produce a single mutual exclusion or FCFS violation."""
+        import random
+
+        from repro.faults import MessageDuplication, Windowed
+        from repro.runtime import RandomScheduler, Simulator
+        from repro.tme import WrapperConfig, check_tme_spec, tme_programs
+
+        programs = tme_programs(
+            "ra", 3, ClientConfig(2, 1), WrapperConfig(theta=0)
+        )
+        sim = Simulator(
+            programs,
+            RandomScheduler(random.Random(4)),
+            fault_hook=Windowed(
+                MessageDuplication(random.Random(5), 0.5), 0, 2000
+            ),
+        )
+        trace = sim.run(2000)
+        report = check_tme_spec(trace)
+        # duplication alone (payloads intact) must never break safety
+        assert not report.me1, report.me1[:5]
+        assert not report.me3

@@ -1,0 +1,220 @@
+"""Unit + behavioural tests for RA_ME."""
+
+import pytest
+
+from repro.clocks import Timestamp
+from repro.dsl import LocalView
+from repro.runtime import RoundRobinScheduler, Simulator
+from repro.tme import (
+    ClientConfig,
+    build_simulation,
+    check_tme_spec,
+    deferred_set,
+    ra_program,
+    ra_programs,
+    tmap,
+)
+
+PIDS = ("p0", "p1")
+
+
+def program(pid="p0", client=None):
+    return ra_program(pid, PIDS, client or ClientConfig(0, 0))
+
+
+def ra_view(**over):
+    base = {
+        "phase": "t",
+        "lc": 0,
+        "req": Timestamp(0, "p0"),
+        "req_of": tmap({"p1": Timestamp(0, "p1")}),
+        "received": tmap({"p1": False}),
+        "think_timer": 0,
+        "eat_timer": 0,
+        "sessions_left": -1,
+        "_pid": "p0",
+        "_peers": ("p1",),
+    }
+    base.update(over)
+    return LocalView(base)
+
+
+class TestActions:
+    def act(self, name, pid="p0"):
+        prog = program(pid)
+        return next(
+            a
+            for a in prog.actions + prog.receive_actions
+            if a.name == name
+        )
+
+    def test_request_stamps_and_broadcasts(self):
+        effect = self.act("ra:request").execute(ra_view())
+        assert effect.updates["phase"] == "h"
+        assert effect.updates["req"] == Timestamp(1, "p0")
+        assert effect.updates["lc"] == 1
+        assert [(s.kind, s.receiver) for s in effect.sends] == [
+            ("request", "p1")
+        ]
+        assert effect.sends[0].payload == Timestamp(1, "p0")
+
+    def test_grant_requires_all_copies_later(self):
+        grant = self.act("ra:grant")
+        blocked = ra_view(phase="h", req=Timestamp(5, "p0"))
+        assert not grant.enabled(blocked)
+        open_ = ra_view(
+            phase="h",
+            req=Timestamp(5, "p0"),
+            req_of=tmap({"p1": Timestamp(9, "p1")}),
+        )
+        assert grant.enabled(open_)
+        assert grant.execute(open_).updates["phase"] == "e"
+
+    def test_grant_robust_to_garbage_req(self):
+        grant = self.act("ra:grant")
+        assert not grant.enabled(ra_view(phase="h", req="junk"))
+
+    def test_release_replies_to_deferred(self):
+        release = self.act("ra:release")
+        v = ra_view(
+            phase="e",
+            lc=10,
+            req=Timestamp(5, "p0"),
+            req_of=tmap({"p1": Timestamp(7, "p1")}),
+            received=tmap({"p1": True}),
+        )
+        effect = release.execute(v)
+        assert effect.updates["phase"] == "t"
+        assert effect.updates["req"] == Timestamp(11, "p0")
+        assert [(s.kind, s.receiver) for s in effect.sends] == [("reply", "p1")]
+        assert dict(effect.updates["received"]) == {"p1": False}
+
+    def test_release_no_reply_to_earlier_request(self):
+        release = self.act("ra:release")
+        v = ra_view(
+            phase="e",
+            lc=10,
+            req=Timestamp(5, "p0"),
+            req_of=tmap({"p1": Timestamp(3, "p1")}),
+            received=tmap({"p1": True}),
+        )
+        assert release.execute(v).sends == ()
+
+
+class TestReceives:
+    def recv(self, kind):
+        prog = program()
+        return prog.receive_action_for(kind)
+
+    def test_earlier_request_answered_immediately(self):
+        v = ra_view(
+            phase="h",
+            lc=5,
+            req=Timestamp(5, "p0"),
+            _msg=Timestamp(3, "p1"),
+            _sender="p1",
+        )
+        effect = self.recv("request").body(v)
+        assert [(s.kind, s.receiver) for s in effect.sends] == [("reply", "p1")]
+        assert dict(effect.updates["received"])["p1"] is False
+        assert dict(effect.updates["req_of"])["p1"] == Timestamp(3, "p1")
+        assert effect.updates["lc"] == 6
+
+    def test_later_request_deferred(self):
+        v = ra_view(
+            phase="h",
+            lc=5,
+            req=Timestamp(5, "p0"),
+            _msg=Timestamp(9, "p1"),
+            _sender="p1",
+        )
+        effect = self.recv("request").body(v)
+        assert effect.sends == ()
+        assert dict(effect.updates["received"])["p1"] is True
+
+    def test_thinking_receiver_always_replies_and_tracks_event(self):
+        v = ra_view(phase="t", lc=5, _msg=Timestamp(9, "p1"), _sender="p1")
+        effect = self.recv("request").body(v)
+        assert effect.sends and effect.sends[0].kind == "reply"
+        # CS Release Spec: REQ tracks the most current event while thinking
+        assert effect.updates["req"] == Timestamp(10, "p0")
+
+    def test_garbage_request_consumed_quietly(self):
+        v = ra_view(_msg="<garbage>", _sender="p1")
+        effect = self.recv("request").body(v)
+        assert effect.sends == ()
+        assert "req_of" not in effect.updates
+
+    def test_reply_updates_copy(self):
+        v = ra_view(
+            phase="h",
+            lc=5,
+            req=Timestamp(5, "p0"),
+            _msg=Timestamp(8, "p1"),
+            _sender="p1",
+        )
+        effect = self.recv("reply").body(v)
+        assert dict(effect.updates["req_of"])["p1"] == Timestamp(8, "p1")
+
+    def test_clock_observes_incoming(self):
+        v = ra_view(lc=2, _msg=Timestamp(40, "p1"), _sender="p1")
+        effect = self.recv("reply").body(v)
+        assert effect.updates["lc"] == 41
+
+
+class TestDeferredSet:
+    def test_definition(self):
+        v = ra_view(
+            req=Timestamp(5, "p0"),
+            req_of=tmap({"p1": Timestamp(7, "p1")}),
+            received=tmap({"p1": True}),
+        )
+        assert deferred_set(v) == ["p1"]
+
+    def test_requires_received_flag(self):
+        v = ra_view(
+            req=Timestamp(5, "p0"),
+            req_of=tmap({"p1": Timestamp(7, "p1")}),
+            received=tmap({"p1": False}),
+        )
+        assert deferred_set(v) == []
+
+    def test_robust_to_garbage(self):
+        v = ra_view(req="junk", received=tmap({"p1": True}))
+        assert deferred_set(v) == []
+
+
+class TestBehaviour:
+    def test_mutual_exclusion_holds_fault_free(self):
+        sim = build_simulation("ra", n=3, seed=2)
+        trace = sim.run(1500)
+        report = check_tme_spec(trace)
+        assert not report.me1
+        assert not report.me3
+        assert sum(r.entries for r in report.me2) > 20
+
+    def test_deterministic_under_round_robin(self):
+        def run():
+            sim = Simulator(
+                ra_programs(("p0", "p1"), ClientConfig(1, 1)),
+                RoundRobinScheduler(),
+            )
+            sim.run(300)
+            return sim.snapshot()
+
+        assert run() == run()
+
+    def test_bounded_sessions_terminate(self):
+        programs = ra_programs(
+            ("p0", "p1"), ClientConfig(0, 0, max_sessions=2)
+        )
+        sim = Simulator(programs, RoundRobinScheduler())
+        sim.run(400)
+        assert sim.is_quiescent
+        for proc in sim.processes.values():
+            assert proc.variables["sessions_left"] == 0
+            assert proc.variables["phase"] == "t"
+
+    def test_every_process_program_named(self):
+        programs = ra_programs(("p0", "p1", "p2"))
+        assert all(p.name == "RA_ME" for p in programs.values())

@@ -1,0 +1,135 @@
+"""Tests for the scenario/factory layer."""
+
+import random
+
+import pytest
+
+from repro.clocks import Timestamp
+from repro.runtime import Simulator
+from repro.tme import (
+    ALGORITHMS,
+    ClientConfig,
+    WrapperConfig,
+    build_simulation,
+    deadlock_overrides,
+    garbage_channel_filler,
+    pids_for,
+    standard_fault_campaign,
+    tme_message_corrupter,
+    tme_programs,
+)
+from repro.runtime.messages import Message
+
+
+class TestFactory:
+    def test_pids_for(self):
+        assert pids_for(3) == ("p0", "p1", "p2")
+        with pytest.raises(ValueError):
+            pids_for(1)
+
+    @pytest.mark.parametrize("algorithm", ALGORITHMS)
+    def test_programs_built_for_all_algorithms(self, algorithm):
+        programs = tme_programs(algorithm, 3)
+        assert set(programs) == {"p0", "p1", "p2"}
+
+    def test_unknown_algorithm(self):
+        with pytest.raises(ValueError):
+            tme_programs("paxos", 3)
+
+    def test_wrapper_option_wraps(self):
+        programs = tme_programs("ra", 2, wrapper=WrapperConfig())
+        assert "W:correct" in programs["p0"].action_names()
+
+    def test_build_simulation_returns_runnable(self):
+        sim = build_simulation("ra", n=2, seed=1)
+        assert isinstance(sim, Simulator)
+        sim.run(10)
+
+    def test_seeded_reproducibility(self):
+        def final(seed):
+            sim = build_simulation("ra", n=3, seed=seed)
+            sim.run(500)
+            return sim.snapshot()
+
+        assert final(42) == final(42)
+        assert final(42) != final(43)
+
+    def test_overrides_passed_through(self):
+        overrides = deadlock_overrides("ra", ("p0", "p1"))
+        sim = build_simulation("ra", n=2, seed=1, overrides=overrides)
+        assert sim.processes["p0"].variables["phase"] == "h"
+
+
+class TestDeadlockOverrides:
+    @pytest.mark.parametrize("algorithm", ["ra", "lamport"])
+    def test_mutual_staleness(self, algorithm):
+        overrides = deadlock_overrides(algorithm, ("p0", "p1"))
+        j, k = overrides["p0"], overrides["p1"]
+        assert j["phase"] == "h" and k["phase"] == "h"
+        assert isinstance(j["req"], Timestamp)
+
+    def test_token_has_no_scenario(self):
+        with pytest.raises(ValueError):
+            deadlock_overrides("token", ("p0", "p1"))
+
+    @pytest.mark.parametrize("algorithm", ["ra", "lamport"])
+    def test_state_is_actually_dead(self, algorithm):
+        sim = build_simulation(
+            algorithm,
+            n=2,
+            seed=1,
+            overrides=deadlock_overrides(algorithm, ("p0", "p1")),
+        )
+        assert sim.is_quiescent
+
+
+class TestMessageCorrupter:
+    def msg(self):
+        return Message(1, "request", "p0", "p1", Timestamp(3, "p0"), 7)
+
+    def test_output_stays_on_channel(self):
+        rng = random.Random(0)
+        for i in range(50):
+            corrupted = tme_message_corrupter(self.msg(), rng, 100 + i)
+            assert corrupted.channel() == ("p0", "p1")
+            assert corrupted.send_event_uid is None
+
+    def test_produces_variety(self):
+        rng = random.Random(0)
+        outputs = {
+            (m.kind, isinstance(m.payload, Timestamp))
+            for m in (
+                tme_message_corrupter(self.msg(), rng, i) for i in range(200)
+            )
+        }
+        assert len(outputs) >= 3
+
+
+class TestChannelFiller:
+    def test_messages_belong_to_channel(self):
+        rng = random.Random(1)
+        for _ in range(20):
+            for message in garbage_channel_filler("a", "b", rng):
+                assert message.channel() == ("a", "b")
+                assert message.send_event_uid is None
+
+    def test_respects_max(self):
+        rng = random.Random(1)
+        assert len(garbage_channel_filler("a", "b", rng, max_messages=0)) == 0
+
+
+class TestStandardCampaign:
+    def test_window_respected(self):
+        campaign = standard_fault_campaign(seed=1, start=5, stop=8)
+        sim = build_simulation("ra", n=3, seed=1, fault_hook=campaign)
+        trace = sim.run(60)
+        fault_steps = trace.fault_step_indices()
+        assert all(5 <= i < 8 for i in fault_steps)
+
+    def test_campaign_actually_strikes(self):
+        campaign = standard_fault_campaign(
+            seed=1, start=0, stop=200, loss=0.5, state_corruption=0.5
+        )
+        sim = build_simulation("ra", n=3, seed=1, fault_hook=campaign)
+        trace = sim.run(200)
+        assert len(trace.fault_step_indices()) > 10

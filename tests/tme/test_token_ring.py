@@ -1,0 +1,97 @@
+"""Tests for the token-ring negative control."""
+
+import random
+
+from repro.faults import Scripted
+from repro.runtime import RandomScheduler, Simulator
+from repro.tme import (
+    ClientConfig,
+    WrapperConfig,
+    build_simulation,
+    check_tme_spec,
+    token_ring_programs,
+    wrap_system,
+)
+from repro.tme.token_ring import ring_successor
+
+
+class TestRing:
+    def test_ring_successor_wraps(self):
+        pids = ("p0", "p1", "p2")
+        assert ring_successor("p0", pids) == "p1"
+        assert ring_successor("p2", pids) == "p0"
+
+    def test_initial_token_at_first(self):
+        programs = token_ring_programs(("p0", "p1"))
+        assert programs["p0"].initial_vars["tokens"] == 1
+        assert programs["p1"].initial_vars["tokens"] == 0
+
+
+class TestFaultFree:
+    def test_me1_me2_hold(self):
+        sim = build_simulation("token", n=3, seed=3)
+        trace = sim.run(1500)
+        report = check_tme_spec(trace)
+        assert not report.me1
+        assert sum(r.entries for r in report.me2) > 20
+        assert all(r.satisfied(grace=200) for r in report.me2)
+
+    def test_fcfs_not_guaranteed(self):
+        """The ring serves in ring order, not timestamp order: ME3 is the
+        part of TME Spec the token ring does NOT implement."""
+        sim = build_simulation("token", n=3, seed=3)
+        trace = sim.run(1500)
+        assert check_tme_spec(trace).me3
+
+
+class TestNotStabilizing:
+    def duplicate_token(self, sim) -> str:
+        for pid in ("p1", "p2"):
+            sim.processes[pid].corrupt({"tokens": 1})
+        return "duplicated token at p1,p2"
+
+    def test_duplicated_token_breaks_me1_forever(self):
+        programs = token_ring_programs(("p0", "p1", "p2"), ClientConfig(0, 0))
+        injector = Scripted({50: self.duplicate_token})
+        sim = Simulator(
+            programs, RandomScheduler(random.Random(9)), fault_hook=injector
+        )
+        trace = sim.run(2500)
+        report = check_tme_spec(trace, start=51)
+        # violations keep occurring deep into the run -- no convergence
+        assert report.me1
+        assert max(report.me1) > len(trace.states) // 2
+
+    def test_wrapper_does_not_help(self):
+        """Theorem 8's premise fails (no Lspec), so no guarantee: the same
+        scripted token duplication still yields post-fault ME1 violations
+        when wrapped."""
+        programs = wrap_system(
+            token_ring_programs(("p0", "p1", "p2"), ClientConfig(0, 0)),
+            WrapperConfig(theta=2),
+        )
+        injector = Scripted({50: self.duplicate_token})
+        sim = Simulator(
+            programs, RandomScheduler(random.Random(9)), fault_hook=injector
+        )
+        trace = sim.run(2500)
+        report = check_tme_spec(trace, start=51)
+        assert report.me1
+        assert max(report.me1) > len(trace.states) // 2
+
+    def test_lost_token_deadlocks(self):
+        def lose_token(sim) -> str:
+            for proc in sim.processes.values():
+                proc.corrupt({"tokens": 0})
+            sim.network.flush_all()
+            return "token lost"
+
+        programs = token_ring_programs(("p0", "p1"), ClientConfig(0, 0))
+        injector = Scripted({30: lose_token})
+        sim = Simulator(
+            programs, RandomScheduler(random.Random(2)), fault_hook=injector
+        )
+        trace = sim.run(800)
+        report = check_tme_spec(trace, start=31)
+        # someone goes hungry and stays hungry to the end
+        assert any(not r.satisfied(grace=700) for r in report.me2)

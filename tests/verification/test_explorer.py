@@ -1,0 +1,67 @@
+"""Tests for bounded state-space exploration."""
+
+from repro.tme import ClientConfig, tme_programs
+from repro.verification import (
+    default_message_alphabet,
+    explore_global,
+    explore_local,
+)
+
+
+def small_programs(n=2):
+    return tme_programs("ra", n, ClientConfig(think_delay=1, eat_delay=1))
+
+
+class TestGlobal:
+    def test_explores_beyond_root(self):
+        result = explore_global(small_programs(), max_depth=3)
+        assert result.states > 1
+        assert not result.frontier_truncated
+        assert result.depth_reached <= 3
+
+    def test_monotone_in_depth(self):
+        shallow = explore_global(small_programs(), max_depth=2)
+        deep = explore_global(small_programs(), max_depth=4)
+        assert deep.states >= shallow.states
+
+    def test_truncation_reported(self):
+        result = explore_global(small_programs(), max_depth=6, max_states=5)
+        assert result.frontier_truncated
+        assert result.states <= 6
+
+    def test_grows_with_n(self):
+        two = explore_global(small_programs(2), max_depth=3)
+        three = explore_global(small_programs(3), max_depth=3)
+        assert three.states > two.states
+
+
+class TestLocal:
+    def test_alphabet(self):
+        alphabet = default_message_alphabet(["p1"], ["request"], 2)
+        assert len(alphabet) == 3
+        assert all(kind == "request" for _s, kind, _p in alphabet)
+
+    def test_local_exploration(self):
+        programs = small_programs()
+        result = explore_local(
+            programs["p0"],
+            "p0",
+            ("p0", "p1"),
+            kinds=("request", "reply"),
+            max_depth=3,
+            max_clock=4,
+        )
+        assert result.states > 1
+        assert result.label == "local"
+
+    def test_clock_bound_limits(self):
+        programs = small_programs()
+        tight = explore_local(
+            programs["p0"], "p0", ("p0", "p1"),
+            kinds=("request", "reply"), max_depth=4, max_clock=2,
+        )
+        loose = explore_local(
+            programs["p0"], "p0", ("p0", "p1"),
+            kinds=("request", "reply"), max_depth=4, max_clock=5,
+        )
+        assert loose.states >= tight.states

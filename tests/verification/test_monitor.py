@@ -1,0 +1,49 @@
+"""Tests for the combined verification front end."""
+
+from repro.tme import WrapperConfig, build_simulation, standard_fault_campaign
+from repro.verification import verify_run
+
+
+def programs_of(sim):
+    return {pid: proc.program for pid, proc in sim.processes.items()}
+
+
+class TestVerifyRun:
+    def test_fault_free_bundle(self):
+        sim = build_simulation("ra", n=2, seed=1)
+        trace = sim.run(800)
+        bundle = verify_run(trace, programs_of(sim), liveness_grace=200)
+        assert bundle.tme.holds(liveness_grace=200)
+        assert bundle.lspec.ok(grace=200)
+        assert bundle.convergence.last_fault_step is None
+        assert "fault-free" in bundle.describe()
+
+    def test_faulty_bundle_judged_on_suffix(self):
+        sim = build_simulation(
+            "ra",
+            n=3,
+            seed=9,
+            wrapper=WrapperConfig(theta=4),
+            fault_hook=standard_fault_campaign(seed=2, start=40, stop=200),
+            deliver_bias=2.0,
+        )
+        trace = sim.run(2400)
+        bundle = verify_run(trace, programs_of(sim), liveness_grace=400)
+        assert bundle.convergence.converged
+        assert "converged" in bundle.describe()
+
+    def test_describe_reports_failure(self):
+        from repro.tme import deadlock_overrides
+
+        sim = build_simulation(
+            "ra",
+            n=2,
+            seed=1,
+            overrides=deadlock_overrides("ra", ("p0", "p1")),
+            fault_hook=None,
+        )
+        # mark a pseudo-fault so convergence is judged on the suffix
+        trace = sim.run(400)
+        bundle = verify_run(trace, programs_of(sim), liveness_grace=50)
+        assert not bundle.convergence.converged
+        assert "NOT converged" in bundle.describe()

@@ -1,0 +1,109 @@
+"""Unit tests for the operational stabilization checker."""
+
+from repro.clocks import Timestamp
+from repro.runtime import GlobalState, StepRecord, Trace
+from repro.tme import WrapperConfig, build_simulation, standard_fault_campaign
+from repro.verification import check_stabilization
+
+
+def gs(phases):
+    return GlobalState(
+        processes=tuple(
+            (pid, (("phase", ph), ("req", Timestamp(0, pid))))
+            for pid, ph in sorted(phases.items())
+        ),
+        channels=(),
+    )
+
+
+def make_trace(phase_seq, fault_steps=()):
+    trace = Trace()
+    trace.states = [gs(p) for p in phase_seq]
+    trace.steps = [
+        StepRecord(
+            i, "internal", "p0", faults=("f",) if i in fault_steps else ()
+        )
+        for i in range(len(phase_seq) - 1)
+    ]
+    return trace
+
+
+class TestSyntheticTraces:
+    def test_clean_convergence(self):
+        # fault at step 1, violation at state 2, then clean with progress
+        seq = (
+            [{"p0": "t", "p1": "t"}] * 2
+            + [{"p0": "e", "p1": "e"}]            # ME1 violation
+            + [{"p0": "t", "p1": "t"},
+               {"p0": "h", "p1": "t"},
+               {"p0": "e", "p1": "t"},
+               {"p0": "t", "p1": "t"}] * 3
+        )
+        trace = make_trace(seq, fault_steps={1})
+        result = check_stabilization(trace, liveness_grace=5)
+        assert result.converged
+        assert result.last_fault_step == 1
+        assert result.convergence_step == 3
+        assert result.latency == 1
+        assert result.entries_after == 3
+
+    def test_persistent_violations_fail(self):
+        seq = [{"p0": "e", "p1": "e"}] * 10
+        trace = make_trace(seq, fault_steps={0})
+        result = check_stabilization(trace)
+        assert not result.converged
+        assert "end of the trace" in result.detail
+
+    def test_deadlocked_tail_fails_on_progress(self):
+        seq = [{"p0": "t", "p1": "t"}] * 2 + [{"p0": "h", "p1": "h"}] * 30
+        trace = make_trace(seq, fault_steps={1})
+        result = check_stabilization(trace, liveness_grace=5)
+        assert not result.converged
+
+    def test_vacuous_quiet_tail_fails_require_entries(self):
+        seq = [{"p0": "t", "p1": "t"}] * 20
+        trace = make_trace(seq, fault_steps={1})
+        result = check_stabilization(trace, require_entries=1)
+        assert not result.converged
+        assert "deadlocked" in result.detail
+
+    def test_no_faults_judges_whole_run(self):
+        seq = [
+            {"p0": "t", "p1": "t"},
+            {"p0": "h", "p1": "t"},
+            {"p0": "e", "p1": "t"},
+            {"p0": "t", "p1": "t"},
+        ]
+        result = check_stabilization(make_trace(seq), liveness_grace=4)
+        assert result.last_fault_step is None
+        assert result.converged
+
+
+class TestRealRuns:
+    def test_wrapped_ra_converges(self):
+        sim = build_simulation(
+            "ra",
+            n=3,
+            seed=2,
+            wrapper=WrapperConfig(theta=4),
+            fault_hook=standard_fault_campaign(seed=3, start=50, stop=250),
+            deliver_bias=2.0,
+        )
+        trace = sim.run(2500)
+        result = check_stabilization(trace, liveness_grace=400)
+        assert result.converged
+        assert result.entries_after > 0
+        assert bool(result) is True
+
+    def test_bare_ra_from_deadlock_fails(self):
+        from repro.tme import deadlock_overrides
+
+        sim = build_simulation(
+            "ra",
+            n=2,
+            seed=2,
+            overrides=deadlock_overrides("ra", ("p0", "p1")),
+        )
+        trace = sim.run(600)
+        result = check_stabilization(trace, liveness_grace=100)
+        assert not result.converged
