@@ -338,6 +338,8 @@ def experiment_reuse(
 def experiment_verification_cost(
     ns: tuple[int, ...] = (2, 3, 4, 5),
     max_clock: int = 2,
+    explore_depth: int = 6,
+    explore_max_states: int = 20_000,
 ) -> list[Row]:
     """Paper claim (Section 1): whitebox stabilization needs an invariant
     over the *global* state space (the product of all process states --
@@ -349,14 +351,40 @@ def experiment_verification_cost(
     bounded clock domain (enumerated by the same machinery the exhaustive
     E8b check runs on), the graybox total n*L(n), and the whitebox global
     space L(n)^n (a lower bound -- it ignores channel contents entirely).
+
+    The closed-form columns are complemented by *measured* bounded
+    explorations on the unified engine (:mod:`repro.explore`): the local
+    space of one process and the global product space, both to
+    ``explore_depth`` steps, with the engine's throughput
+    (:class:`~repro.explore.ExplorationStats`) alongside.  The global
+    exploration is capped at ``explore_max_states`` states -- on this
+    surface a cap is the point, not a limitation.
     """
+    from repro.tme import ClientConfig, tme_programs
+    from repro.verification.explorer import explore_global, explore_local
     from repro.verification.refinement import count_local_states
 
+    client = ClientConfig(think_delay=1, eat_delay=1)
     rows: list[Row] = []
     for n in ns:
         local = count_local_states("ra", n=n, max_clock=max_clock)
         graybox_total = n * local
         whitebox_space = local**n
+        programs = tme_programs("ra", n, client)
+        pids = tuple(sorted(programs))
+        local_run = explore_local(
+            programs[pids[0]],
+            pids[0],
+            pids,
+            kinds=("request", "reply"),
+            max_depth=explore_depth,
+            max_clock=max_clock,
+        )
+        global_run = explore_global(
+            programs,
+            max_depth=explore_depth,
+            max_states=explore_max_states,
+        )
         rows.append(
             {
                 "n": n,
@@ -364,6 +392,14 @@ def experiment_verification_cost(
                 "graybox_total_nL": graybox_total,
                 "whitebox_global_L^n": f"{whitebox_space:.3e}",
                 "ratio": f"{whitebox_space / graybox_total:.2e}",
+                "local_explored": local_run.states,
+                "global_explored": (
+                    f"{global_run.states}"
+                    + ("+" if global_run.frontier_truncated else "")
+                ),
+                "global_states_per_sec": (
+                    f"{global_run.stats.states_per_second:.0f}"
+                ),
             }
         )
     return rows

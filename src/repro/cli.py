@@ -1,6 +1,6 @@
 """Command-line interface: ``python -m repro <command>``.
 
-Three commands cover the common workflows without writing any Python:
+Four commands cover the common workflows without writing any Python:
 
 ``run``
     Simulate a TME system (optionally wrapped, optionally under the
@@ -12,6 +12,11 @@ Three commands cover the common workflows without writing any Python:
 
 ``figure1``
     Decide the Figure 1 relations and print the verdicts.
+
+``explore``
+    Run the unified exploration engine over a TME system's global (or one
+    process's local) state space and print the full
+    :class:`~repro.explore.ExplorationStats` instrumentation.
 
 Everything is seeded; identical invocations produce identical output.
 """
@@ -85,6 +90,43 @@ def build_parser() -> argparse.ArgumentParser:
     )
 
     sub.add_parser("figure1", help="decide the Figure 1 relations")
+
+    explore = sub.add_parser(
+        "explore",
+        help="explore a TME state space and print engine statistics",
+    )
+    explore.add_argument(
+        "--algorithm",
+        default="ra",
+        choices=["ra", "ra-count", "lamport", "token"],
+    )
+    explore.add_argument("--n", type=int, default=3, help="number of processes")
+    explore.add_argument(
+        "--local",
+        metavar="PID",
+        default=None,
+        help="explore this process's local space instead of the global one",
+    )
+    explore.add_argument("--max-depth", type=int, default=8)
+    explore.add_argument("--max-states", type=int, default=200_000)
+    explore.add_argument(
+        "--max-seconds",
+        type=float,
+        default=None,
+        help="wall-time budget for the exploration",
+    )
+    explore.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="process-pool workers for global exploration (1 = serial)",
+    )
+    explore.add_argument(
+        "--max-clock",
+        type=int,
+        default=6,
+        help="clock bound for the local message alphabet (with --local)",
+    )
 
     listing = sub.add_parser("list", help="list available experiments")
     del listing
@@ -162,6 +204,45 @@ def _cmd_figure1() -> int:
     return 0
 
 
+def _cmd_explore(args: argparse.Namespace) -> int:
+    from repro.tme import ClientConfig, tme_programs
+    from repro.verification import explore_global, explore_local
+
+    programs = tme_programs(
+        args.algorithm, args.n, ClientConfig(think_delay=1, eat_delay=1)
+    )
+    if args.local is not None:
+        if args.local not in programs:
+            print(f"unknown pid {args.local!r}; have {sorted(programs)}")
+            return 2
+        result = explore_local(
+            programs[args.local],
+            args.local,
+            tuple(sorted(programs)),
+            kinds=("request", "reply"),
+            max_depth=args.max_depth,
+            max_clock=args.max_clock,
+            max_states=args.max_states,
+            max_seconds=args.max_seconds,
+        )
+        surface = f"local space of {args.local}"
+    else:
+        result = explore_global(
+            programs,
+            max_depth=args.max_depth,
+            max_states=args.max_states,
+            max_seconds=args.max_seconds,
+            workers=args.workers,
+        )
+        surface = "global space"
+    print(
+        f"{args.algorithm} n={args.n}: {surface}, "
+        f"{result.states} distinct states"
+    )
+    print(result.stats.describe())
+    return 0
+
+
 def _cmd_list() -> int:
     for exp_id in sorted(EXPERIMENTS, key=lambda e: int(e[1:])):
         _fn, title = EXPERIMENTS[exp_id]
@@ -178,6 +259,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _cmd_experiment(args)
     if args.command == "figure1":
         return _cmd_figure1()
+    if args.command == "explore":
+        return _cmd_explore(args)
     if args.command == "list":
         return _cmd_list()
     raise AssertionError(f"unhandled command {args.command!r}")

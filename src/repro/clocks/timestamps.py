@@ -35,6 +35,16 @@ class Timestamp:
                 f"derived interfaces), got {self.clock}"
             )
 
+    def __hash__(self) -> int:
+        # Memoised: timestamps sit inside every global-state snapshot and
+        # get re-hashed on each state-space dedup lookup.
+        try:
+            return self._hash  # type: ignore[attr-defined]
+        except AttributeError:
+            h = hash((self.clock, self.pid))
+            object.__setattr__(self, "_hash", h)
+            return h
+
     def __lt__(self, other: "Timestamp") -> bool:
         if not isinstance(other, Timestamp):
             return NotImplemented

@@ -1,0 +1,113 @@
+"""Shared graph algorithms over plain adjacency mappings.
+
+Unlike :class:`~repro.core.system.TransitionSystem`, the graphs here need
+not be total: a node may have no successors (``is_stabilizing_to_fair``
+removes the fair edges before looking for cycles, which leaves dead ends),
+and a successor that is not itself a key is treated as a leaf.
+
+Traversal is deterministic: roots are taken in the adjacency mapping's own
+iteration order and children in ``repr`` order, so component lists are
+stable across runs (tests assert on them).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Hashable, Iterable, Mapping
+
+Node = Hashable
+Adjacency = Mapping[Node, Iterable[Node]]
+
+_NO_SUCCESSORS: tuple[Node, ...] = ()
+
+
+def strongly_connected_components(adjacency: Adjacency) -> list[frozenset[Node]]:
+    """Tarjan's algorithm, iterative (safe for deep graphs).
+
+    Components are returned in the order Tarjan completes them (every
+    component after all components it can reach).
+    """
+    index: dict[Node, int] = {}
+    lowlink: dict[Node, int] = {}
+    on_stack: set[Node] = set()
+    stack: list[Node] = []
+    result: list[frozenset[Node]] = []
+    counter = 0
+
+    for root in adjacency:
+        if root in index:
+            continue
+        work = [
+            (
+                root,
+                iter(sorted(adjacency.get(root, _NO_SUCCESSORS), key=repr)),
+            )
+        ]
+        index[root] = lowlink[root] = counter
+        counter += 1
+        stack.append(root)
+        on_stack.add(root)
+        while work:
+            node, children = work[-1]
+            advanced = False
+            for child in children:
+                if child not in index:
+                    index[child] = lowlink[child] = counter
+                    counter += 1
+                    stack.append(child)
+                    on_stack.add(child)
+                    work.append(
+                        (
+                            child,
+                            iter(
+                                sorted(
+                                    adjacency.get(child, _NO_SUCCESSORS),
+                                    key=repr,
+                                )
+                            ),
+                        )
+                    )
+                    advanced = True
+                    break
+                if child in on_stack:
+                    lowlink[node] = min(lowlink[node], index[child])
+            if advanced:
+                continue
+            work.pop()
+            if work:
+                parent = work[-1][0]
+                lowlink[parent] = min(lowlink[parent], lowlink[node])
+            if lowlink[node] == index[node]:
+                component: set[Node] = set()
+                while True:
+                    w = stack.pop()
+                    on_stack.discard(w)
+                    component.add(w)
+                    if w == node:
+                        break
+                result.append(frozenset(component))
+    return result
+
+
+def condensation_index(adjacency: Adjacency) -> dict[Node, int]:
+    """Map every node to the index of its strongly connected component
+    (indices follow :func:`strongly_connected_components` order)."""
+    comp_of: dict[Node, int] = {}
+    for i, comp in enumerate(strongly_connected_components(adjacency)):
+        for node in comp:
+            comp_of[node] = i
+    return comp_of
+
+
+def has_cycle(adjacency: Adjacency) -> bool:
+    """Does the graph contain any cycle (including self-loops)?
+
+    A cycle exists iff some strongly connected component has more than one
+    node, or some node is its own successor.
+    """
+    for comp in strongly_connected_components(adjacency):
+        if len(comp) > 1:
+            return True
+        (node,) = comp
+        if node in adjacency.get(node, _NO_SUCCESSORS):
+            return True
+    return False

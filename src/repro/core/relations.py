@@ -36,6 +36,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.core import graph
 from repro.core.system import StateLike, Transition, TransitionSystem
 
 
@@ -194,71 +195,28 @@ def is_stabilizing_to_fair(
     good = good_transitions(concrete, abstract)
     fair_sources = {s for s, _t in fair_edges}
     # Cycles avoiding fair edges: restrict the edge set, then find cycles.
+    # The restricted graph is not total (dead ends are fine for
+    # repro.core.graph, unlike TransitionSystem).
     allowed = [e for e in concrete.edges() if e not in fair_edges]
-    scc_index: dict[StateLike, int] = {}
-    sub_adj: dict[StateLike, set[StateLike]] = {s: set() for s in concrete.states}
+    sub_adj: dict[StateLike, set[StateLike]] = {
+        s: set() for s in concrete.transitions
+    }
     for s, t in allowed:
         sub_adj[s].add(t)
-    # Tarjan over the restricted graph, reusing TransitionSystem machinery
-    # is not possible (it demands totality), so do a light SCC here.
-    index_counter = [0]
-    lowlink: dict[StateLike, int] = {}
-    number: dict[StateLike, int] = {}
-    on_stack: set[StateLike] = set()
-    stack: list[StateLike] = []
-    comp_of: dict[StateLike, int] = {}
-    comp_counter = [0]
-
-    def strongconnect(root: StateLike) -> None:
-        work = [(root, iter(sorted(sub_adj[root], key=repr)))]
-        number[root] = lowlink[root] = index_counter[0]
-        index_counter[0] += 1
-        stack.append(root)
-        on_stack.add(root)
-        while work:
-            node, it = work[-1]
-            advanced = False
-            for child in it:
-                if child not in number:
-                    number[child] = lowlink[child] = index_counter[0]
-                    index_counter[0] += 1
-                    stack.append(child)
-                    on_stack.add(child)
-                    work.append((child, iter(sorted(sub_adj[child], key=repr))))
-                    advanced = True
-                    break
-                if child in on_stack:
-                    lowlink[node] = min(lowlink[node], number[child])
-            if advanced:
-                continue
-            work.pop()
-            if work:
-                parent = work[-1][0]
-                lowlink[parent] = min(lowlink[parent], lowlink[node])
-            if lowlink[node] == number[node]:
-                while True:
-                    w = stack.pop()
-                    on_stack.discard(w)
-                    comp_of[w] = comp_counter[0]
-                    if w == node:
-                        break
-                comp_counter[0] += 1
-
-    for s in concrete.states:
-        if s not in number:
-            strongconnect(s)
+    comp_of = graph.condensation_index(sub_adj)
+    # The escape state must be in the SAME SCC as the bad edge; precompute
+    # which components contain one instead of rescanning all states per
+    # candidate edge.
+    comps_with_escape = {
+        comp_of[q] for q in concrete.transitions if q not in fair_sources
+    }
     bad_fair_cycles = frozenset(
         (s, t)
         for s, t in allowed
         if comp_of[s] == comp_of[t]
         and (s, t) not in good
-        and any(
-            comp_of[q] == comp_of[s] and q not in fair_sources
-            for q in concrete.states
-        )
+        and comp_of[s] in comps_with_escape
     )
-    # refine: the escape state must be in the SAME SCC as the bad edge
-    # (already enforced above via comp_of[q] == comp_of[s]).
     if bad_fair_cycles:
         return RelationReport(
             "fair-stabilizing-to",
@@ -311,35 +269,9 @@ def closure_and_convergence(
     outside = system.states - invariant
     converges = True
     if outside:
-        # A cycle entirely outside the invariant set == a non-converging run.
-        sub = {
-            s: (system.successors(s) & outside) for s in outside
-        }
-        # detect any cycle in the partial graph `sub` (states may be dead ends)
-        color: dict[StateLike, int] = {}
-
-        def has_cycle(start: StateLike) -> bool:
-            stack = [(start, iter(sorted(sub[start], key=repr)))]
-            color[start] = 1
-            while stack:
-                node, it = stack[-1]
-                found_next = False
-                for nxt in it:
-                    c = color.get(nxt, 0)
-                    if c == 1:
-                        return True
-                    if c == 0:
-                        color[nxt] = 1
-                        stack.append((nxt, iter(sorted(sub[nxt], key=repr))))
-                        found_next = True
-                        break
-                if not found_next:
-                    color[node] = 2
-                    stack.pop()
-            return False
-
-        for s in outside:
-            if color.get(s, 0) == 0 and has_cycle(s):
-                converges = False
-                break
+        # A cycle entirely outside the invariant set == a non-converging
+        # run.  The induced subgraph may have dead ends; graph.has_cycle
+        # accepts that.
+        sub = {s: (system.successors(s) & outside) for s in outside}
+        converges = not graph.has_cycle(sub)
     return closed, converges

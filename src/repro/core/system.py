@@ -22,6 +22,7 @@ import random
 from collections.abc import Hashable, Iterable, Iterator, Mapping
 from dataclasses import dataclass, field
 
+from repro.core import graph
 from repro.core.computation import FinitePath, Lasso
 
 StateLike = Hashable
@@ -115,19 +116,16 @@ class TransitionSystem:
     # -- reachability -------------------------------------------------------
 
     def reachable_from(self, sources: Iterable[StateLike]) -> frozenset[StateLike]:
-        """All states reachable (in >= 0 steps) from ``sources``."""
-        seen: set[StateLike] = set()
-        stack = [s for s in sources]
-        for s in stack:
-            if s not in self.transitions:
-                raise KeyError(f"{self.name}: unknown state {s!r}")
-        while stack:
-            s = stack.pop()
-            if s in seen:
-                continue
-            seen.add(s)
-            stack.extend(self.transitions[s] - seen)
-        return frozenset(seen)
+        """All states reachable (in >= 0 steps) from ``sources``.
+
+        Runs on the unified exploration engine (:mod:`repro.explore`);
+        unknown sources raise :class:`KeyError` as always.
+        """
+        from repro.explore import DFS, TransitionSystemSpace, explore
+
+        return explore(
+            TransitionSystemSpace(self, sources), strategy=DFS
+        ).visited
 
     def reachable(self) -> frozenset[StateLike]:
         """States reachable from the initial states (the "legitimate" part:
@@ -218,56 +216,8 @@ class TransitionSystem:
     # -- graph analysis -----------------------------------------------------
 
     def strongly_connected_components(self) -> list[frozenset[StateLike]]:
-        """Tarjan's algorithm, iterative (safe for deep graphs)."""
-        index: dict[StateLike, int] = {}
-        lowlink: dict[StateLike, int] = {}
-        on_stack: set[StateLike] = set()
-        stack: list[StateLike] = []
-        result: list[frozenset[StateLike]] = []
-        counter = 0
-
-        for root in self.transitions:
-            if root in index:
-                continue
-            work: list[tuple[StateLike, Iterator[StateLike]]] = [
-                (root, iter(sorted(self.transitions[root], key=repr)))
-            ]
-            index[root] = lowlink[root] = counter
-            counter += 1
-            stack.append(root)
-            on_stack.add(root)
-            while work:
-                node, children = work[-1]
-                advanced = False
-                for child in children:
-                    if child not in index:
-                        index[child] = lowlink[child] = counter
-                        counter += 1
-                        stack.append(child)
-                        on_stack.add(child)
-                        work.append(
-                            (child, iter(sorted(self.transitions[child], key=repr)))
-                        )
-                        advanced = True
-                        break
-                    if child in on_stack:
-                        lowlink[node] = min(lowlink[node], index[child])
-                if advanced:
-                    continue
-                work.pop()
-                if work:
-                    parent = work[-1][0]
-                    lowlink[parent] = min(lowlink[parent], lowlink[node])
-                if lowlink[node] == index[node]:
-                    component: set[StateLike] = set()
-                    while True:
-                        w = stack.pop()
-                        on_stack.discard(w)
-                        component.add(w)
-                        if w == node:
-                            break
-                    result.append(frozenset(component))
-        return result
+        """Tarjan's algorithm (see :mod:`repro.core.graph`)."""
+        return graph.strongly_connected_components(self.transitions)
 
     def edges_on_cycles(self) -> frozenset[Transition]:
         """The transitions that lie on some cycle.
@@ -276,10 +226,7 @@ class TransitionSystem:
         connected component (self-loops trivially qualify).  Used to decide
         stabilization: see :func:`repro.core.relations.is_stabilizing_to`.
         """
-        scc_of: dict[StateLike, int] = {}
-        for i, comp in enumerate(self.strongly_connected_components()):
-            for s in comp:
-                scc_of[s] = i
+        scc_of = graph.condensation_index(self.transitions)
         return frozenset(
             (s, t) for s, t in self.edges() if scc_of[s] == scc_of[t]
         )

@@ -1,0 +1,37 @@
+"""Unified state-space exploration: one engine for every bounded search.
+
+See :mod:`repro.explore.engine` for the engine and its instrumentation,
+:mod:`repro.explore.spaces` for the adapters (transition-system graphs,
+global simulator spaces, per-process local spaces), and
+:mod:`repro.explore.parallel` for process-pool expansion.
+"""
+
+from repro.explore.engine import (
+    BFS,
+    DFS,
+    TRUNCATED_BY_STATES,
+    TRUNCATED_BY_TIME,
+    Exploration,
+    ExplorationStats,
+    explore,
+)
+from repro.explore.spaces import (
+    GlobalSimulatorSpace,
+    LocalProcessSpace,
+    StateSpace,
+    TransitionSystemSpace,
+)
+
+__all__ = [
+    "BFS",
+    "DFS",
+    "TRUNCATED_BY_STATES",
+    "TRUNCATED_BY_TIME",
+    "Exploration",
+    "ExplorationStats",
+    "GlobalSimulatorSpace",
+    "LocalProcessSpace",
+    "StateSpace",
+    "TransitionSystemSpace",
+    "explore",
+]

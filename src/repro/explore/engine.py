@@ -1,0 +1,243 @@
+"""The unified state-space exploration engine.
+
+Every bounded search in this repository -- whitebox global-state
+enumeration, graybox per-process enumeration, transition-system
+reachability, and the operational convergence-point scan -- is one
+instance of the same loop: pop a node from a frontier, deduplicate its
+successors against a visited set, push the fresh ones.  This module owns
+that loop once, with
+
+* pluggable frontier strategies (:data:`BFS` / :data:`DFS`),
+* uniform bounds (``max_depth``, ``max_states``, ``max_seconds``), and
+* a :class:`ExplorationStats` record attached to every result, so the
+  paper's central cost claim (Section 1: whitebox verification covers the
+  *global* product space, graybox verification the per-process *sum*) is
+  measured by instrumented runs rather than ad-hoc counters.
+
+The searched object is abstracted behind the
+:class:`~repro.explore.spaces.StateSpace` protocol; see
+:mod:`repro.explore.spaces` for the three concrete adapters and
+:mod:`repro.explore.parallel` for the optional process-pool expansion
+mode used by global exploration.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+from collections.abc import Callable, Hashable
+from dataclasses import dataclass
+from typing import Any
+
+from repro.explore.spaces import StateSpace
+
+BFS = "bfs"
+DFS = "dfs"
+
+#: Truncation causes reported by :class:`ExplorationStats`.
+TRUNCATED_BY_STATES = "max_states"
+TRUNCATED_BY_TIME = "time_budget"
+
+
+@dataclass(frozen=True)
+class ExplorationStats:
+    """Instrumentation of one exploration run.
+
+    ``states``
+        Distinct states visited (roots included).
+    ``expansions``
+        Nodes whose successors were enumerated (nodes cut by the depth
+        bound are visited but never expanded).
+    ``transitions``
+        Successor edges examined, including duplicates.
+    ``dedup_hits``
+        Successors discarded because their key was already visited.
+    ``depth_reached``
+        Deepest node popped from the frontier.
+    ``depth_limited``
+        Some node was left unexpanded because of ``max_depth``.
+    ``peak_frontier``
+        Largest frontier observed (memory high-water mark).
+    ``truncated`` / ``truncation_cause``
+        Whether the search stopped early and why (``"max_states"`` or
+        ``"time_budget"``); a pure depth bound is *not* a truncation --
+        the bounded space was explored exhaustively.
+    ``workers``
+        Process-pool size used for expansion (1 = in-process).
+    """
+
+    strategy: str
+    states: int
+    expansions: int
+    transitions: int
+    dedup_hits: int
+    depth_reached: int
+    depth_limited: bool
+    peak_frontier: int
+    elapsed_seconds: float
+    truncated: bool
+    truncation_cause: str | None
+    workers: int = 1
+
+    @property
+    def states_per_second(self) -> float:
+        """Visit throughput (0.0 for an instantaneous run)."""
+        if self.elapsed_seconds <= 0.0:
+            return 0.0
+        return self.states / self.elapsed_seconds
+
+    @property
+    def dedup_hit_rate(self) -> float:
+        """Fraction of examined transitions that hit the visited set."""
+        if self.transitions == 0:
+            return 0.0
+        return self.dedup_hits / self.transitions
+
+    def describe(self) -> str:
+        """One-line human-readable summary."""
+        text = (
+            f"{self.states} states in {self.elapsed_seconds:.3f}s "
+            f"({self.states_per_second:,.0f} states/s, {self.strategy}"
+        )
+        if self.workers > 1:
+            text += f" x{self.workers} workers"
+        text += (
+            f"), depth {self.depth_reached}, "
+            f"dedup {self.dedup_hit_rate:.0%}, "
+            f"peak frontier {self.peak_frontier}"
+        )
+        if self.truncated:
+            text += f", TRUNCATED by {self.truncation_cause}"
+        elif self.depth_limited:
+            text += ", depth-bounded"
+        return text
+
+
+@dataclass(frozen=True)
+class Exploration:
+    """Result of one exploration: the visited keys plus statistics."""
+
+    visited: frozenset[Hashable]
+    stats: ExplorationStats
+
+    @property
+    def states(self) -> int:
+        """Distinct states visited."""
+        return len(self.visited)
+
+    def __len__(self) -> int:
+        return len(self.visited)
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self.visited
+
+
+def explore(
+    space: StateSpace,
+    *,
+    strategy: str = BFS,
+    max_depth: int | None = None,
+    max_states: int | None = None,
+    max_seconds: float | None = None,
+    workers: int = 1,
+    on_visit: Callable[[Hashable, int], None] | None = None,
+) -> Exploration:
+    """Explore ``space`` from its roots under the given strategy and bounds.
+
+    ``on_visit(key, depth)`` is called exactly once per distinct state, in
+    visit order (roots first).  ``workers > 1`` requests process-pool
+    expansion (BFS only; the space must implement ``successors_of_key`` --
+    see :mod:`repro.explore.parallel`); it falls back to in-process
+    expansion when the platform cannot fork.
+    """
+    if strategy not in (BFS, DFS):
+        raise ValueError(f"unknown frontier strategy {strategy!r}")
+    if workers > 1:
+        from repro.explore.parallel import explore_parallel
+
+        if strategy != BFS:
+            raise ValueError("parallel expansion supports only BFS")
+        result = explore_parallel(
+            space,
+            workers=workers,
+            max_depth=max_depth,
+            max_states=max_states,
+            max_seconds=max_seconds,
+            on_visit=on_visit,
+        )
+        if result is not None:
+            return result
+        # fall through: platform cannot fork -- explore in-process
+
+    started = time.perf_counter()
+    visited: set[Hashable] = set()
+    frontier: deque[tuple[Any, int]] = deque()
+    truncated = False
+    truncation_cause: str | None = None
+    depth_reached = 0
+    depth_limited = False
+    expansions = 0
+    transitions = 0
+    dedup_hits = 0
+
+    for root in space.roots():
+        key = space.key(root)
+        if key in visited:
+            continue
+        if max_states is not None and len(visited) >= max_states:
+            truncated = True
+            truncation_cause = TRUNCATED_BY_STATES
+            break
+        visited.add(key)
+        if on_visit is not None:
+            on_visit(key, 0)
+        frontier.append((root, 0))
+
+    peak_frontier = len(frontier)
+    pop = frontier.popleft if strategy == BFS else frontier.pop
+    while frontier:
+        if (
+            max_seconds is not None
+            and time.perf_counter() - started > max_seconds
+        ):
+            truncated = True
+            truncation_cause = TRUNCATED_BY_TIME
+            break
+        node, depth = pop()
+        depth_reached = max(depth_reached, depth)
+        if max_depth is not None and depth >= max_depth:
+            depth_limited = True
+            continue
+        expansions += 1
+        for succ in space.successors(node):
+            transitions += 1
+            key = space.key(succ)
+            if key in visited:
+                dedup_hits += 1
+                continue
+            if max_states is not None and len(visited) >= max_states:
+                truncated = True
+                truncation_cause = TRUNCATED_BY_STATES
+                frontier.clear()
+                break
+            visited.add(key)
+            if on_visit is not None:
+                on_visit(key, depth + 1)
+            frontier.append((succ, depth + 1))
+        peak_frontier = max(peak_frontier, len(frontier))
+
+    stats = ExplorationStats(
+        strategy=strategy,
+        states=len(visited),
+        expansions=expansions,
+        transitions=transitions,
+        dedup_hits=dedup_hits,
+        depth_reached=depth_reached,
+        depth_limited=depth_limited,
+        peak_frontier=peak_frontier,
+        elapsed_seconds=time.perf_counter() - started,
+        truncated=truncated,
+        truncation_cause=truncation_cause,
+        workers=1,
+    )
+    return Exploration(visited=frozenset(visited), stats=stats)

@@ -1,0 +1,143 @@
+"""Optional process-pool expansion for global state-space exploration.
+
+Global exploration is embarrassingly parallel per BFS level: each frontier
+state's successors depend only on that state.  This module runs a
+level-synchronous BFS where successor computation is farmed out to a
+``fork``-started process pool; only hashable state keys (snapshots) cross
+the pipe, while the space object itself -- including its unpicklable
+guarded-command programs -- is inherited by the workers through ``fork``.
+
+Deduplication stays in the parent and consumes worker results in frontier
+order, so the visited set (and even the ``max_states`` cut-off point) is
+identical to the in-process BFS.  On platforms without ``fork`` (or for
+spaces without ``successors_of_key``) :func:`explore_parallel` returns
+``None`` and the engine falls back to in-process expansion.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import time
+from collections.abc import Callable, Hashable
+
+from repro.explore.spaces import StateSpace
+
+# The space a forked worker expands against, inherited at pool creation.
+_WORKER_SPACE: StateSpace | None = None
+
+
+def _expand_one(key: Hashable) -> list[Hashable]:
+    assert _WORKER_SPACE is not None, "worker used outside a pool"
+    return _WORKER_SPACE.successors_of_key(key)  # type: ignore[attr-defined]
+
+
+def explore_parallel(
+    space: StateSpace,
+    *,
+    workers: int,
+    max_depth: int | None,
+    max_states: int | None,
+    max_seconds: float | None,
+    on_visit: Callable[[Hashable, int], None] | None,
+):
+    """Level-synchronous parallel BFS; ``None`` if unsupported here."""
+    from repro.explore.engine import (
+        TRUNCATED_BY_STATES,
+        TRUNCATED_BY_TIME,
+        Exploration,
+        ExplorationStats,
+    )
+
+    if not hasattr(space, "successors_of_key"):
+        return None
+    try:
+        ctx = multiprocessing.get_context("fork")
+    except ValueError:
+        return None
+
+    global _WORKER_SPACE
+    started = time.perf_counter()
+    visited: set[Hashable] = set()
+    truncated = False
+    truncation_cause: str | None = None
+    depth_reached = 0
+    depth_limited = False
+    expansions = 0
+    transitions = 0
+    dedup_hits = 0
+
+    level: list[Hashable] = []
+    for root in space.roots():
+        key = space.key(root)
+        if key in visited:
+            continue
+        if max_states is not None and len(visited) >= max_states:
+            truncated = True
+            truncation_cause = TRUNCATED_BY_STATES
+            break
+        visited.add(key)
+        if on_visit is not None:
+            on_visit(key, 0)
+        level.append(key)
+
+    peak_frontier = len(level)
+    depth = 0
+    _WORKER_SPACE = space
+    try:
+        with ctx.Pool(processes=workers) as pool:
+            while level and not truncated:
+                depth_reached = max(depth_reached, depth)
+                if max_depth is not None and depth >= max_depth:
+                    depth_limited = True
+                    break
+                if (
+                    max_seconds is not None
+                    and time.perf_counter() - started > max_seconds
+                ):
+                    truncated = True
+                    truncation_cause = TRUNCATED_BY_TIME
+                    break
+                chunksize = max(1, len(level) // (workers * 4))
+                results = pool.map(_expand_one, level, chunksize=chunksize)
+                expansions += len(level)
+                next_level: list[Hashable] = []
+                for succs in results:
+                    if truncated:
+                        break
+                    for key in succs:
+                        transitions += 1
+                        if key in visited:
+                            dedup_hits += 1
+                            continue
+                        if (
+                            max_states is not None
+                            and len(visited) >= max_states
+                        ):
+                            truncated = True
+                            truncation_cause = TRUNCATED_BY_STATES
+                            break
+                        visited.add(key)
+                        if on_visit is not None:
+                            on_visit(key, depth + 1)
+                        next_level.append(key)
+                level = next_level if not truncated else []
+                depth += 1
+                peak_frontier = max(peak_frontier, len(level))
+    finally:
+        _WORKER_SPACE = None
+
+    stats = ExplorationStats(
+        strategy="bfs",
+        states=len(visited),
+        expansions=expansions,
+        transitions=transitions,
+        dedup_hits=dedup_hits,
+        depth_reached=depth_reached,
+        depth_limited=depth_limited,
+        peak_frontier=peak_frontier,
+        elapsed_seconds=time.perf_counter() - started,
+        truncated=truncated,
+        truncation_cause=truncation_cause,
+        workers=workers,
+    )
+    return Exploration(visited=frozenset(visited), stats=stats)

@@ -1,0 +1,417 @@
+"""State-space adapters for the exploration engine.
+
+A :class:`StateSpace` is anything with root nodes and a successor
+function.  Three concrete spaces cover the repository's searches:
+
+* :class:`TransitionSystemSpace` -- the finite graphs of
+  :class:`~repro.core.system.TransitionSystem` (reachability for the
+  refinement/stabilization relations and the theorem checks);
+* :class:`GlobalSimulatorSpace` -- the *global* product space of a live
+  :class:`~repro.runtime.simulator.Simulator` (the whitebox verification
+  surface of Section 1), expanded by copy-on-write
+  :meth:`~repro.runtime.simulator.Simulator.fork` instead of rebuilding a
+  simulator per branch;
+* :class:`LocalProcessSpace` -- the *local* space of one
+  :class:`~repro.runtime.process.ProcessRuntime` under a bounded message
+  alphabet (the graybox per-process surface; the system-wide graybox cost
+  is the sum over processes, not the product).
+
+Nodes may be arbitrary carrier objects (e.g. live simulators); ``key``
+maps a node to the hashable state identity used for deduplication.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Hashable, Iterable, Iterator, Mapping
+from dataclasses import replace
+from typing import TYPE_CHECKING, Any, Protocol, runtime_checkable
+
+if TYPE_CHECKING:
+    from repro.core.system import StateLike, TransitionSystem
+    from repro.dsl.program import ProcessProgram
+    from repro.runtime.simulator import Simulator
+    from repro.runtime.trace import GlobalState
+
+
+@runtime_checkable
+class StateSpace(Protocol):
+    """Root states plus a successor function, with a dedup key."""
+
+    def roots(self) -> Iterable[Any]:
+        """The nodes exploration starts from."""
+        ...
+
+    def successors(self, node: Any) -> Iterable[Any]:
+        """All nodes one transition away from ``node``."""
+        ...
+
+    def key(self, node: Any) -> Hashable:
+        """The hashable state identity of ``node`` (dedup key)."""
+        ...
+
+
+class TransitionSystemSpace:
+    """The graph of a :class:`~repro.core.system.TransitionSystem`.
+
+    ``sources`` overrides the roots (default: the system's initial
+    states); unknown sources raise :class:`KeyError` exactly as
+    :meth:`TransitionSystem.reachable_from` always has.
+    """
+
+    def __init__(
+        self,
+        system: "TransitionSystem",
+        sources: Iterable["StateLike"] | None = None,
+    ):
+        self.system = system
+        self.sources = (
+            tuple(system.initial) if sources is None else tuple(sources)
+        )
+
+    def roots(self) -> Iterator["StateLike"]:
+        for s in self.sources:
+            if s not in self.system.transitions:
+                raise KeyError(f"{self.system.name}: unknown state {s!r}")
+            yield s
+
+    def successors(self, node: "StateLike") -> Iterable["StateLike"]:
+        return self.system.transitions[node]
+
+    def key(self, node: "StateLike") -> Hashable:
+        return node
+
+
+class _GlobalNode:
+    """A live simulator paired with its (already materialised) snapshot."""
+
+    __slots__ = ("sim", "state")
+
+    def __init__(self, sim: "Simulator", state: "GlobalState"):
+        self.sim = sim
+        self.state = state
+
+
+class GlobalSimulatorSpace:
+    """The global state space of a simulated system (whitebox surface).
+
+    Nodes carry a live :class:`~repro.runtime.simulator.Simulator`
+    alongside its :class:`~repro.runtime.trace.GlobalState` snapshot (the
+    dedup key).  Expansion forks the node's simulator once per candidate
+    step -- no simulator is ever rebuilt from scratch -- and successor
+    snapshots are derived *incrementally* from the parent snapshot: one
+    step touches exactly one process and at most a handful of channels
+    (the executed :class:`~repro.runtime.trace.StepRecord` names them),
+    so everything else is shared structurally.
+
+    Snapshots deliberately erase message metadata (uids, piggybacked
+    sender clocks), so the successor function must be a function of the
+    *snapshot* for the explored graph to be well defined on snapshot
+    states.  Simulators are therefore canonicalised on entry to the
+    space (:meth:`roots` / :meth:`restore` drop any
+    ``send_event_uid``/``sender_clock``), and :meth:`successors` sends
+    all messages metadata-free, keeping every reachable node canonical --
+    which matches the historical rebuild-from-snapshot semantics exactly.
+    """
+
+    def __init__(self, programs: Mapping[str, "ProcessProgram"]):
+        self.programs = dict(programs)
+        # pid -> position in GlobalState.processes, channel -> position in
+        # GlobalState.channels; fixed for the whole space, filled lazily
+        # from the first snapshot _delta_state sees.
+        self._proc_index: dict[str, int] | None = None
+        self._chan_index: dict[tuple[str, str], int] = {}
+
+    def roots(self) -> Iterator[_GlobalNode]:
+        from repro.runtime.scheduler import RoundRobinScheduler
+        from repro.runtime.simulator import Simulator
+
+        sim = Simulator(
+            self.programs, RoundRobinScheduler(), record_states=False
+        )
+        sim.record_trace = False
+        self._canonicalize(sim)
+        yield _GlobalNode(sim, sim.snapshot())
+
+    @staticmethod
+    def _canonicalize(sim: "Simulator") -> None:
+        """Strip non-snapshot message metadata in place (own forks only)."""
+        for chan in sim.network.channels():
+            if chan.empty:
+                continue
+            if all(
+                m.send_event_uid is None and m.sender_clock is None
+                for m in chan
+            ):
+                continue
+            chan.replace_contents(
+                m
+                if m.send_event_uid is None and m.sender_clock is None
+                else replace(m, send_event_uid=None, sender_clock=None)
+                for m in chan.snapshot()
+            )
+
+    def _successor_state(
+        self, parent: "GlobalState", branch: "Simulator", record
+    ) -> "GlobalState":
+        """``branch.snapshot()`` computed from the parent's snapshot plus
+        the step record's delta (changed process, touched channels)."""
+        touched: set[tuple[str, str]] = set()
+        if record.kind == "deliver":
+            touched.add((record.delivered_from, record.pid))
+        for _kind, receiver in record.sends:
+            touched.add((record.pid, receiver))
+        return self._delta_state(parent, branch, record.pid, touched)
+
+    def _delta_state(
+        self,
+        parent: "GlobalState",
+        branch: "Simulator",
+        changed_pid: str | None,
+        touched: set[tuple[str, str]],
+    ) -> "GlobalState":
+        """One step changes at most one process and a few channels; the
+        rest of the parent's snapshot is shared structurally."""
+        from repro.runtime.trace import GlobalState
+
+        if self._proc_index is None:
+            self._proc_index = {
+                pid: i for i, (pid, _) in enumerate(parent.processes)
+            }
+            self._chan_index = {
+                key: i for i, (key, _) in enumerate(parent.channels)
+            }
+        if changed_pid is not None:
+            processes = list(parent.processes)
+            processes[self._proc_index[changed_pid]] = (
+                changed_pid,
+                branch.processes[changed_pid].snapshot(),
+            )
+            processes = tuple(processes)
+        else:
+            processes = parent.processes
+        if touched:
+            channels = list(parent.channels)
+            network = branch.network
+            for key in touched:
+                channels[self._chan_index[key]] = (
+                    key,
+                    tuple(
+                        (m.kind, m.payload) for m in network.channel(*key)
+                    ),
+                )
+            channels = tuple(channels)
+        else:
+            channels = parent.channels
+        return GlobalState(processes, channels)
+
+    @staticmethod
+    def _shell(
+        sim: "Simulator", acting_pid: str, bproc, bnet
+    ) -> "Simulator":
+        """Assemble a lean exploration fork around an already-executed
+        process fork ``bproc`` and branch network ``bnet``: only
+        ``acting_pid`` mutated, so every other
+        :class:`~repro.runtime.process.ProcessRuntime` is shared outright.
+
+        Private to exploration: a general-purpose clone must use
+        :meth:`~repro.runtime.simulator.Simulator.fork`, which copies all
+        process state (callers may mutate any process afterwards).
+        """
+        from repro.runtime.simulator import Simulator
+
+        clone = Simulator.__new__(Simulator)
+        clone.network = bnet
+        processes = dict(sim.processes)
+        processes[acting_pid] = bproc
+        clone.processes = processes
+        # Never consulted (exploration enumerates candidates itself) and
+        # never mutated (``choose`` is the only mutator), so share it.
+        clone.scheduler = sim.scheduler
+        clone.fault_hook = None
+        clone.record_states = False
+        clone.record_trace = False
+        clone.trace = sim.trace
+        clone._next_event_uid = sim._next_event_uid
+        clone.step_index = sim.step_index
+        return clone
+
+    def successors(self, node: _GlobalNode) -> Iterator[_GlobalNode]:
+        """Expand in the simulator's candidate order: one deliver step per
+        non-empty channel, then every enabled internal action.
+
+        This inlines :meth:`Simulator.execute` minus its bookkeeping
+        (step records, event uids, trace hooks).  Each candidate first
+        runs its effect on a forked copy of the one acting process; only
+        then -- once the touched channels are known -- is the branch
+        network assembled via
+        :meth:`~repro.runtime.network.Network.fork_channels`, so untouched
+        channels (and for send-free internal steps the whole network) stay
+        shared with the parent.  Messages are sent without piggybacked
+        metadata -- exactly what the snapshot (and hence the successor
+        function on snapshot states) can carry.
+
+        No canonicalisation happens here: roots and restored simulators
+        are canonicalised on entry, and every message this method itself
+        sends is metadata-free, so all reachable nodes are canonical by
+        induction.
+        """
+        sim = node.sim
+        parent = node.state
+        network = sim.network
+        for chan in network.nonempty_channels():
+            src, dst = chan.src, chan.dst
+            message = chan.peek()
+            proc = sim.processes[dst]
+            handler = proc.program.receive_action_for(message.kind)
+            effect = None
+            if handler is not None:
+                view = proc.view(
+                    {
+                        "_msg": message.payload,
+                        "_sender": message.sender,
+                        "_msg_clock": message.sender_clock,
+                    }
+                )
+                if handler.enabled(view):
+                    effect = handler.body(view)
+            touched = {(src, dst)}
+            if effect is not None:
+                bproc = proc.fork()
+                bproc._apply(effect)
+                for send in effect.sends:
+                    touched.add((dst, send.receiver))
+            else:
+                # Unhandled/rejected message: consumed, receiver untouched.
+                bproc = proc
+            bnet = network.fork_channels(touched)
+            bnet.channel(src, dst).dequeue()
+            if effect is not None:
+                for send in effect.sends:
+                    bnet.send(send.kind, dst, send.receiver, send.payload)
+            branch = self._shell(sim, dst, bproc, bnet)
+            yield _GlobalNode(
+                branch,
+                self._delta_state(
+                    parent, branch, dst if effect is not None else None, touched
+                ),
+            )
+        for pid, proc in sim.processes.items():
+            # One view serves every action of this process: guards and
+            # bodies are pure, and a fresh fork sees identical variables
+            # (this halves the guard/view work of execute_internal).
+            view = proc.view()
+            for act in proc.program.actions:
+                if not act.enabled(view):
+                    continue
+                effect = act.body(view)
+                bproc = proc.fork()
+                bproc._apply(effect)
+                if effect.sends:
+                    touched = {(pid, s.receiver) for s in effect.sends}
+                    bnet = network.fork_channels(touched)
+                    for send in effect.sends:
+                        bnet.send(send.kind, pid, send.receiver, send.payload)
+                else:
+                    touched = set()
+                    bnet = network
+                branch = self._shell(sim, pid, bproc, bnet)
+                yield _GlobalNode(
+                    branch, self._delta_state(parent, branch, pid, touched)
+                )
+
+    def key(self, node: _GlobalNode) -> "GlobalState":
+        return node.state
+
+    # -- key-based expansion (process-pool workers) -----------------------
+
+    def restore(self, state: "GlobalState") -> "Simulator":
+        """Reconstruct a live simulator positioned at ``state``."""
+        from repro.runtime.scheduler import RoundRobinScheduler
+        from repro.runtime.simulator import Simulator
+
+        overrides = {pid: state.process_vars(pid) for pid in state.pids()}
+        sim = Simulator(
+            self.programs,
+            RoundRobinScheduler(),
+            overrides=overrides,
+            record_states=False,
+        )
+        sim.record_trace = False
+        for (src, dst), content in state.channels:
+            for kind, payload in content:
+                sim.network.send(kind, src, dst, payload)
+        self._canonicalize(sim)
+        return sim
+
+    def successors_of_key(self, state: "GlobalState") -> list["GlobalState"]:
+        """Successor snapshots of a snapshot (picklable in and out)."""
+        sim = self.restore(state)
+        out: list[GlobalState] = []
+        for step in sim.candidate_steps():
+            branch = sim.fork()
+            record = branch.execute(step)
+            out.append(self._successor_state(state, branch, record))
+        return out
+
+
+class LocalProcessSpace:
+    """The local state space of one process (graybox surface).
+
+    Nodes are hashable :meth:`~repro.runtime.process.ProcessRuntime.
+    snapshot` tuples.  A state's successors are every enabled internal
+    action plus every acceptable message from the bounded ``alphabet``
+    of (sender, kind, payload) triples; successors whose Lamport clock
+    exceeds ``max_clock`` fall outside the bounded space and are pruned.
+    """
+
+    def __init__(
+        self,
+        program: "ProcessProgram",
+        pid: str,
+        all_pids: tuple[str, ...],
+        alphabet: Iterable[tuple[str, str, Any]],
+        max_clock: int,
+    ):
+        self.program = program
+        self.pid = pid
+        self.all_pids = tuple(all_pids)
+        self.alphabet = tuple(alphabet)
+        self.max_clock = max_clock
+
+    def roots(self) -> Iterator[tuple]:
+        from repro.runtime.process import ProcessRuntime
+
+        yield ProcessRuntime(self.pid, self.program, self.all_pids).snapshot()
+
+    def _within_clock_bound(self, proc) -> bool:
+        lc = proc.variables.get("lc", 0)
+        return isinstance(lc, int) and lc <= self.max_clock
+
+    def successors(self, node: tuple) -> Iterator[tuple]:
+        from repro.runtime.process import ProcessRuntime
+
+        base = ProcessRuntime(
+            self.pid, self.program, self.all_pids, overrides=dict(node)
+        )
+        for act in base.enabled_internal_actions():
+            clone = base.fork()
+            clone.execute_internal(act)
+            if self._within_clock_bound(clone):
+                yield clone.snapshot()
+        for sender, kind, payload in self.alphabet:
+            handler = self.program.receive_action_for(kind)
+            if handler is None:
+                continue
+            clone = base.fork()
+            view = clone.view({"_msg": payload, "_sender": sender})
+            if not handler.enabled(view):
+                continue
+            clone._apply(handler.body(view))
+            if self._within_clock_bound(clone):
+                yield clone.snapshot()
+
+    def key(self, node: tuple) -> Hashable:
+        return node
+
+    def successors_of_key(self, node: tuple) -> list[tuple]:
+        return list(self.successors(node))

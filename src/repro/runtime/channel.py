@@ -22,8 +22,16 @@ class FifoChannel:
         self.src = src
         self.dst = dst
         self._queue: deque[Message] = deque()
+        self._shared = False
         self.total_enqueued = 0
         self.total_delivered = 0
+
+    def _own(self) -> None:
+        # Copy-on-write: after fork() both sides share one deque until the
+        # first mutation on either side.
+        if self._shared:
+            self._queue = deque(self._queue)
+            self._shared = False
 
     # -- normal operation ---------------------------------------------------
 
@@ -34,6 +42,7 @@ class FifoChannel:
                 f"message {message!r} does not belong on channel "
                 f"{self.src}->{self.dst}"
             )
+        self._own()
         self._queue.append(message)
         self.total_enqueued += 1
 
@@ -45,6 +54,7 @@ class FifoChannel:
         """Remove and return the head message (FIFO delivery)."""
         if not self._queue:
             raise IndexError(f"channel {self.src}->{self.dst} is empty")
+        self._own()
         self.total_delivered += 1
         return self._queue.popleft()
 
@@ -63,11 +73,29 @@ class FifoChannel:
         """The queue contents, head first (used in global-state snapshots)."""
         return tuple(self._queue)
 
+    def fork(self) -> "FifoChannel":
+        """An independent copy of this channel.
+
+        The queue is shared copy-on-write (materialised on the first
+        mutation of either copy); the :class:`Message` instances themselves
+        are immutable and always shared.
+        """
+        clone = FifoChannel.__new__(FifoChannel)
+        clone.src = self.src
+        clone.dst = self.dst
+        clone._queue = self._queue
+        clone._shared = True
+        self._shared = True
+        clone.total_enqueued = self.total_enqueued
+        clone.total_delivered = self.total_delivered
+        return clone
+
     # -- fault surface ------------------------------------------------------
 
     def drop_at(self, index: int) -> Message:
         """Fault: lose the message at queue position ``index``."""
         msg = self._queue[index]
+        self._own()
         del self._queue[index]
         return msg
 
@@ -75,6 +103,7 @@ class FifoChannel:
         """Fault: duplicate the message at ``index`` (copy inserted right
         behind the original, preserving FIFO of the two copies)."""
         dup = self._queue[index].duplicated(new_uid)
+        self._own()
         self._queue.insert(index + 1, dup)
         return dup
 
@@ -89,6 +118,7 @@ class FifoChannel:
         corrupted = mutate(self._queue[index])
         if corrupted.channel() != (self.src, self.dst):
             raise ValueError("corruption must not move a message across channels")
+        self._own()
         self._queue[index] = corrupted
         return corrupted
 
@@ -99,11 +129,13 @@ class FifoChannel:
             if m.channel() != (self.src, self.dst):
                 raise ValueError(f"{m!r} does not belong on {self.src}->{self.dst}")
         self._queue = deque(messages)
+        self._shared = False
 
     def clear(self) -> int:
         """Fault: lose everything in flight; returns the number lost."""
         n = len(self._queue)
-        self._queue.clear()
+        self._queue = deque()
+        self._shared = False
         return n
 
     def __repr__(self) -> str:

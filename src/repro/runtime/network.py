@@ -85,6 +85,37 @@ class Network:
         """Fault helper: drop every in-flight message everywhere."""
         return sum(c.clear() for c in self._channels.values())
 
+    def fork(self) -> "Network":
+        """An independent copy: channel queues are copied, the immutable
+        :class:`Message` instances are shared, and uid allocation continues
+        from the same point so forked runs never reuse a live uid."""
+        clone = Network.__new__(Network)
+        clone.pids = self.pids
+        clone._channels = {
+            pair: chan.fork() for pair, chan in self._channels.items()
+        }
+        clone._next_uid = self._next_uid
+        clone.sent_by_kind = dict(self.sent_by_kind)
+        return clone
+
+    def fork_channels(
+        self, pairs: Iterable[tuple[str, str]]
+    ) -> "Network":
+        """A clone for single-step branching: only the channels named in
+        ``pairs`` get independent (copy-on-write) forks; every other
+        channel *object* is shared with the parent and must not be mutated
+        through the clone.  Use :meth:`fork` for a general-purpose copy.
+        """
+        clone = Network.__new__(Network)
+        clone.pids = self.pids
+        channels = dict(self._channels)
+        for pair in pairs:
+            channels[pair] = channels[pair].fork()
+        clone._channels = channels
+        clone._next_uid = self._next_uid
+        clone.sent_by_kind = dict(self.sent_by_kind)
+        return clone
+
     def snapshot(self) -> tuple[tuple[tuple[str, str], tuple[Message, ...]], ...]:
         """Hashable global channel snapshot (sorted by channel id)."""
         return tuple(

@@ -40,6 +40,7 @@ class ProcessRuntime:
             self.variables.update(overrides)
         self.event_seq = 0
         self.steps_taken = 0
+        self._snapshot_keys: tuple[str, ...] | None = None
 
     # -- views and execution ------------------------------------------------
 
@@ -107,13 +108,37 @@ class ProcessRuntime:
 
     # -- snapshots ------------------------------------------------------------
 
+    def fork(self) -> "ProcessRuntime":
+        """An independent copy sharing the (immutable) program.
+
+        Variable *values* are shared: programs store only hashable,
+        immutable values (see :meth:`snapshot`), so copying the dict is a
+        full state copy.
+        """
+        clone = ProcessRuntime.__new__(ProcessRuntime)
+        clone.pid = self.pid
+        clone.program = self.program
+        clone.peers = self.peers
+        clone.variables = dict(self.variables)
+        clone.event_seq = self.event_seq
+        clone.steps_taken = self.steps_taken
+        clone._snapshot_keys = self._snapshot_keys
+        return clone
+
     def snapshot(self) -> tuple[tuple[str, Any], ...]:
         """Hashable snapshot of the local state (sorted name/value pairs).
 
         Values must be hashable; lists/sets/dicts in programs should be
-        stored as tuples/frozensets.
+        stored as tuples/frozensets.  The sorted key order is cached: the
+        variable *names* are fixed by the program's initial state, only
+        values change (a renamed key raises ``KeyError`` here rather than
+        silently reordering).
         """
-        return tuple(sorted(self.variables.items(), key=lambda kv: kv[0]))
+        variables = self.variables
+        keys = self._snapshot_keys
+        if keys is None or len(keys) != len(variables):
+            keys = self._snapshot_keys = tuple(sorted(variables))
+        return tuple((k, variables[k]) for k in keys)
 
     def next_event_seq(self) -> int:
         """Allocate the next per-process event sequence number."""

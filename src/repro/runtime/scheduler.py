@@ -20,6 +20,7 @@ Three schedulers are provided:
 
 from __future__ import annotations
 
+import copy
 import random
 from collections.abc import Callable, Sequence
 from dataclasses import dataclass
@@ -58,6 +59,11 @@ class Scheduler:
     def choose(self, candidates: Sequence[Step], step_index: int) -> Step:
         raise NotImplementedError
 
+    def fork(self) -> "Scheduler":
+        """An independent copy (simulator forks must not share mutable
+        scheduler state).  Subclasses with cheap state override this."""
+        return copy.deepcopy(self)
+
 
 class RandomScheduler(Scheduler):
     """Uniformly random choice; weights may bias step classes.
@@ -82,6 +88,11 @@ class RandomScheduler(Scheduler):
         ]
         return self._rng.choices(ordered, weights=weights, k=1)[0]
 
+    def fork(self) -> "RandomScheduler":
+        rng = random.Random()
+        rng.setstate(self._rng.getstate())
+        return RandomScheduler(rng, self._deliver_bias)
+
 
 class RoundRobinScheduler(Scheduler):
     """Least-recently-served among enabled candidates (deterministic,
@@ -100,6 +111,11 @@ class RoundRobinScheduler(Scheduler):
         self._last_served[chosen.key] = step_index
         return chosen
 
+    def fork(self) -> "RoundRobinScheduler":
+        clone = RoundRobinScheduler()
+        clone._last_served = dict(self._last_served)
+        return clone
+
 
 class AdversarialScheduler(Scheduler):
     """Delegates to a policy ``(candidates, step_index) -> Step``.
@@ -117,3 +133,6 @@ class AdversarialScheduler(Scheduler):
         if chosen not in candidates:
             raise ValueError("adversarial policy chose a non-candidate step")
         return chosen
+
+    def fork(self) -> "AdversarialScheduler":
+        return AdversarialScheduler(self._policy)

@@ -67,11 +67,44 @@ class Simulator:
         self.scheduler = scheduler
         self.fault_hook = fault_hook
         self.record_states = record_states
+        self.record_trace = True
         self.trace = Trace()
         self._next_event_uid = 0
         self.step_index = 0
         if record_states:
             self.trace.states.append(self.snapshot())
+
+    # -- forking --------------------------------------------------------------
+
+    def fork(self) -> "Simulator":
+        """A copy-on-write clone positioned at the current global state.
+
+        Process variables and channel queues are copied; the immutable
+        programs and :class:`~repro.runtime.messages.Message` instances are
+        shared.  The clone starts with a fresh, empty trace and does not
+        record states or steps (``record_trace=False``) -- it is a branch
+        point for state-space exploration, not a recorded run.  The fault
+        hook is *not* inherited: a fork explores the fault-free transition
+        relation from wherever its parent stands.
+
+        Compared to rebuilding a :class:`Simulator` from a snapshot, a fork
+        skips network construction, program re-validation, and snapshot
+        re-materialisation -- this is what makes global state-space
+        exploration affordable (see :mod:`repro.explore`).
+        """
+        clone = Simulator.__new__(Simulator)
+        clone.network = self.network.fork()
+        clone.processes = {
+            pid: proc.fork() for pid, proc in self.processes.items()
+        }
+        clone.scheduler = self.scheduler.fork()
+        clone.fault_hook = None
+        clone.record_states = False
+        clone.record_trace = False
+        clone.trace = Trace()
+        clone._next_event_uid = self._next_event_uid
+        clone.step_index = self.step_index
+        return clone
 
     # -- snapshots ------------------------------------------------------------
 
@@ -123,7 +156,8 @@ class Simulator:
             step_index=self.step_index,
             clock_event=clock != pre_clock,
         )
-        self.trace.events.append(event)
+        if self.record_trace:
+            self.trace.events.append(event)
         return event
 
     def _apply_sends(self, pid: str, effect: Effect, event_uid: int) -> tuple[tuple[str, str], ...]:
@@ -148,7 +182,8 @@ class Simulator:
             record = self._execute_deliver(step, faults)
         else:
             record = self._execute_internal(step, faults)
-        self.trace.steps.append(record)
+        if self.record_trace:
+            self.trace.steps.append(record)
         if self.record_states:
             self.trace.states.append(self.snapshot())
         self.step_index += 1
@@ -169,13 +204,16 @@ class Simulator:
         if effect is not None:
             handler = proc.program.receive_action_for(message.kind)
             action_name = handler.name if handler else None
-            event = self._record_event(
-                step.dst,
-                action_name or f"recv:{message.kind}",
-                message.send_event_uid,
-                pre_clock,
-            )
-            sends = self._apply_sends(step.dst, effect, event.uid)
+            if self.record_trace:
+                event_uid = self._record_event(
+                    step.dst,
+                    action_name or f"recv:{message.kind}",
+                    message.send_event_uid,
+                    pre_clock,
+                ).uid
+            else:
+                event_uid = self._fresh_event_uid()
+            sends = self._apply_sends(step.dst, effect, event_uid)
         return StepRecord(
             index=self.step_index,
             kind="deliver",
@@ -200,8 +238,13 @@ class Simulator:
         if not isinstance(pre_clock, int) or pre_clock < 0:
             pre_clock = 0
         effect = proc.execute_internal(act)
-        event = self._record_event(step.pid, step.action, None, pre_clock)
-        sends = self._apply_sends(step.pid, effect, event.uid)
+        if self.record_trace:
+            event_uid = self._record_event(
+                step.pid, step.action, None, pre_clock
+            ).uid
+        else:
+            event_uid = self._fresh_event_uid()
+        sends = self._apply_sends(step.pid, effect, event_uid)
         return StepRecord(
             index=self.step_index,
             kind="internal",
@@ -213,7 +256,8 @@ class Simulator:
 
     def _stutter(self, faults: tuple[str, ...]) -> StepRecord:
         record = StepRecord(index=self.step_index, kind="stutter", faults=faults)
-        self.trace.steps.append(record)
+        if self.record_trace:
+            self.trace.steps.append(record)
         if self.record_states:
             self.trace.states.append(self.snapshot())
         self.step_index += 1

@@ -31,6 +31,16 @@ class GlobalState:
     processes: tuple[tuple[str, ProcessVars], ...]
     channels: tuple[tuple[ChannelKey, ChannelContent], ...]
 
+    def __hash__(self) -> int:
+        # Memoised: snapshots are dedup keys in state-space exploration and
+        # get hashed repeatedly; the nested tuples make each hash pricey.
+        try:
+            return self._hash  # type: ignore[attr-defined]
+        except AttributeError:
+            h = hash((self.processes, self.channels))
+            object.__setattr__(self, "_hash", h)
+            return h
+
     def var(self, pid: str, name: str) -> Any:
         """The value of one process variable in this snapshot."""
         for p, variables in self.processes:

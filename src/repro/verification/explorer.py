@@ -18,81 +18,71 @@ This module makes that asymmetry measurable:
   graybox cost is the *sum*, not the *product*, over processes).
 
 E7 sweeps ``n`` and reports both counts.
+
+Both functions are thin wrappers over the unified exploration engine
+(:mod:`repro.explore`): global expansion forks live simulators instead of
+rebuilding one per branch, optionally across a process pool, and every
+result carries the engine's :class:`~repro.explore.ExplorationStats`.
 """
 
 from __future__ import annotations
 
-from collections import deque
 from collections.abc import Iterable, Mapping
 from dataclasses import dataclass
 
 from repro.clocks.timestamps import Timestamp
 from repro.dsl.program import ProcessProgram
-from repro.runtime.scheduler import RoundRobinScheduler
-from repro.runtime.simulator import Simulator
-from repro.runtime.trace import GlobalState
+from repro.explore import (
+    ExplorationStats,
+    GlobalSimulatorSpace,
+    LocalProcessSpace,
+    explore,
+)
 
 
 @dataclass(frozen=True)
 class ExplorationResult:
-    """How many distinct states a bounded exploration visited."""
+    """How many distinct states a bounded exploration visited.
+
+    ``stats`` carries the engine's full instrumentation (throughput,
+    dedup hit-rate, peak frontier, truncation cause); the three legacy
+    fields remain for existing callers.
+    """
 
     label: str
     states: int
     frontier_truncated: bool
     depth_reached: int
-
-
-def _restore(
-    programs: Mapping[str, ProcessProgram], state: GlobalState
-) -> Simulator:
-    """Reconstruct a live simulator positioned at ``state``."""
-    overrides = {pid: state.process_vars(pid) for pid in state.pids()}
-    sim = Simulator(
-        programs,
-        RoundRobinScheduler(),
-        overrides=overrides,
-        record_states=False,
-    )
-    for (src, dst), content in state.channels:
-        for kind, payload in content:
-            sim.network.send(kind, src, dst, payload)
-    return sim
+    stats: ExplorationStats | None = None
 
 
 def explore_global(
     programs: Mapping[str, ProcessProgram],
     max_depth: int = 8,
     max_states: int = 200_000,
+    max_seconds: float | None = None,
+    workers: int = 1,
 ) -> ExplorationResult:
     """All distinct global states reachable from proper initialization in at
-    most ``max_depth`` steps (whitebox verification surface)."""
-    root_sim = Simulator(programs, RoundRobinScheduler(), record_states=True)
-    root = root_sim.snapshot()
-    seen: set[GlobalState] = {root}
-    frontier: deque[tuple[GlobalState, int]] = deque([(root, 0)])
-    truncated = False
-    depth_reached = 0
-    while frontier:
-        state, depth = frontier.popleft()
-        depth_reached = max(depth_reached, depth)
-        if depth >= max_depth:
-            continue
-        sim = _restore(programs, state)
-        for step in sim.candidate_steps():
-            branch = _restore(programs, state)
-            branch.execute(step)
-            succ = branch.snapshot()
-            if succ in seen:
-                continue
-            if len(seen) >= max_states:
-                truncated = True
-                frontier.clear()
-                break
-            seen.add(succ)
-            frontier.append((succ, depth + 1))
+    most ``max_depth`` steps (whitebox verification surface).
+
+    ``workers > 1`` expands frontier states on a process pool (same visit
+    set, wall-clock divided across cores); ``max_seconds`` adds a
+    wall-time budget on top of the depth and state bounds.
+    """
+    result = explore(
+        GlobalSimulatorSpace(programs),
+        max_depth=max_depth,
+        max_states=max_states,
+        max_seconds=max_seconds,
+        workers=workers,
+    )
     return ExplorationResult(
-        "global", len(seen), truncated, depth_reached
+        "global",
+        result.states,
+        result.stats.truncated,
+        result.stats.depth_reached,
+        stats=result.stats,
     )
 
 
@@ -116,57 +106,29 @@ def explore_local(
     max_depth: int = 8,
     max_clock: int = 6,
     max_states: int = 200_000,
+    max_seconds: float | None = None,
 ) -> ExplorationResult:
     """All distinct *local* states of one process reachable within
     ``max_depth`` of its own steps, under any receivable message from the
     bounded alphabet (graybox per-process verification surface)."""
-    from repro.runtime.process import ProcessRuntime
-
     peers = tuple(p for p in all_pids if p != pid)
-    alphabet = default_message_alphabet(peers, kinds, max_clock)
-
-    def snapshot_of(proc: ProcessRuntime):
-        return proc.snapshot()
-
-    root_proc = ProcessRuntime(pid, program, all_pids)
-    root = snapshot_of(root_proc)
-    seen = {root}
-    frontier: deque[tuple[tuple, int]] = deque([(root, 0)])
-    truncated = False
-    depth_reached = 0
-    while frontier:
-        snap, depth = frontier.popleft()
-        depth_reached = max(depth_reached, depth)
-        if depth >= max_depth:
-            continue
-        variables = dict(snap)
-        successors = []
-        base = ProcessRuntime(pid, program, all_pids, overrides=variables)
-        for act in base.enabled_internal_actions():
-            clone = ProcessRuntime(pid, program, all_pids, overrides=dict(variables))
-            clone.execute_internal(act)
-            lc = clone.variables.get("lc", 0)
-            if isinstance(lc, int) and lc <= max_clock:
-                successors.append(snapshot_of(clone))
-        for sender, kind, payload in alphabet:
-            handler = program.receive_action_for(kind)
-            if handler is None:
-                continue
-            clone = ProcessRuntime(pid, program, all_pids, overrides=dict(variables))
-            view = clone.view({"_msg": payload, "_sender": sender})
-            if not handler.enabled(view):
-                continue
-            clone._apply(handler.body(view))
-            lc = clone.variables.get("lc", 0)
-            if isinstance(lc, int) and lc <= max_clock:
-                successors.append(snapshot_of(clone))
-        for succ in successors:
-            if succ in seen:
-                continue
-            if len(seen) >= max_states:
-                truncated = True
-                frontier.clear()
-                break
-            seen.add(succ)
-            frontier.append((succ, depth + 1))
-    return ExplorationResult("local", len(seen), truncated, depth_reached)
+    space = LocalProcessSpace(
+        program,
+        pid,
+        all_pids,
+        default_message_alphabet(peers, kinds, max_clock),
+        max_clock,
+    )
+    result = explore(
+        space,
+        max_depth=max_depth,
+        max_states=max_states,
+        max_seconds=max_seconds,
+    )
+    return ExplorationResult(
+        "local",
+        result.states,
+        result.stats.truncated,
+        result.stats.depth_reached,
+        stats=result.stats,
+    )

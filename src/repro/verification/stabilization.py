@@ -10,6 +10,14 @@ progress resumed, and no process starving.
 :func:`check_stabilization` locates the earliest such point and reports the
 convergence latency (steps from the last fault to the convergence point)
 -- the headline metric of experiments E2-E5.
+
+This check is *trace-analytic*: it scans one recorded run and performs no
+state-space search of its own.  The searches it complements -- bounded
+exploration of the global/local surfaces
+(:mod:`repro.verification.explorer`) and reachability for the exact
+Section-2 relation checks (:meth:`~repro.core.system.TransitionSystem.
+reachable_from`) -- all run on the unified exploration engine
+(:mod:`repro.explore`); its own verdicts are independent of that engine.
 """
 
 from __future__ import annotations

@@ -1,0 +1,148 @@
+"""Tests for the unified exploration engine (strategies, bounds, stats)."""
+
+import pytest
+
+from repro.core.system import TransitionSystem
+from repro.explore import (
+    BFS,
+    DFS,
+    TRUNCATED_BY_STATES,
+    TRUNCATED_BY_TIME,
+    TransitionSystemSpace,
+    explore,
+)
+
+
+def diamond():
+    """a -> {b, c} -> d -> d: four states, one merge point."""
+    return TransitionSystem(
+        "diamond",
+        {"a": {"b", "c"}, "b": {"d"}, "c": {"d"}, "d": {"d"}},
+        initial={"a"},
+    )
+
+
+def chain(n):
+    trans = {i: {i + 1} for i in range(n)}
+    trans[n] = {n}
+    return TransitionSystem("chain", trans, initial={0})
+
+
+class TestStrategies:
+    def test_bfs_dfs_visit_same_states(self):
+        space = TransitionSystemSpace(diamond())
+        bfs = explore(space, strategy=BFS)
+        dfs = explore(space, strategy=DFS)
+        assert bfs.visited == dfs.visited == {"a", "b", "c", "d"}
+        assert bfs.stats.strategy == BFS
+        assert dfs.stats.strategy == DFS
+
+    def test_unknown_strategy_rejected(self):
+        with pytest.raises(ValueError, match="strategy"):
+            explore(TransitionSystemSpace(diamond()), strategy="random")
+
+    def test_parallel_requires_bfs(self):
+        with pytest.raises(ValueError, match="BFS"):
+            explore(TransitionSystemSpace(diamond()), strategy=DFS, workers=2)
+
+
+class TestBounds:
+    def test_depth_bound_is_not_truncation(self):
+        result = explore(TransitionSystemSpace(chain(10)), max_depth=3)
+        assert result.visited == {0, 1, 2, 3}
+        assert result.stats.depth_limited
+        assert not result.stats.truncated
+        assert result.stats.truncation_cause is None
+
+    def test_unbounded_chain_is_exhausted(self):
+        result = explore(TransitionSystemSpace(chain(10)))
+        assert result.states == 11
+        assert not result.stats.depth_limited
+        assert not result.stats.truncated
+
+    def test_max_states_truncates(self):
+        result = explore(TransitionSystemSpace(chain(100)), max_states=5)
+        assert result.states == 5
+        assert result.stats.truncated
+        assert result.stats.truncation_cause == TRUNCATED_BY_STATES
+
+    def test_max_states_not_hit_is_not_truncation(self):
+        result = explore(TransitionSystemSpace(chain(5)), max_states=100)
+        assert result.states == 6
+        assert not result.stats.truncated
+
+    def test_time_budget_truncates(self):
+        # A zero budget expires before the first expansion: only the root
+        # is visited and the cause is reported.
+        result = explore(TransitionSystemSpace(chain(100)), max_seconds=0.0)
+        assert result.visited == {0}
+        assert result.stats.truncated
+        assert result.stats.truncation_cause == TRUNCATED_BY_TIME
+
+
+class TestInstrumentation:
+    def test_counters_on_diamond(self):
+        result = explore(TransitionSystemSpace(diamond()))
+        stats = result.stats
+        assert stats.states == len(result.visited) == 4
+        # Every state gets expanded (d's self-loop dedups).
+        assert stats.expansions == 4
+        # Edges examined: a->b, a->c, b->d, c->d, d->d.
+        assert stats.transitions == 5
+        # c->d (or b->d, order-dependent) and d->d hit the visited set.
+        assert stats.dedup_hits == 2
+        assert stats.dedup_hit_rate == 2 / 5
+        assert stats.depth_reached == 2
+        assert stats.peak_frontier >= 2
+        assert stats.elapsed_seconds >= 0.0
+        assert stats.workers == 1
+
+    def test_states_per_second_zero_guard(self):
+        stats = explore(TransitionSystemSpace(diamond())).stats
+        assert stats.states_per_second >= 0.0
+
+    def test_describe_mentions_truncation(self):
+        stats = explore(
+            TransitionSystemSpace(chain(100)), max_states=5
+        ).stats
+        text = stats.describe()
+        assert "TRUNCATED" in text
+        assert TRUNCATED_BY_STATES in text
+
+    def test_describe_mentions_depth_bound(self):
+        stats = explore(TransitionSystemSpace(chain(10)), max_depth=2).stats
+        assert "depth-bounded" in stats.describe()
+
+    def test_on_visit_called_once_per_state_in_order(self):
+        seen = []
+        explore(
+            TransitionSystemSpace(diamond()),
+            on_visit=lambda key, depth: seen.append((key, depth)),
+        )
+        keys = [k for k, _ in seen]
+        assert sorted(keys) == ["a", "b", "c", "d"]
+        assert len(set(keys)) == len(keys)
+        assert seen[0] == ("a", 0)  # root first, at depth 0
+        assert dict(seen)["d"] == 2
+
+    def test_exploration_container_protocol(self):
+        result = explore(TransitionSystemSpace(diamond()))
+        assert len(result) == 4
+        assert "a" in result
+        assert "z" not in result
+        assert result.states == 4
+
+
+class TestTransitionSystemSpace:
+    def test_sources_override_roots(self):
+        result = explore(TransitionSystemSpace(diamond(), sources=["b"]))
+        assert result.visited == {"b", "d"}
+
+    def test_unknown_source_raises_key_error(self):
+        space = TransitionSystemSpace(diamond(), sources=["nope"])
+        with pytest.raises(KeyError):
+            explore(space)
+
+    def test_duplicate_roots_deduplicated(self):
+        result = explore(TransitionSystemSpace(diamond(), sources=["a", "a"]))
+        assert result.states == 4

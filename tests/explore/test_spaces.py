@@ -1,0 +1,158 @@
+"""Tests for the simulator/process state-space adapters and CoW forking."""
+
+from repro.explore import GlobalSimulatorSpace, LocalProcessSpace, explore
+from repro.runtime.channel import FifoChannel
+from repro.runtime.messages import Message
+from repro.runtime.scheduler import RoundRobinScheduler
+from repro.runtime.simulator import Simulator
+from repro.tme import ClientConfig, tme_programs
+from repro.verification import default_message_alphabet
+
+
+def small_programs(n=2):
+    return tme_programs("ra", n, ClientConfig(think_delay=1, eat_delay=1))
+
+
+def msg(uid, src="a", dst="b", kind="ping", payload=None):
+    return Message(uid, kind, src, dst, payload)
+
+
+class TestChannelCoW:
+    def test_fork_shares_until_mutation(self):
+        chan = FifoChannel("a", "b")
+        chan.enqueue(msg(1))
+        clone = chan.fork()
+        assert clone.snapshot() == chan.snapshot()
+
+    def test_mutating_clone_leaves_original(self):
+        chan = FifoChannel("a", "b")
+        chan.enqueue(msg(1))
+        clone = chan.fork()
+        clone.enqueue(msg(2))
+        assert len(chan) == 1
+        assert len(clone) == 2
+
+    def test_mutating_original_leaves_clone(self):
+        chan = FifoChannel("a", "b")
+        chan.enqueue(msg(1))
+        chan.enqueue(msg(2))
+        clone = chan.fork()
+        chan.dequeue()
+        assert len(chan) == 1
+        assert len(clone) == 2
+
+    def test_fault_surface_respects_cow(self):
+        chan = FifoChannel("a", "b")
+        chan.enqueue(msg(1))
+        chan.enqueue(msg(2))
+        clone = chan.fork()
+        clone.drop_at(0)
+        clone.duplicate_at(0, new_uid=99)
+        chan.clear()
+        assert chan.empty
+        assert [m.uid for m in clone] == [2, 99]
+
+    def test_refork_after_mutation_is_independent(self):
+        chan = FifoChannel("a", "b")
+        clone = chan.fork()
+        clone.enqueue(msg(1))  # clone owns its deque now
+        again = clone.fork()
+        again.dequeue()
+        assert len(clone) == 1
+        assert again.empty
+
+
+class TestSimulatorFork:
+    def test_fork_is_isolated_both_directions(self):
+        sim = Simulator(small_programs(), RoundRobinScheduler())
+        before = sim.snapshot()
+        fork = sim.fork()
+        for step in list(fork.candidate_steps())[:1]:
+            fork.execute(step)
+        assert sim.snapshot() == before  # child steps don't leak to parent
+        forked_state = fork.snapshot()
+        for step in list(sim.candidate_steps())[:1]:
+            sim.execute(step)
+        assert fork.snapshot() == forked_state  # nor parent steps to child
+
+    def test_fork_chain_replays_identically(self):
+        sim = Simulator(small_programs(), RoundRobinScheduler())
+        fork = sim.fork()
+        for _ in range(5):
+            steps = sim.candidate_steps()
+            fork_steps = fork.candidate_steps()
+            assert len(steps) == len(fork_steps)
+            sim.execute(steps[0])
+            fork.execute(fork_steps[0])
+        assert sim.snapshot() == fork.snapshot()
+
+
+class TestGlobalSimulatorSpace:
+    def test_delta_snapshots_match_full_restore(self):
+        # The incremental (delta) successor snapshots must equal what a
+        # full rebuild-and-snapshot would produce for the same key.
+        space = GlobalSimulatorSpace(small_programs())
+        (root,) = list(space.roots())
+        for node in space.successors(root):
+            rebuilt = space.restore(node.state).snapshot()
+            assert rebuilt == node.state
+
+    def test_successors_match_key_based_expansion(self):
+        # The fork-based successor function (serial path) and the
+        # restore-based one (process-pool path) define the same graph.
+        space = GlobalSimulatorSpace(small_programs())
+        (root,) = list(space.roots())
+        forked = {n.state for n in space.successors(root)}
+        restored = set(space.successors_of_key(root.state))
+        assert forked == restored
+
+    def test_second_level_agreement(self):
+        space = GlobalSimulatorSpace(small_programs())
+        (root,) = list(space.roots())
+        for child in space.successors(root):
+            forked = {n.state for n in space.successors(child)}
+            restored = set(space.successors_of_key(child.state))
+            assert forked == restored
+
+    def test_expansion_does_not_corrupt_parent(self):
+        space = GlobalSimulatorSpace(small_programs())
+        (root,) = list(space.roots())
+        before = root.sim.snapshot()
+        children = list(space.successors(root))
+        assert root.sim.snapshot() == before
+        assert root.state == before
+        # Expanding one child must not disturb its siblings (they share
+        # CoW structure with the parent and each other).
+        sibling_states = [c.state for c in children]
+        list(space.successors(children[0]))
+        assert [c.state for c in children] == sibling_states
+
+
+class TestLocalProcessSpace:
+    def space(self, max_clock=3):
+        programs = small_programs()
+        alphabet = default_message_alphabet(
+            ("p1",), ("request", "reply"), max_clock
+        )
+        return LocalProcessSpace(
+            programs["p0"], "p0", ("p0", "p1"), alphabet, max_clock
+        )
+
+    def test_root_is_initial_snapshot(self):
+        (root,) = list(self.space().roots())
+        assert isinstance(root, tuple)
+        assert dict(root).get("lc", 0) == 0
+
+    def test_clock_bound_prunes_successors(self):
+        tight = explore(self.space(max_clock=1), max_depth=4)
+        loose = explore(self.space(max_clock=4), max_depth=4)
+        assert loose.states >= tight.states
+        for node in loose.visited:
+            assert dict(node).get("lc", 0) <= 4
+
+    def test_successors_of_key_matches_successors(self):
+        space = self.space()
+        (root,) = list(space.roots())
+        assert set(space.successors_of_key(root)) == set(
+            space.successors(root)
+        )
