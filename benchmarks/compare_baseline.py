@@ -1,0 +1,167 @@
+#!/usr/bin/env python
+"""Exploration performance gate: measure, emit, and compare to baseline.
+
+Runs a fixed set of exploration cases, writes the measurements to
+``BENCH_explore.json``, and compares them against the committed
+``benchmarks/baseline.json``:
+
+* **state counts** (and orbit-rewrite counts) are deterministic -- any
+  mismatch fails the gate outright, because it means the engine visits a
+  different space than it used to;
+* **throughput** (states/second, best of ``--repeats`` runs) may regress
+  by at most ``--tolerance`` (default 30%) before the gate fails.
+
+Refresh the baseline after an intentional change with::
+
+    PYTHONPATH=src python benchmarks/compare_baseline.py --update
+
+CI machines are not the machine the baseline was recorded on; the state
+counts transfer exactly, and the throughput tolerance plus best-of-N
+repeats absorb scheduler noise (override with ``--tolerance`` or the
+``BENCH_TOLERANCE`` environment variable if a runner class is simply
+slower).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from pathlib import Path
+
+HERE = Path(__file__).resolve().parent
+BASELINE_PATH = HERE / "baseline.json"
+
+#: (case name, algorithm, n, symmetry, max_depth) -- bounded so the whole
+#: suite stays in tens of seconds even on a slow runner.
+CASES = (
+    ("ra_n3_exact", "ra", 3, None, 6),
+    ("ra_n3_sym", "ra", 3, "full", 6),
+    ("ra_n4_sym", "ra", 4, "full", 6),
+    ("token_n3_ring", "token", 3, "ring", 6),
+    ("lamport_n3_sym", "lamport", 3, "full", 6),
+)
+
+
+def run_cases(repeats: int) -> dict[str, dict]:
+    from repro.explore import GlobalSimulatorSpace, explore
+    from repro.tme import ClientConfig, tme_programs
+
+    client = ClientConfig(think_delay=1, eat_delay=1)
+    results: dict[str, dict] = {}
+    for name, algo, n, symmetry, max_depth in CASES:
+        programs = tme_programs(algo, n, client)
+        best = None
+        for _ in range(repeats):
+            run = explore(
+                GlobalSimulatorSpace(programs, symmetry=symmetry),
+                max_depth=max_depth,
+                max_states=20_000,
+            )
+            if best is None or (
+                run.stats.states_per_second
+                > best.stats.states_per_second
+            ):
+                best = run
+        results[name] = {
+            "states": best.states,
+            "orbit_reductions": best.stats.orbit_reductions,
+            "states_per_sec": round(best.stats.states_per_second, 1),
+            "bytes_per_state": round(best.stats.bytes_per_state, 1),
+        }
+    return results
+
+
+def compare(
+    current: dict[str, dict], baseline: dict[str, dict], tolerance: float
+) -> list[str]:
+    """Gate violations (empty = pass)."""
+    failures = []
+    for name, base in baseline.items():
+        if name not in current:
+            failures.append(f"{name}: case missing from current run")
+            continue
+        cur = current[name]
+        for field in ("states", "orbit_reductions"):
+            if cur[field] != base[field]:
+                failures.append(
+                    f"{name}: {field} mismatch -- baseline {base[field]}, "
+                    f"current {cur[field]} (the engine explores a "
+                    f"different space)"
+                )
+        floor = base["states_per_sec"] * (1.0 - tolerance)
+        if cur["states_per_sec"] < floor:
+            failures.append(
+                f"{name}: throughput regression -- baseline "
+                f"{base['states_per_sec']:.0f} states/s, current "
+                f"{cur['states_per_sec']:.0f} (floor {floor:.0f} at "
+                f"{tolerance:.0%} tolerance)"
+            )
+    return failures
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--update",
+        action="store_true",
+        help="rewrite benchmarks/baseline.json from this run",
+    )
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=float(os.environ.get("BENCH_TOLERANCE", "0.30")),
+        help="allowed fractional throughput regression (default 0.30)",
+    )
+    parser.add_argument(
+        "--repeats",
+        type=int,
+        default=3,
+        help="runs per case; the best throughput is kept (default 3)",
+    )
+    parser.add_argument(
+        "--output",
+        type=Path,
+        default=Path("BENCH_explore.json"),
+        help="where to write the measurement report",
+    )
+    args = parser.parse_args(argv)
+
+    current = run_cases(args.repeats)
+    report = {"cases": current, "tolerance": args.tolerance}
+
+    if args.update:
+        BASELINE_PATH.write_text(json.dumps(current, indent=2) + "\n")
+        print(f"baseline updated: {BASELINE_PATH}")
+        report["baseline"] = "updated"
+        args.output.write_text(json.dumps(report, indent=2) + "\n")
+        return 0
+
+    if not BASELINE_PATH.exists():
+        print(f"no baseline at {BASELINE_PATH}; run with --update first")
+        return 2
+    baseline = json.loads(BASELINE_PATH.read_text())
+    failures = compare(current, baseline, args.tolerance)
+    report["failures"] = failures
+    args.output.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"wrote {args.output}")
+
+    for name, cur in current.items():
+        base = baseline.get(name, {})
+        print(
+            f"  {name}: {cur['states']} states, "
+            f"{cur['states_per_sec']:.0f} states/s "
+            f"(baseline {base.get('states_per_sec', 0):.0f})"
+        )
+    if failures:
+        print("\nbaseline gate FAILED:")
+        for failure in failures:
+            print(f"  - {failure}")
+        return 1
+    print("baseline gate passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -359,6 +359,13 @@ def experiment_verification_cost(
     (:class:`~repro.explore.ExplorationStats`) alongside.  The global
     exploration is capped at ``explore_max_states`` states -- on this
     surface a cap is the point, not a limitation.
+
+    The symmetric columns rerun the global exploration in the quotient
+    under process-permutation symmetry (``symmetry="full"``, sound for
+    the pid-template RA program -- see :mod:`repro.explore.canon`):
+    ``global_sym`` counts orbit representatives, ``sym_reduction`` the
+    measured exact/quotient ratio (up to ``n!``), and ``bytes_per_state``
+    the interned store's packed footprint per representative.
     """
     from repro.tme import ClientConfig, tme_programs
     from repro.verification.explorer import explore_global, explore_local
@@ -385,6 +392,15 @@ def experiment_verification_cost(
             max_depth=explore_depth,
             max_states=explore_max_states,
         )
+        sym_run = explore_global(
+            programs,
+            max_depth=explore_depth,
+            max_states=explore_max_states,
+            symmetry="full",
+        )
+        sym_reduction = (
+            global_run.states / sym_run.states if sym_run.states else 0.0
+        )
         rows.append(
             {
                 "n": n,
@@ -396,6 +412,14 @@ def experiment_verification_cost(
                 "global_explored": (
                     f"{global_run.states}"
                     + ("+" if global_run.frontier_truncated else "")
+                ),
+                "global_sym": (
+                    f"{sym_run.states}"
+                    + ("+" if sym_run.frontier_truncated else "")
+                ),
+                "sym_reduction": f"{sym_reduction:.2f}x",
+                "bytes_per_state": (
+                    f"{sym_run.stats.bytes_per_state:.0f}"
                 ),
                 "global_states_per_sec": (
                     f"{global_run.stats.states_per_second:.0f}"

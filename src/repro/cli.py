@@ -127,6 +127,16 @@ def build_parser() -> argparse.ArgumentParser:
         default=6,
         help="clock bound for the local message alphabet (with --local)",
     )
+    explore.add_argument(
+        "--symmetry",
+        action=argparse.BooleanOptionalAction,
+        default=False,
+        help=(
+            "deduplicate process-permutation orbits: the full symmetric "
+            "group for ra/ra-count/lamport, ring rotations for token, "
+            "peer permutations with --local (default: off, exact space)"
+        ),
+    )
 
     listing = sub.add_parser("list", help="list available experiments")
     del listing
@@ -224,15 +234,23 @@ def _cmd_explore(args: argparse.Namespace) -> int:
             max_clock=args.max_clock,
             max_states=args.max_states,
             max_seconds=args.max_seconds,
+            symmetry=args.symmetry,
         )
         surface = f"local space of {args.local}"
     else:
+        # The token ring's nxt topology only survives rotations; every
+        # other TME algorithm is a pid-template, so the full group is
+        # sound (see repro.explore.canon).
+        symmetry = None
+        if args.symmetry:
+            symmetry = "ring" if args.algorithm == "token" else "full"
         result = explore_global(
             programs,
             max_depth=args.max_depth,
             max_states=args.max_states,
             max_seconds=args.max_seconds,
             workers=args.workers,
+            symmetry=symmetry,
         )
         surface = "global space"
     print(

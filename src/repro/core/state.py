@@ -45,7 +45,7 @@ class State(Mapping[str, Any]):
                     f"unhashable value {value!r}"
                 )
         object.__setattr__(self, "_items", dict(sorted(items.items())))
-        object.__setattr__(self, "_hash", hash(tuple(self._items.items())))
+        object.__setattr__(self, "_hash", None)
 
     # -- Mapping protocol ---------------------------------------------------
 
@@ -95,6 +95,12 @@ class State(Mapping[str, Any]):
     # -- identity -----------------------------------------------------------
 
     def __hash__(self) -> int:
+        # Computed lazily: exploration interns states into packed blobs
+        # and may never hash the original object at all.
+        if self._hash is None:
+            object.__setattr__(
+                self, "_hash", hash(tuple(self._items.items()))
+            )
         return self._hash
 
     def __eq__(self, other: object) -> bool:

@@ -1,0 +1,253 @@
+"""Process-permutation symmetry: canonical orbit representatives.
+
+The TME systems of Section 5 are built from one program template
+instantiated per pid: every process runs the same guarded commands over
+the same variable shapes, and pids enter the state only as *data* --
+timestamp owners, tuple-map keys, channel endpoints.  Renaming the pids
+of a global state by a permutation therefore yields another legal global
+state of the *same* system, and any pid-symmetric property (mutual
+exclusion, deadlock, phase coverage, the Section 3 specs) holds of one
+iff it holds of the other.  Exploring one representative per orbit --
+the quotient under the permutation group -- shrinks the whitebox surface
+by up to ``n!`` while preserving every symmetric verdict.
+
+This module implements the renaming action and the canonicalization map:
+
+* :func:`rename_value` / :func:`rename_global_state` /
+  :func:`rename_local_snapshot` -- apply one pid bijection to snapshot
+  data (timestamps, tuple-maps, queues, channel endpoints), restoring
+  the sortedness invariants the runtime maintains (tuple-maps are sorted
+  by key, Lamport queues by ``lt``), so the renamed state is exactly the
+  snapshot the renamed execution would have produced;
+* :func:`full_symmetry` / :func:`ring_rotations` / :func:`peer_symmetry`
+  -- the permutation groups: the full symmetric group for RA/Lamport
+  (every process runs an identical template), the cyclic group for the
+  token ring (whose ``nxt`` topology is only rotation-equivariant), and
+  the peer-permuting stabilizer used by local spaces;
+* :func:`canonical_global` / :func:`canonical_local` -- the least orbit
+  member under a fixed, history-independent total order (so the chosen
+  representative is stable across runs and across processes).
+
+Channel *contents* are never re-ordered: FIFO order is semantic.  Only
+containers the runtime itself keeps sorted (tuple-maps, timestamp
+queues) are re-sorted after renaming.
+"""
+
+from __future__ import annotations
+
+from itertools import permutations
+from typing import Any, Mapping
+
+from repro.clocks.timestamps import Timestamp
+from repro.runtime.trace import GlobalState
+
+#: A pid renaming: old pid -> new pid (bijective on the pid set).
+PidMapping = Mapping[str, str]
+
+
+# ---------------------------------------------------------------------------
+# Permutation groups
+# ---------------------------------------------------------------------------
+
+
+def full_symmetry(pids: tuple[str, ...]) -> tuple[dict[str, str], ...]:
+    """Every non-identity permutation of ``pids`` (the symmetric group).
+
+    Sound for systems built from one per-pid program template whose only
+    pid dependence is through the data the renaming rewrites (RA_ME,
+    RA-count, Lamport_ME, and the graybox wrapper).
+    """
+    ordered = tuple(sorted(pids))
+    return tuple(
+        dict(zip(ordered, image))
+        for image in permutations(ordered)
+        if image != ordered
+    )
+
+
+def ring_rotations(pids: tuple[str, ...]) -> tuple[dict[str, str], ...]:
+    """The non-identity rotations of ``pids`` (the cyclic group).
+
+    The token ring's ``nxt`` topology is only rotation-equivariant, so
+    arbitrary permutations are unsound for it; rotations commute with
+    "send the token to my ring successor".
+    """
+    ordered = tuple(sorted(pids))
+    n = len(ordered)
+    return tuple(
+        {ordered[i]: ordered[(i + k) % n] for i in range(n)}
+        for k in range(1, n)
+    )
+
+
+def peer_symmetry(
+    pid: str, all_pids: tuple[str, ...]
+) -> tuple[dict[str, str], ...]:
+    """Non-identity permutations of ``pid``'s peers (``pid`` fixed).
+
+    The local space of one process is symmetric in its *peers*: the
+    bounded message alphabet ranges uniformly over them, and peers occur
+    in the local state only as tuple-map keys and timestamp owners.
+    """
+    peers = tuple(sorted(p for p in all_pids if p != pid))
+    mappings = []
+    for image in permutations(peers):
+        if image == peers:
+            continue
+        mapping = dict(zip(peers, image))
+        mapping[pid] = pid
+        mappings.append(mapping)
+    return tuple(mappings)
+
+
+# ---------------------------------------------------------------------------
+# The renaming action
+# ---------------------------------------------------------------------------
+
+
+def _order_key(value: Any) -> tuple:
+    """A total order over the heterogeneous values snapshots carry.
+
+    Used both to re-sort naturally-sorted containers after renaming and
+    to pick the least orbit member; it must not depend on any per-run
+    state (interning order, object ids) so canonical representatives
+    agree across runs and across pool workers.
+    """
+    if value is None:
+        return (0,)
+    if isinstance(value, bool):
+        return (1, int(value))
+    if isinstance(value, int):
+        return (2, value)
+    if isinstance(value, str):
+        return (3, value)
+    if isinstance(value, Timestamp):
+        return (4, value.clock, value.pid)
+    if isinstance(value, tuple):
+        return (5, len(value)) + tuple(_order_key(v) for v in value)
+    if isinstance(value, frozenset):
+        # Sorted element keys: iteration order of a frozenset of strings
+        # varies with hash randomization, so it must never leak into the
+        # canonical order.
+        return (6, len(value)) + tuple(sorted(_order_key(v) for v in value))
+    return (7, type(value).__name__, repr(value))
+
+
+def _is_sorted(values: tuple) -> bool:
+    keys = [_order_key(v) for v in values]
+    return all(a <= b for a, b in zip(keys, keys[1:]))
+
+
+def rename_value(value: Any, mapping: PidMapping) -> Any:
+    """Apply a pid renaming to one snapshot value.
+
+    * timestamps: the owner pid is renamed;
+    * strings: renamed iff they are pids (pid-valued variables and
+      tuple-map keys; phase/kind literals never collide with pids);
+    * tuples: element-wise, and re-sorted iff the original was sorted
+      under the natural order -- this restores the invariants the
+      runtime maintains (tuple-maps sorted by key, Lamport queues by
+      ``lt``) so the result equals the renamed execution's snapshot;
+    * everything else (ints, bools, ``None``): unchanged.
+    """
+    if isinstance(value, Timestamp):
+        new_pid = mapping.get(value.pid)
+        if new_pid is None or new_pid == value.pid:
+            return value
+        return Timestamp(value.clock, new_pid)
+    if isinstance(value, str):
+        return mapping.get(value, value)
+    if isinstance(value, tuple):
+        renamed = tuple(rename_value(v, mapping) for v in value)
+        if len(renamed) > 1 and _is_sorted(value):
+            return tuple(sorted(renamed, key=_order_key))
+        return renamed
+    if isinstance(value, frozenset):
+        # Unordered, so no sortedness to restore (pid sets like
+        # RACount_ME's ``awaiting``/``deferred``).
+        return frozenset(rename_value(v, mapping) for v in value)
+    return value
+
+
+def rename_global_state(
+    state: GlobalState, mapping: PidMapping
+) -> GlobalState:
+    """The renamed global state: process labels, local data, and channel
+    endpoints rewritten; processes and channels re-sorted into the
+    simulator's snapshot order (sorted by pid / channel key); channel
+    *contents* kept in FIFO order with only payloads renamed."""
+    processes = tuple(
+        sorted(
+            (mapping.get(pid, pid), rename_value(variables, mapping))
+            for pid, variables in state.processes
+        )
+    )
+    channels = tuple(
+        sorted(
+            (
+                (mapping.get(src, src), mapping.get(dst, dst)),
+                tuple(
+                    (kind, rename_value(payload, mapping))
+                    for kind, payload in content
+                ),
+            )
+            for (src, dst), content in state.channels
+        )
+    )
+    return GlobalState(processes, channels)
+
+
+def rename_local_snapshot(snapshot: tuple, mapping: PidMapping) -> tuple:
+    """The renamed local snapshot (a name-sorted variable tuple-map)."""
+    return rename_value(snapshot, mapping)
+
+
+# ---------------------------------------------------------------------------
+# Canonicalization
+# ---------------------------------------------------------------------------
+
+
+def _global_order_key(state: GlobalState) -> tuple:
+    return (_order_key(state.processes), _order_key(state.channels))
+
+
+def canonical_global(
+    state: GlobalState, mappings: tuple[PidMapping, ...]
+) -> GlobalState:
+    """The least orbit member of ``state`` under ``mappings``.
+
+    Returns ``state`` itself (same object) when it already is the
+    representative, so callers can count orbit rewrites with an ``is``
+    check instead of a deep comparison.
+    """
+    best = state
+    best_key = _global_order_key(state)
+    for mapping in mappings:
+        candidate = rename_global_state(state, mapping)
+        key = _global_order_key(candidate)
+        if key < best_key:
+            best, best_key = candidate, key
+    return best
+
+
+def canonical_local(
+    snapshot: tuple, mappings: tuple[PidMapping, ...]
+) -> tuple:
+    """The least orbit member of a local snapshot under ``mappings``."""
+    best = snapshot
+    best_key = _order_key(snapshot)
+    for mapping in mappings:
+        candidate = rename_value(snapshot, mapping)
+        key = _order_key(candidate)
+        if key < best_key:
+            best, best_key = candidate, key
+    return best
+
+
+def orbit_of(
+    state: GlobalState, mappings: tuple[PidMapping, ...]
+) -> frozenset[GlobalState]:
+    """Every renaming of ``state`` (itself included) -- test/audit aid."""
+    members = {state}
+    members.update(rename_global_state(state, m) for m in mappings)
+    return frozenset(members)

@@ -64,6 +64,14 @@ class ExplorationStats:
         the bounded space was explored exhaustively.
     ``workers``
         Process-pool size used for expansion (1 = in-process).
+    ``orbit_reductions``
+        Examined keys (roots and successors, duplicates included) that
+        symmetry canonicalization rewrote to a different orbit
+        representative; 0 when the space defines no ``canonical_key``.
+    ``bytes_per_state``
+        Mean packed payload bytes per visited state in the interned
+        store; 0.0 when the space defines no ``codec`` (plain-set
+        storage of the original keys).
     """
 
     strategy: str
@@ -78,6 +86,8 @@ class ExplorationStats:
     truncated: bool
     truncation_cause: str | None
     workers: int = 1
+    orbit_reductions: int = 0
+    bytes_per_state: float = 0.0
 
     @property
     def states_per_second(self) -> float:
@@ -106,6 +116,10 @@ class ExplorationStats:
             f"dedup {self.dedup_hit_rate:.0%}, "
             f"peak frontier {self.peak_frontier}"
         )
+        if self.orbit_reductions:
+            text += f", {self.orbit_reductions} orbit rewrites"
+        if self.bytes_per_state:
+            text += f", {self.bytes_per_state:.0f} B/state"
         if self.truncated:
             text += f", TRUNCATED by {self.truncation_cause}"
         elif self.depth_limited:
@@ -113,23 +127,51 @@ class ExplorationStats:
         return text
 
 
-@dataclass(frozen=True)
 class Exploration:
-    """Result of one exploration: the visited keys plus statistics."""
+    """Result of one exploration: the visited keys plus statistics.
 
-    visited: frozenset[Hashable]
-    stats: ExplorationStats
+    When the search ran over an interned store, the packed blobs are
+    kept and :attr:`visited` decodes them back into full keys only on
+    first access; membership tests re-encode the probe instead of
+    materialising anything.  For plain-set searches this is exactly the
+    old frozenset-carrying record.
+    """
+
+    __slots__ = ("stats", "_visited", "_store")
+
+    def __init__(
+        self,
+        visited: frozenset[Hashable] | None = None,
+        stats: ExplorationStats | None = None,
+        store: Any = None,
+    ):
+        if (visited is None) == (store is None):
+            raise ValueError("pass exactly one of visited= or store=")
+        self._visited = visited
+        self._store = store
+        self.stats = stats
+
+    @property
+    def visited(self) -> frozenset[Hashable]:
+        """The distinct visited keys (decoded lazily from the store)."""
+        if self._visited is None:
+            self._visited = frozenset(self._store.keys())
+        return self._visited
 
     @property
     def states(self) -> int:
         """Distinct states visited."""
-        return len(self.visited)
+        return len(self)
 
     def __len__(self) -> int:
-        return len(self.visited)
+        if self._store is not None:
+            return len(self._store)
+        return len(self._visited)
 
     def __contains__(self, key: Hashable) -> bool:
-        return key in self.visited
+        if self._store is not None:
+            return key in self._store
+        return key in self._visited
 
 
 def explore(
@@ -169,8 +211,11 @@ def explore(
             return result
         # fall through: platform cannot fork -- explore in-process
 
+    from repro.explore.store import make_visited_store
+
     started = time.perf_counter()
-    visited: set[Hashable] = set()
+    canon = getattr(space, "canonical_key", None)
+    visited = make_visited_store(getattr(space, "codec", None))
     frontier: deque[tuple[Any, int]] = deque()
     truncated = False
     truncation_cause: str | None = None
@@ -179,16 +224,24 @@ def explore(
     expansions = 0
     transitions = 0
     dedup_hits = 0
+    orbit_reductions = 0
 
     for root in space.roots():
         key = space.key(root)
-        if key in visited:
-            continue
+        if canon is not None:
+            canonical = canon(key)
+            if canonical is not key:
+                orbit_reductions += 1
+            key = canonical
         if max_states is not None and len(visited) >= max_states:
+            if key in visited:
+                continue
             truncated = True
             truncation_cause = TRUNCATED_BY_STATES
             break
-        visited.add(key)
+        _ident, fresh = visited.add(key)
+        if not fresh:
+            continue
         if on_visit is not None:
             on_visit(key, 0)
         frontier.append((root, 0))
@@ -212,17 +265,28 @@ def explore(
         for succ in space.successors(node):
             transitions += 1
             key = space.key(succ)
-            if key in visited:
-                dedup_hits += 1
-                continue
+            if canon is not None:
+                canonical = canon(key)
+                if canonical is not key:
+                    orbit_reductions += 1
+                key = canonical
             if max_states is not None and len(visited) >= max_states:
+                if key in visited:
+                    dedup_hits += 1
+                    continue
                 truncated = True
                 truncation_cause = TRUNCATED_BY_STATES
                 frontier.clear()
                 break
-            visited.add(key)
+            _ident, fresh = visited.add(key)
+            if not fresh:
+                dedup_hits += 1
+                continue
             if on_visit is not None:
                 on_visit(key, depth + 1)
+            # The frontier keeps the first-seen orbit member: ``succ``
+            # is reachable by construction, while the canonical
+            # representative may be a renaming never actually executed.
             frontier.append((succ, depth + 1))
         peak_frontier = max(peak_frontier, len(frontier))
 
@@ -239,5 +303,7 @@ def explore(
         truncated=truncated,
         truncation_cause=truncation_cause,
         workers=1,
+        orbit_reductions=orbit_reductions,
+        bytes_per_state=visited.bytes_per_state,
     )
-    return Exploration(visited=frozenset(visited), stats=stats)
+    return visited.into_exploration(stats)

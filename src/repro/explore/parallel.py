@@ -7,6 +7,14 @@ level-synchronous BFS where successor computation is farmed out to a
 the pipe, while the space object itself -- including its unpicklable
 guarded-command programs -- is inherited by the workers through ``fork``.
 
+Workers also carry the space's symmetry canonicalization: each successor
+crosses the pipe as a ``(canonical, first_seen)`` pair, so the *n!-fold
+orbit folding* runs on the pool while the parent only deduplicates
+canonical keys in quotient space.  ``first_seen`` (``None`` when the
+successor already is canonical) is what enters the next frontier -- the
+same first-seen-orbit-member policy as the in-process engine, so serial
+and parallel symmetric runs visit identical canonical sets.
+
 Deduplication stays in the parent and consumes worker results in frontier
 order, so the visited set (and even the ``max_states`` cut-off point) is
 identical to the in-process BFS.  On platforms without ``fork`` (or for
@@ -23,12 +31,31 @@ from collections.abc import Callable, Hashable
 from repro.explore.spaces import StateSpace
 
 # The space a forked worker expands against, inherited at pool creation.
+# Module-global by necessity (fork inheritance); explore_parallel refuses
+# to run re-entrantly rather than silently expanding the wrong space.
 _WORKER_SPACE: StateSpace | None = None
 
+#: Worker result: ``(canonical, first_seen_or_None)`` per successor plus
+#: the number of successors the canonicalization rewrote.
+_ExpandResult = tuple[list[tuple[Hashable, Hashable | None]], int]
 
-def _expand_one(key: Hashable) -> list[Hashable]:
+
+def _expand_one(key: Hashable) -> _ExpandResult:
     assert _WORKER_SPACE is not None, "worker used outside a pool"
-    return _WORKER_SPACE.successors_of_key(key)  # type: ignore[attr-defined]
+    canon = getattr(_WORKER_SPACE, "canonical_key", None)
+    succs = _WORKER_SPACE.successors_of_key(key)  # type: ignore[attr-defined]
+    if canon is None:
+        return [(succ, None) for succ in succs], 0
+    pairs: list[tuple[Hashable, Hashable | None]] = []
+    rewrites = 0
+    for succ in succs:
+        canonical = canon(succ)
+        if canonical is succ:
+            pairs.append((succ, None))
+        else:
+            rewrites += 1
+            pairs.append((canonical, succ))
+    return pairs, rewrites
 
 
 def explore_parallel(
@@ -44,9 +71,9 @@ def explore_parallel(
     from repro.explore.engine import (
         TRUNCATED_BY_STATES,
         TRUNCATED_BY_TIME,
-        Exploration,
         ExplorationStats,
     )
+    from repro.explore.store import make_visited_store
 
     if not hasattr(space, "successors_of_key"):
         return None
@@ -56,8 +83,16 @@ def explore_parallel(
         return None
 
     global _WORKER_SPACE
+    if _WORKER_SPACE is not None:
+        raise RuntimeError(
+            "explore_parallel is not re-entrant: a parallel exploration "
+            "is already running in this process (its forked workers "
+            "inherited the module-global space, which a nested call "
+            "would clobber).  Run the nested exploration with workers=1."
+        )
     started = time.perf_counter()
-    visited: set[Hashable] = set()
+    canon = getattr(space, "canonical_key", None)
+    visited = make_visited_store(getattr(space, "codec", None))
     truncated = False
     truncation_cause: str | None = None
     depth_reached = 0
@@ -65,21 +100,34 @@ def explore_parallel(
     expansions = 0
     transitions = 0
     dedup_hits = 0
+    orbit_reductions = 0
 
     level: list[Hashable] = []
     for root in space.roots():
         key = space.key(root)
-        if key in visited:
-            continue
+        frontier_key = key
+        if canon is not None:
+            canonical = canon(key)
+            if canonical is not key:
+                orbit_reductions += 1
+            key = canonical
         if max_states is not None and len(visited) >= max_states:
+            if key in visited:
+                continue
             truncated = True
             truncation_cause = TRUNCATED_BY_STATES
             break
-        visited.add(key)
+        _ident, fresh = visited.add(key)
+        if not fresh:
+            continue
         if on_visit is not None:
             on_visit(key, 0)
-        level.append(key)
+        level.append(frontier_key)
 
+    # Memory high-water mark: sampled after root insertion (before any
+    # expansion) and, below, after every consumed expansion -- counting
+    # both the unconsumed remainder of the level and the accumulating
+    # next level, exactly like the in-process engine's mixed frontier.
     peak_frontier = len(level)
     depth = 0
     _WORKER_SPACE = space
@@ -101,28 +149,37 @@ def explore_parallel(
                 results = pool.map(_expand_one, level, chunksize=chunksize)
                 expansions += len(level)
                 next_level: list[Hashable] = []
-                for succs in results:
+                for consumed, (pairs, rewrites) in enumerate(results, 1):
                     if truncated:
                         break
-                    for key in succs:
+                    orbit_reductions += rewrites
+                    for key, first_seen in pairs:
                         transitions += 1
-                        if key in visited:
-                            dedup_hits += 1
-                            continue
                         if (
                             max_states is not None
                             and len(visited) >= max_states
                         ):
+                            if key in visited:
+                                dedup_hits += 1
+                                continue
                             truncated = True
                             truncation_cause = TRUNCATED_BY_STATES
                             break
-                        visited.add(key)
+                        _ident, fresh = visited.add(key)
+                        if not fresh:
+                            dedup_hits += 1
+                            continue
                         if on_visit is not None:
                             on_visit(key, depth + 1)
-                        next_level.append(key)
+                        next_level.append(
+                            key if first_seen is None else first_seen
+                        )
+                    peak_frontier = max(
+                        peak_frontier,
+                        len(level) - consumed + len(next_level),
+                    )
                 level = next_level if not truncated else []
                 depth += 1
-                peak_frontier = max(peak_frontier, len(level))
     finally:
         _WORKER_SPACE = None
 
@@ -139,5 +196,7 @@ def explore_parallel(
         truncated=truncated,
         truncation_cause=truncation_cause,
         workers=workers,
+        orbit_reductions=orbit_reductions,
+        bytes_per_state=visited.bytes_per_state,
     )
-    return Exploration(visited=frozenset(visited), stats=stats)
+    return visited.into_exploration(stats)

@@ -18,6 +18,17 @@ function.  Three concrete spaces cover the repository's searches:
 
 Nodes may be arbitrary carrier objects (e.g. live simulators); ``key``
 maps a node to the hashable state identity used for deduplication.
+
+Two optional hooks refine how the engine stores and deduplicates keys:
+
+* ``canonical_key(key)`` -- maps a key to its orbit representative under
+  process-permutation symmetry (see :mod:`repro.explore.canon`).  The
+  simulator-backed spaces opt in via their ``symmetry`` argument;
+  :class:`TransitionSystemSpace` deliberately never defines it, so the
+  relation/theorem checks stay exact.
+* ``codec`` -- a :class:`~repro.explore.store.StateCodec` the engine
+  uses to intern keys into packed blobs instead of keeping the full
+  object graphs in the visited set (see :mod:`repro.explore.store`).
 """
 
 from __future__ import annotations
@@ -31,6 +42,10 @@ if TYPE_CHECKING:
     from repro.dsl.program import ProcessProgram
     from repro.runtime.simulator import Simulator
     from repro.runtime.trace import GlobalState
+
+#: Symmetry group selectors accepted by the simulator-backed spaces.
+FULL_SYMMETRY = "full"
+RING_SYMMETRY = "ring"
 
 
 @runtime_checkable
@@ -111,10 +126,51 @@ class GlobalSimulatorSpace:
     ``send_event_uid``/``sender_clock``), and :meth:`successors` sends
     all messages metadata-free, keeping every reachable node canonical --
     which matches the historical rebuild-from-snapshot semantics exactly.
+
+    ``symmetry`` opts the space into process-permutation reduction:
+    ``"full"`` (or ``True``) quotients under every pid permutation --
+    sound for the pid-template TME systems (RA, RA-count, Lamport, the
+    wrapper) -- while ``"ring"`` quotients under rotations only (the
+    token ring's ``nxt`` topology is not invariant under arbitrary
+    permutations).  When enabled, :attr:`canonical_key` maps a snapshot
+    to its least orbit member and the engine deduplicates in quotient
+    space; the frontier still carries the first-seen (genuinely
+    reachable) member of each orbit, so expansion never runs from a
+    merely-renamed state.
     """
 
-    def __init__(self, programs: Mapping[str, "ProcessProgram"]):
+    def __init__(
+        self,
+        programs: Mapping[str, "ProcessProgram"],
+        symmetry: str | bool | None = None,
+    ):
+        from repro.explore.canon import (
+            canonical_global,
+            full_symmetry,
+            ring_rotations,
+        )
+        from repro.explore.store import GlobalStateCodec
+
         self.programs = dict(programs)
+        #: packs snapshots into interned blobs for the visited store.
+        self.codec = GlobalStateCodec()
+        pids = tuple(sorted(self.programs))
+        if symmetry in (None, False):
+            self.symmetry_group: tuple[dict[str, str], ...] = ()
+        elif symmetry in (FULL_SYMMETRY, True):
+            self.symmetry_group = full_symmetry(pids)
+        elif symmetry == RING_SYMMETRY:
+            self.symmetry_group = ring_rotations(pids)
+        else:
+            raise ValueError(
+                f"unknown symmetry {symmetry!r}; use "
+                f"{FULL_SYMMETRY!r}, {RING_SYMMETRY!r}, True, or None"
+            )
+        if self.symmetry_group:
+            group = self.symmetry_group
+            self.canonical_key = (
+                lambda state: canonical_global(state, group)
+            )
         # pid -> position in GlobalState.processes, channel -> position in
         # GlobalState.channels; fixed for the whole space, filled lazily
         # from the first snapshot _delta_state sees.
@@ -362,6 +418,12 @@ class LocalProcessSpace:
     action plus every acceptable message from the bounded ``alphabet``
     of (sender, kind, payload) triples; successors whose Lamport clock
     exceeds ``max_clock`` fall outside the bounded space and are pruned.
+
+    ``symmetry=True`` quotients the space under permutations of the
+    *peers* (``pid`` itself stays fixed): the default message alphabet
+    ranges uniformly over the peers, and peers occur in the local state
+    only as tuple-map keys and timestamp owners, so peer renaming is a
+    bijection on the local space.
     """
 
     def __init__(
@@ -371,12 +433,25 @@ class LocalProcessSpace:
         all_pids: tuple[str, ...],
         alphabet: Iterable[tuple[str, str, Any]],
         max_clock: int,
+        symmetry: bool = False,
     ):
+        from repro.explore.canon import canonical_local, peer_symmetry
+        from repro.explore.store import StateCodec
+
         self.program = program
         self.pid = pid
         self.all_pids = tuple(all_pids)
         self.alphabet = tuple(alphabet)
         self.max_clock = max_clock
+        self.codec = StateCodec()
+        self.symmetry_group: tuple[dict[str, str], ...] = (
+            peer_symmetry(pid, self.all_pids) if symmetry else ()
+        )
+        if self.symmetry_group:
+            group = self.symmetry_group
+            self.canonical_key = (
+                lambda snapshot: canonical_local(snapshot, group)
+            )
 
     def roots(self) -> Iterator[tuple]:
         from repro.runtime.process import ProcessRuntime

@@ -62,16 +62,21 @@ def explore_global(
     max_states: int = 200_000,
     max_seconds: float | None = None,
     workers: int = 1,
+    symmetry: str | bool | None = None,
 ) -> ExplorationResult:
     """All distinct global states reachable from proper initialization in at
     most ``max_depth`` steps (whitebox verification surface).
 
     ``workers > 1`` expands frontier states on a process pool (same visit
     set, wall-clock divided across cores); ``max_seconds`` adds a
-    wall-time budget on top of the depth and state bounds.
+    wall-time budget on top of the depth and state bounds.  ``symmetry``
+    (``"full"`` or ``"ring"``) counts one representative per
+    process-permutation orbit instead of every renamed copy; see
+    :mod:`repro.explore.canon` for which group is sound for which
+    algorithm.
     """
     result = explore(
-        GlobalSimulatorSpace(programs),
+        GlobalSimulatorSpace(programs, symmetry=symmetry),
         max_depth=max_depth,
         max_states=max_states,
         max_seconds=max_seconds,
@@ -107,10 +112,12 @@ def explore_local(
     max_clock: int = 6,
     max_states: int = 200_000,
     max_seconds: float | None = None,
+    symmetry: bool = False,
 ) -> ExplorationResult:
     """All distinct *local* states of one process reachable within
     ``max_depth`` of its own steps, under any receivable message from the
-    bounded alphabet (graybox per-process verification surface)."""
+    bounded alphabet (graybox per-process verification surface).
+    ``symmetry=True`` quotients under permutations of the peers."""
     peers = tuple(p for p in all_pids if p != pid)
     space = LocalProcessSpace(
         program,
@@ -118,6 +125,7 @@ def explore_local(
         all_pids,
         default_message_alphabet(peers, kinds, max_clock),
         max_clock,
+        symmetry=symmetry,
     )
     result = explore(
         space,

@@ -1,0 +1,170 @@
+"""Tests for process-permutation symmetry (groups, renaming, canon)."""
+
+from repro.clocks.timestamps import Timestamp
+from repro.explore import (
+    canonical_global,
+    canonical_local,
+    full_symmetry,
+    orbit_of,
+    peer_symmetry,
+    rename_global_state,
+    rename_value,
+    ring_rotations,
+)
+from repro.explore.canon import _order_key
+from repro.runtime.trace import GlobalState
+
+PIDS3 = ("p0", "p1", "p2")
+
+
+class TestGroups:
+    def test_full_symmetry_size(self):
+        # n! permutations minus the identity.
+        assert len(full_symmetry(("p0", "p1"))) == 1
+        assert len(full_symmetry(PIDS3)) == 5
+
+    def test_full_symmetry_bijective(self):
+        for mapping in full_symmetry(PIDS3):
+            assert sorted(mapping) == sorted(mapping.values())
+
+    def test_ring_rotations_size_and_shape(self):
+        rots = ring_rotations(PIDS3)
+        assert len(rots) == 2
+        assert {"p0": "p1", "p1": "p2", "p2": "p0"} in rots
+        # A transposition is not a rotation of a 3-ring.
+        assert {"p0": "p1", "p1": "p0", "p2": "p2"} not in rots
+
+    def test_peer_symmetry_fixes_own_pid(self):
+        mappings = peer_symmetry("p0", PIDS3)
+        assert len(mappings) == 1  # 2 peers -> 2! - 1
+        for mapping in mappings:
+            assert mapping["p0"] == "p0"
+
+    def test_two_processes_have_no_peer_symmetry(self):
+        assert peer_symmetry("p0", ("p0", "p1")) == ()
+
+
+class TestOrderKey:
+    def test_total_order_across_types(self):
+        values = [None, False, True, -1, 3, "a", Timestamp(1, "p0"), (1, 2)]
+        keys = [_order_key(v) for v in values]
+        assert sorted(keys) == keys  # the listing above is ascending
+
+    def test_frozenset_key_ignores_iteration_order(self):
+        # Same contents must give the same key regardless of how the set
+        # happens to iterate (string hashing is randomized across runs).
+        a = frozenset(["p0", "p1", "p2"])
+        b = frozenset(["p2", "p1", "p0"])
+        assert _order_key(a) == _order_key(b)
+
+
+class TestRenameValue:
+    SWAP = {"p0": "p1", "p1": "p0"}
+
+    def test_timestamp_owner_renamed(self):
+        assert rename_value(Timestamp(3, "p0"), self.SWAP) == Timestamp(3, "p1")
+
+    def test_non_pid_strings_unchanged(self):
+        assert rename_value("request", self.SWAP) == "request"
+        assert rename_value("e", self.SWAP) == "e"
+
+    def test_sorted_tuple_resorted(self):
+        # A tuple-map sorted by key stays sorted by key after renaming.
+        tmap = (("p0", 1), ("p1", 2))
+        assert rename_value(tmap, self.SWAP) == (("p0", 2), ("p1", 1))
+
+    def test_unsorted_tuple_order_preserved(self):
+        # A queue-like tuple that was NOT sorted keeps its order.
+        queue = ("p1", "p0")
+        assert rename_value(queue, self.SWAP) == ("p0", "p1")
+        assert rename_value(("b", "a"), self.SWAP) == ("b", "a")
+
+    def test_frozenset_elements_renamed(self):
+        assert rename_value(frozenset(["p0"]), self.SWAP) == frozenset(["p1"])
+
+    def test_inverse_mapping_round_trips(self):
+        value = (("p0", Timestamp(1, "p1")), ("p1", frozenset(["p0"])))
+        assert rename_value(rename_value(value, self.SWAP), self.SWAP) == value
+
+
+def tiny_state(phase0: str, phase1: str, msgs=()) -> GlobalState:
+    processes = (
+        ("p0", (("phase", phase0), ("req", Timestamp(1, "p0")))),
+        ("p1", (("phase", phase1), ("req", Timestamp(2, "p1")))),
+    )
+    channels = (
+        (("p0", "p1"), tuple(msgs)),
+        (("p1", "p0"), ()),
+    )
+    return GlobalState(processes, channels)
+
+
+class TestRenameGlobalState:
+    SWAP = {"p0": "p1", "p1": "p0"}
+
+    def test_processes_resorted_by_new_pid(self):
+        renamed = rename_global_state(tiny_state("e", "t"), self.SWAP)
+        assert [pid for pid, _ in renamed.processes] == ["p0", "p1"]
+        # p0's old local state (phase e) now lives under p1.
+        vars_by_pid = dict(renamed.processes)
+        assert ("phase", "e") in vars_by_pid["p1"]
+        assert ("phase", "t") in vars_by_pid["p0"]
+
+    def test_channel_endpoints_renamed_contents_fifo(self):
+        msgs = (("request", Timestamp(1, "p0")), ("request", Timestamp(9, "p0")))
+        renamed = rename_global_state(tiny_state("t", "t", msgs), self.SWAP)
+        contents = dict(renamed.channels)
+        # The (p0 -> p1) channel became (p1 -> p0), payload owners renamed,
+        # FIFO order untouched (clocks 1 then 9, never re-sorted).
+        assert contents[("p1", "p0")] == (
+            ("request", Timestamp(1, "p1")),
+            ("request", Timestamp(9, "p1")),
+        )
+        assert contents[("p0", "p1")] == ()
+
+    def test_identity_like_mapping_preserves_equality(self):
+        state = tiny_state("h", "h")
+        assert rename_global_state(state, {"p0": "p0", "p1": "p1"}) == state
+
+
+class TestCanonical:
+    GROUP = full_symmetry(("p0", "p1"))
+
+    def test_canonical_is_least_orbit_member(self):
+        state = tiny_state("t", "e")
+        canon = canonical_global(state, self.GROUP)
+        orbit = orbit_of(state, self.GROUP)
+        assert canon in orbit
+        from repro.explore.canon import _global_order_key
+
+        assert all(
+            _global_order_key(canon) <= _global_order_key(m) for m in orbit
+        )
+
+    def test_orbit_members_share_canonical(self):
+        state = tiny_state("t", "e")
+        for member in orbit_of(state, self.GROUP):
+            assert canonical_global(member, self.GROUP) == canonical_global(
+                state, self.GROUP
+            )
+
+    def test_already_canonical_returns_same_object(self):
+        state = tiny_state("t", "e")
+        canon = canonical_global(state, self.GROUP)
+        assert canonical_global(canon, self.GROUP) is canon
+
+    def test_empty_group_is_identity(self):
+        state = tiny_state("e", "t")
+        assert canonical_global(state, ()) is state
+
+    def test_canonical_local_idempotent(self):
+        group = peer_symmetry("p0", PIDS3)
+        snapshot = (
+            ("phase", "h"),
+            ("req_of", (("p1", Timestamp(5, "p1")), ("p2", Timestamp(1, "p2")))),
+        )
+        canon = canonical_local(snapshot, group)
+        assert canonical_local(canon, group) is canon
+        for mapping in group:
+            renamed = rename_value(snapshot, mapping)
+            assert canonical_local(renamed, group) == canon

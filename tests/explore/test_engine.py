@@ -133,6 +133,93 @@ class TestInstrumentation:
         assert result.states == 4
 
 
+class TestTruncationEdgeCases:
+    def test_max_states_reached_exactly_at_a_root(self):
+        # Both roots are distinct; the budget admits only the first, so
+        # the second root itself triggers the truncation.
+        space = TransitionSystemSpace(diamond(), sources=["a", "b"])
+        result = explore(space, max_states=1)
+        assert result.states == 1
+        assert result.stats.truncated
+        assert result.stats.truncation_cause == TRUNCATED_BY_STATES
+
+    def test_duplicate_root_at_full_budget_is_not_truncation(self):
+        # A duplicate root at a full budget is a dedup, not a new state,
+        # so it must not flip the truncation flag by itself.
+        space = TransitionSystemSpace(chain(0), sources=[0, 0])
+        result = explore(space, max_states=1)
+        assert result.visited == {0}
+        assert not result.stats.truncated
+
+    def test_max_states_zero_visits_nothing(self):
+        result = explore(TransitionSystemSpace(diamond()), max_states=0)
+        assert result.states == 0
+        assert result.stats.truncated
+        assert result.stats.truncation_cause == TRUNCATED_BY_STATES
+
+    def test_time_budget_zero_under_dfs(self):
+        result = explore(
+            TransitionSystemSpace(chain(100)), strategy=DFS, max_seconds=0.0
+        )
+        assert result.visited == {0}
+        assert result.stats.truncated
+        assert result.stats.truncation_cause == TRUNCATED_BY_TIME
+
+    def test_dfs_reports_depth_limited(self):
+        result = explore(
+            TransitionSystemSpace(chain(10)), strategy=DFS, max_depth=3
+        )
+        assert result.visited == {0, 1, 2, 3}
+        assert result.stats.depth_limited
+        assert not result.stats.truncated
+        assert result.stats.truncation_cause is None
+
+
+class _FoldedPairsSpace:
+    """0..5 where odd keys canonicalize onto the even below them.
+
+    A minimal space exercising the engine's ``canonical_key``/``codec``
+    hooks without any simulator machinery: the quotient has 3 states
+    ({0,1}, {2,3}, {4,5}) while the raw walk 1 -> 3 -> 5 has 3 odd ones.
+    """
+
+    def __init__(self):
+        from repro.explore import StateCodec
+
+        self.codec = StateCodec()
+
+    def canonical_key(self, key):
+        return key - (key % 2)
+
+    def roots(self):
+        yield 1
+
+    def successors(self, node):
+        if node + 2 <= 5:
+            yield node + 2
+
+    def key(self, node):
+        return node
+
+
+class TestEngineSymmetryHooks:
+    def test_quotient_visited_and_orbit_counter(self):
+        result = explore(_FoldedPairsSpace())
+        assert result.visited == {0, 2, 4}
+        assert result.stats.orbit_reductions == 3  # roots 1, succs 3, 5
+        assert result.stats.bytes_per_state > 0.0
+
+    def test_describe_mentions_orbits_and_footprint(self):
+        text = explore(_FoldedPairsSpace()).stats.describe()
+        assert "orbit rewrites" in text
+        assert "B/state" in text
+
+    def test_exact_space_reports_no_orbits(self):
+        stats = explore(TransitionSystemSpace(diamond())).stats
+        assert stats.orbit_reductions == 0
+        assert stats.bytes_per_state == 0.0
+
+
 class TestTransitionSystemSpace:
     def test_sources_override_roots(self):
         result = explore(TransitionSystemSpace(diamond(), sources=["b"]))

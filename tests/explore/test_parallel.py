@@ -1,0 +1,78 @@
+"""Tests for process-pool expansion: parity with the in-process engine."""
+
+import multiprocessing
+
+import pytest
+
+from repro.explore import GlobalSimulatorSpace, explore
+from repro.tme import ClientConfig, tme_programs
+
+pytestmark = pytest.mark.skipif(
+    "fork" not in multiprocessing.get_all_start_methods(),
+    reason="parallel expansion requires fork",
+)
+
+CLIENT = ClientConfig(think_delay=1, eat_delay=1)
+
+
+def ra_space(n=2, symmetry=None):
+    return GlobalSimulatorSpace(
+        tme_programs("ra", n, CLIENT), symmetry=symmetry
+    )
+
+
+class TestSerialParallelParity:
+    def test_same_visited_set(self):
+        serial = explore(ra_space(), max_depth=6)
+        parallel = explore(ra_space(), max_depth=6, workers=2)
+        assert serial.visited == parallel.visited
+        assert parallel.stats.workers == 2
+
+    def test_peak_frontier_matches_serial(self):
+        # The parallel accounting samples after every consumed expansion
+        # (unconsumed level remainder + accumulated next level), which is
+        # exactly the serial engine's mixed frontier -- so the high-water
+        # mark agrees, not just approximately.
+        serial = explore(ra_space(), max_depth=6)
+        parallel = explore(ra_space(), max_depth=6, workers=2)
+        assert serial.stats.peak_frontier == parallel.stats.peak_frontier
+        assert serial.stats.peak_frontier > 1  # a real high-water mark
+
+    def test_symmetric_quotient_matches_serial(self):
+        serial = explore(ra_space(symmetry="full"), max_depth=6)
+        parallel = explore(ra_space(symmetry="full"), max_depth=6, workers=2)
+        assert serial.visited == parallel.visited
+        assert (
+            serial.stats.orbit_reductions == parallel.stats.orbit_reductions
+        )
+        assert parallel.stats.orbit_reductions > 0
+        assert parallel.stats.bytes_per_state > 0.0
+
+    def test_max_states_cutoff_matches_serial(self):
+        serial = explore(ra_space(), max_depth=6, max_states=10)
+        parallel = explore(ra_space(), max_depth=6, max_states=10, workers=2)
+        assert serial.visited == parallel.visited
+        assert serial.stats.truncated and parallel.stats.truncated
+
+
+class TestReentrancyGuard:
+    def test_nested_parallel_exploration_rejected(self):
+        import repro.explore.parallel as parallel_mod
+
+        space = ra_space()
+        # Simulate a parallel exploration already in flight in this
+        # process: the module-global worker space is occupied.
+        parallel_mod._WORKER_SPACE = space
+        try:
+            with pytest.raises(RuntimeError, match="re-entrant"):
+                explore(space, max_depth=4, workers=2)
+        finally:
+            parallel_mod._WORKER_SPACE = None
+
+    def test_guard_resets_after_normal_run(self):
+        import repro.explore.parallel as parallel_mod
+
+        explore(ra_space(), max_depth=4, workers=2)
+        assert parallel_mod._WORKER_SPACE is None
+        # A second run must work (the guard cleared).
+        explore(ra_space(), max_depth=4, workers=2)
