@@ -1,15 +1,20 @@
 #!/usr/bin/env python
-"""Exploration performance gate: measure, emit, and compare to baseline.
+"""Performance gate: measure, emit, and compare to baseline.
 
-Runs a fixed set of exploration cases, writes the measurements to
-``BENCH_explore.json``, and compares them against the committed
-``benchmarks/baseline.json``:
+Runs a fixed set of exploration cases plus one Monte-Carlo campaign case,
+writes the measurements to ``BENCH_explore.json``, and compares them
+against the committed ``benchmarks/baseline.json``:
 
-* **state counts** (and orbit-rewrite counts) are deterministic -- any
-  mismatch fails the gate outright, because it means the engine visits a
-  different space than it used to;
-* **throughput** (states/second, best of ``--repeats`` runs) may regress
-  by at most ``--tolerance`` (default 30%) before the gate fails.
+* **deterministic fields** (state counts, orbit-rewrite counts, campaign
+  convergence counts and trace digests) -- any mismatch fails the gate
+  outright, because it means the engine computes something different than
+  it used to;
+* **throughput fields** (states/second, trials/second; best of
+  ``--repeats`` runs) may regress by at most ``--tolerance`` (default
+  30%) before the gate fails.
+
+Each baseline entry is compared on the fields it actually carries, so
+entry kinds with different shapes coexist in one baseline file.
 
 Refresh the baseline after an intentional change with::
 
@@ -42,6 +47,53 @@ CASES = (
     ("token_n3_ring", "token", 3, "ring", 6),
     ("lamport_n3_sym", "lamport", 3, "full", 6),
 )
+
+
+#: The campaign gate case: small enough for CI, large enough that a
+#: throughput regression in the trial loop is visible.
+CAMPAIGN_CASE = ("campaign_ra_n4", "ra", 4, 24, 2025)
+
+#: Deterministic per-entry fields: exact match required when present.
+EXACT_FIELDS = ("states", "orbit_reductions", "trials", "converged", "digest")
+
+#: Throughput per-entry fields: bounded regression when present.
+THROUGHPUT_FIELDS = ("states_per_sec", "trials_per_sec")
+
+
+def run_campaign_case(repeats: int) -> dict[str, dict]:
+    import hashlib
+    import time
+
+    from repro.campaign import CampaignSpec, run_campaign
+
+    name, algo, n, trials, root_seed = CAMPAIGN_CASE
+    spec = CampaignSpec(
+        algorithm=algo,
+        n=n,
+        root_seed=root_seed,
+        fault_start=20,
+        fault_stop=80,
+        confirm_window=120,
+        max_steps=800,
+    )
+    best = None
+    results = None
+    for _ in range(repeats):
+        started = time.perf_counter()
+        results = run_campaign(spec, trials)
+        rate = trials / (time.perf_counter() - started)
+        best = rate if best is None else max(best, rate)
+    digest = hashlib.sha256(
+        "".join(r.digest for r in results).encode()
+    ).hexdigest()[:16]
+    return {
+        name: {
+            "trials": trials,
+            "converged": sum(r.converged for r in results),
+            "digest": digest,
+            "trials_per_sec": round(best, 1),
+        }
+    }
 
 
 def run_cases(repeats: int) -> dict[str, dict]:
@@ -83,21 +135,24 @@ def compare(
             failures.append(f"{name}: case missing from current run")
             continue
         cur = current[name]
-        for field in ("states", "orbit_reductions"):
-            if cur[field] != base[field]:
+        for field in EXACT_FIELDS:
+            if field in base and cur.get(field) != base[field]:
                 failures.append(
                     f"{name}: {field} mismatch -- baseline {base[field]}, "
-                    f"current {cur[field]} (the engine explores a "
-                    f"different space)"
+                    f"current {cur.get(field)} (the result is no longer "
+                    f"deterministic or the computation changed)"
                 )
-        floor = base["states_per_sec"] * (1.0 - tolerance)
-        if cur["states_per_sec"] < floor:
-            failures.append(
-                f"{name}: throughput regression -- baseline "
-                f"{base['states_per_sec']:.0f} states/s, current "
-                f"{cur['states_per_sec']:.0f} (floor {floor:.0f} at "
-                f"{tolerance:.0%} tolerance)"
-            )
+        for field in THROUGHPUT_FIELDS:
+            if field not in base:
+                continue
+            floor = base[field] * (1.0 - tolerance)
+            if cur.get(field, 0.0) < floor:
+                failures.append(
+                    f"{name}: throughput regression -- baseline "
+                    f"{base[field]:.0f} {field}, current "
+                    f"{cur.get(field, 0.0):.0f} (floor {floor:.0f} at "
+                    f"{tolerance:.0%} tolerance)"
+                )
     return failures
 
 
@@ -129,6 +184,7 @@ def main(argv: list[str] | None = None) -> int:
     args = parser.parse_args(argv)
 
     current = run_cases(args.repeats)
+    current.update(run_campaign_case(args.repeats))
     report = {"cases": current, "tolerance": args.tolerance}
 
     if args.update:
@@ -149,11 +205,18 @@ def main(argv: list[str] | None = None) -> int:
 
     for name, cur in current.items():
         base = baseline.get(name, {})
-        print(
-            f"  {name}: {cur['states']} states, "
-            f"{cur['states_per_sec']:.0f} states/s "
-            f"(baseline {base.get('states_per_sec', 0):.0f})"
-        )
+        if "states" in cur:
+            print(
+                f"  {name}: {cur['states']} states, "
+                f"{cur['states_per_sec']:.0f} states/s "
+                f"(baseline {base.get('states_per_sec', 0):.0f})"
+            )
+        else:
+            print(
+                f"  {name}: {cur['converged']}/{cur['trials']} converged, "
+                f"{cur['trials_per_sec']:.1f} trials/s "
+                f"(baseline {base.get('trials_per_sec', 0):.1f})"
+            )
     if failures:
         print("\nbaseline gate FAILED:")
         for failure in failures:

@@ -2,6 +2,7 @@
 
 from repro.analysis.experiments import (
     CampaignSettings,
+    experiment_campaign,
     experiment_deadlock,
     experiment_everywhere,
     experiment_fifo_ablation,
@@ -30,6 +31,7 @@ __all__ = [
     "CampaignSettings",
     "RunMetrics",
     "cs_entries",
+    "experiment_campaign",
     "experiment_deadlock",
     "experiment_everywhere",
     "experiment_fifo_ablation",

@@ -740,3 +740,71 @@ def experiment_theorem5(
             }
         )
     return rows
+
+
+# ---------------------------------------------------------------------------
+# E16 -- Monte-Carlo convergence-latency campaign (repro.campaign)
+# ---------------------------------------------------------------------------
+
+
+def experiment_campaign(
+    algorithms: tuple[str, ...] = ("ra", "lamport", "token"),
+    sizes: tuple[int, ...] = (8, 16, 32),
+    scales: tuple[float, ...] = (0.5, 1.0, 2.0),
+    trials: int = 10,
+    theta: int = 4,
+    root_seed: int = 0,
+    workers: int = 1,
+) -> list[Row]:
+    """Statistical stabilization at scale (:mod:`repro.campaign`).
+
+    Two sweeps of wrapped-algorithm campaigns, reporting the
+    convergence-latency distribution (steps after the fault window
+    closes):
+
+    * latency vs system size: each algorithm at every ``n`` in ``sizes``
+      under the standard Section 3.1 fault rates;
+    * latency vs fault intensity: ``ra`` at ``n = sizes[0]`` with the
+      standard rates scaled by each factor in ``scales`` (1.0 appears in
+      both sweeps and serves as the cross-check row).
+    """
+    from repro.campaign import CampaignSpec, FaultRates
+    from repro.campaign import run_campaign as run_mc_campaign
+    from repro.campaign import summarize
+
+    def row(algorithm: str, n: int, scale: float, sweep: str) -> Row:
+        spec = CampaignSpec(
+            algorithm=algorithm,
+            n=n,
+            root_seed=root_seed,
+            theta=theta,
+            rates=FaultRates().scaled(scale),
+        )
+        import time
+
+        started = time.perf_counter()
+        results = run_mc_campaign(spec, trials, workers=workers)
+        summary = summarize(results, time.perf_counter() - started)
+        return {
+            "sweep": sweep,
+            "algorithm": algorithm,
+            "n": n,
+            "fault_scale": scale,
+            "trials": trials,
+            "converged": f"{summary.outcomes.get('converged', 0)}/{trials}",
+            "latency_mean": round(summary.latency.mean, 1),
+            "latency_p50": summary.latency.p50,
+            "latency_p95": round(summary.latency.p95, 1),
+            "latency_max": summary.latency.maximum,
+            "faults": summary.total_faults,
+        }
+
+    rows: list[Row] = []
+    for algorithm in algorithms:
+        for n in sizes:
+            rows.append(row(algorithm, n, 1.0, "size"))
+    for scale in scales:
+        if scale == 1.0:
+            continue  # already measured in the size sweep
+        rows.append(row(algorithms[0], sizes[0], scale, "intensity"))
+    return rows

@@ -1,0 +1,91 @@
+"""Parallel Monte-Carlo fault-injection campaigns (statistical stabilization).
+
+The exhaustive exploration engine (:mod:`repro.explore`) substantiates the
+paper's theorems up to n~5; beyond that, *statistical* evidence takes over.
+A **campaign** runs thousands of seeded randomized trials -- each one a
+(algorithm, n, scheduler, :class:`~repro.faults.injector.Windowed` fault
+burst, seed) execution on the existing
+:class:`~repro.runtime.simulator.Simulator` -- and reports the distribution
+of convergence latency after the fault window closes (Theorems 8/9/10 at
+scales n=8..32, the Section 3.1 fault model realized by random bursts).
+
+Layers:
+
+* :mod:`repro.campaign.seeds`   -- the hierarchical seed scheme: one root
+  seed deterministically derives every per-trial RNG stream, so any trial
+  replays bit-for-bit from ``(root_seed, trial_id)`` alone;
+* :mod:`repro.campaign.record`  -- decision recording and scripted replay
+  (scheduler choices + concrete fault operations);
+* :mod:`repro.campaign.faults`  -- the deciding fault injector: rolls the
+  Section 3.1 fault classes (loss / duplication / corruption / state
+  corruption) into *concrete, replayable* operations;
+* :mod:`repro.campaign.trial`   -- the deterministic single-trial runner
+  with an online legitimacy monitor and a canonical trace digest;
+* :mod:`repro.campaign.runner`  -- process fan-out with per-trial timeout
+  and worker-crash recovery (a dead worker fails its trial, not the
+  campaign);
+* :mod:`repro.campaign.shrink`  -- delta-debugging of failing trials down
+  to a locally minimal fault/schedule decision list, rendered via
+  :mod:`repro.core.counterexample`;
+* :mod:`repro.campaign.stats`   -- latency distributions (mean/p50/p95/max,
+  empirical CDF) and the JSON artifact behind EXPERIMENTS.md E16.
+"""
+
+from repro.campaign.faults import DecidingFaults, FaultRates, ReplayFaults
+from repro.campaign.record import (
+    FaultDecision,
+    RecordingScheduler,
+    SchedDecision,
+    ScriptedScheduler,
+)
+from repro.campaign.runner import run_campaign
+from repro.campaign.seeds import derive_seed, spawn_rng
+from repro.campaign.shrink import (
+    ShrinkResult,
+    ddmin,
+    is_locally_minimal,
+    shrink_trial,
+)
+from repro.campaign.stats import (
+    CampaignSummary,
+    LatencySummary,
+    artifact,
+    ecdf,
+    quantile,
+    summarize,
+    write_artifact,
+)
+from repro.campaign.trial import (
+    CampaignSpec,
+    TrialResult,
+    replay_trial,
+    run_trial,
+)
+
+__all__ = [
+    "CampaignSpec",
+    "CampaignSummary",
+    "DecidingFaults",
+    "FaultDecision",
+    "FaultRates",
+    "LatencySummary",
+    "RecordingScheduler",
+    "ReplayFaults",
+    "SchedDecision",
+    "ScriptedScheduler",
+    "ShrinkResult",
+    "TrialResult",
+    "artifact",
+    "ddmin",
+    "derive_seed",
+    "ecdf",
+    "is_locally_minimal",
+    "quantile",
+    "replay_trial",
+    "run_campaign",
+    "run_trial",
+    "shrink_trial",
+    "spawn_rng",
+    "summarize",
+    "write_artifact",
+]

@@ -1,0 +1,257 @@
+"""The campaign's fault layer: decide -> record -> apply, then replay.
+
+The probabilistic injectors in :mod:`repro.faults.message_faults` mutate the
+simulator directly, which makes their effects impossible to mask
+individually during counterexample shrinking.  The campaign therefore
+factors fault injection into *concrete operations* (lose / duplicate /
+corrupt message at a channel index, overwrite process variables) decided by
+one RNG stream:
+
+* :class:`DecidingFaults` rolls the Section 3.1 fault classes each step
+  with the same per-step probabilities and victim weighting as
+  :func:`repro.tme.scenarios.standard_fault_campaign`, records every dealt
+  operation as a :class:`~repro.campaign.record.FaultDecision`, and applies
+  it;
+* :class:`ReplayFaults` applies a recorded (possibly masked) operation
+  list with no RNG at all.  Operations whose victim no longer exists --
+  the schedule diverged after an earlier mask -- are skipped and counted.
+
+Both are plain :class:`~repro.faults.injector.FaultInjector` hooks, so the
+trial wraps them in :class:`~repro.faults.injector.Windowed` exactly like
+every other experiment realizes "any finite number of faults".
+"""
+
+from __future__ import annotations
+
+import random
+from collections.abc import Collection, Sequence
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any
+
+from repro.campaign.record import FaultDecision
+from repro.faults.injector import FaultInjector
+from repro.tme.scenarios import scramble_tme_state, tme_message_corrupter
+
+if TYPE_CHECKING:
+    from repro.runtime.simulator import Simulator
+
+
+@dataclass(frozen=True)
+class FaultRates:
+    """Per-step strike probabilities of the four Section 3.1 fault classes
+    (defaults match :class:`repro.analysis.experiments.CampaignSettings`)."""
+
+    loss: float = 0.15
+    duplication: float = 0.10
+    corruption: float = 0.10
+    state_corruption: float = 0.05
+
+    def scaled(self, factor: float) -> "FaultRates":
+        """Rates at a different fault intensity (probabilities capped)."""
+        cap = lambda p: min(0.95, p * factor)  # noqa: E731
+        return FaultRates(
+            loss=cap(self.loss),
+            duplication=cap(self.duplication),
+            corruption=cap(self.corruption),
+            state_corruption=cap(self.state_corruption),
+        )
+
+
+# ---------------------------------------------------------------------------
+# Concrete, replayable operations
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class LoseMessage:
+    """Drop the message at ``index`` of channel ``src -> dst``."""
+
+    src: str
+    dst: str
+    index: int
+
+    def describe(self) -> str:
+        return f"lose {self.src}->{self.dst}[{self.index}]"
+
+
+@dataclass(frozen=True)
+class DuplicateMessage:
+    """Re-enqueue a copy of the message at ``index`` of ``src -> dst``."""
+
+    src: str
+    dst: str
+    index: int
+
+    def describe(self) -> str:
+        return f"duplicate {self.src}->{self.dst}[{self.index}]"
+
+
+@dataclass(frozen=True)
+class CorruptMessage:
+    """Overwrite kind/payload of the message at ``index`` of ``src -> dst``."""
+
+    src: str
+    dst: str
+    index: int
+    kind: str
+    payload: Any
+
+    def describe(self) -> str:
+        return (
+            f"corrupt {self.src}->{self.dst}[{self.index}] "
+            f"to ({self.kind}, {self.payload!r})"
+        )
+
+
+@dataclass(frozen=True)
+class CorruptState:
+    """Overwrite ``pid``'s variables with the recorded valuation."""
+
+    pid: str
+    updates: tuple[tuple[str, Any], ...]
+
+    def describe(self) -> str:
+        names = ",".join(name for name, _value in self.updates)
+        return f"scramble {self.pid}.{{{names}}}"
+
+
+FaultOp = LoseMessage | DuplicateMessage | CorruptMessage | CorruptState
+
+
+def apply_op(simulator: "Simulator", op: FaultOp) -> str | None:
+    """Apply one recorded operation; ``None`` if its victim is gone."""
+    if isinstance(op, CorruptState):
+        if op.pid not in simulator.processes:
+            return None
+        simulator.processes[op.pid].corrupt(dict(op.updates))
+        return f"state-corrupt: {op.describe()}"
+    chan = simulator.network.channel(op.src, op.dst)
+    if op.index >= len(chan):
+        return None
+    if isinstance(op, LoseMessage):
+        msg = chan.drop_at(op.index)
+        return f"loss: {msg.kind} {op.src}->{op.dst}"
+    if isinstance(op, DuplicateMessage):
+        dup = chan.duplicate_at(op.index, simulator.network.fresh_uid())
+        return f"dup: {dup.kind} {op.src}->{op.dst}"
+    uid = simulator.network.fresh_uid()
+    msg = chan.corrupt_at(
+        op.index, lambda m: m.corrupted(uid, kind=op.kind, payload=op.payload)
+    )
+    return f"corrupt: {msg.kind} {op.src}->{op.dst}"
+
+
+# ---------------------------------------------------------------------------
+# The deciding injector (free runs)
+# ---------------------------------------------------------------------------
+
+
+class DecidingFaults(FaultInjector):
+    """Roll, record, and apply the four fault classes each step.
+
+    One step can deal up to one fault of each class, decided in a fixed
+    order (loss, duplication, corruption, state corruption) so the RNG
+    stream is consumed identically on every run of the same seed.
+    """
+
+    def __init__(
+        self,
+        rng: random.Random,
+        rates: FaultRates,
+        log: list | None = None,
+    ):
+        self.rng = rng
+        self.rates = rates
+        self.log = log
+        self.count = 0
+
+    def _victim(self, simulator: "Simulator") -> tuple[str, str, int] | None:
+        """Pick (src, dst, index) uniformly over all in-flight messages."""
+        channels = simulator.network.nonempty_channels()
+        if not channels:
+            return None
+        weights = [len(c) for c in channels]
+        chan = self.rng.choices(channels, weights=weights, k=1)[0]
+        return chan.src, chan.dst, self.rng.randrange(len(chan))
+
+    def _decide(self, simulator: "Simulator") -> list[FaultOp]:
+        ops: list[FaultOp] = []
+        rng = self.rng
+        if rng.random() < self.rates.loss:
+            victim = self._victim(simulator)
+            if victim is not None:
+                ops.append(LoseMessage(*victim))
+        if rng.random() < self.rates.duplication:
+            victim = self._victim(simulator)
+            if victim is not None:
+                ops.append(DuplicateMessage(*victim))
+        if rng.random() < self.rates.corruption:
+            victim = self._victim(simulator)
+            if victim is not None:
+                src, dst, index = victim
+                msg = simulator.network.channel(src, dst).snapshot()[index]
+                # Dummy uid: only the replacement kind/payload are recorded;
+                # the real uid is drawn from the network at apply time.
+                replacement = tme_message_corrupter(msg, rng, 0)
+                ops.append(
+                    CorruptMessage(
+                        src, dst, index, replacement.kind, replacement.payload
+                    )
+                )
+        if rng.random() < self.rates.state_corruption:
+            pid = rng.choice(sorted(simulator.processes))
+            updates = scramble_tme_state(simulator.processes[pid], rng)
+            if updates:
+                ops.append(CorruptState(pid, tuple(sorted(updates.items()))))
+        return ops
+
+    def before_step(self, simulator: "Simulator", step_index: int) -> list[str]:
+        struck: list[str] = []
+        for op in self._decide(simulator):
+            # Victims are decided against the pre-fault channel state, so an
+            # earlier loss in the same step can strand a later op's index;
+            # such ops are dropped (never logged, never counted).
+            description = apply_op(simulator, op)
+            if description is None:
+                continue
+            if self.log is not None:
+                self.log.append(FaultDecision(step_index, op))
+            self.count += 1
+            struck.append(description)
+        return struck
+
+
+# ---------------------------------------------------------------------------
+# The replaying injector (scripted runs)
+# ---------------------------------------------------------------------------
+
+
+class ReplayFaults(FaultInjector):
+    """Apply a recorded fault-decision list, minus ``masked`` decisions."""
+
+    def __init__(
+        self,
+        decisions: Sequence[FaultDecision],
+        masked: Collection[FaultDecision] = (),
+    ):
+        masked_set = set(masked)
+        self._by_step: dict[int, list[FaultOp]] = {}
+        for decision in decisions:
+            if decision in masked_set:
+                continue
+            self._by_step.setdefault(decision.step_index, []).append(
+                decision.op
+            )
+        self.count = 0
+        self.skipped = 0
+
+    def before_step(self, simulator: "Simulator", step_index: int) -> list[str]:
+        struck: list[str] = []
+        for op in self._by_step.get(step_index, ()):
+            description = apply_op(simulator, op)
+            if description is None:
+                self.skipped += 1
+                continue
+            self.count += 1
+            struck.append(description)
+        return struck

@@ -1,0 +1,97 @@
+"""Decision recording and scripted replay.
+
+A trial's nondeterminism is exactly two streams of *decisions*:
+
+* which candidate step the scheduler chose at each simulator step
+  (:class:`SchedDecision`, identified by the step's stable ``key``);
+* which concrete fault operation the injector dealt, and when
+  (:class:`FaultDecision`, whose ``op`` is one of the replayable operations
+  of :mod:`repro.campaign.faults`).
+
+Recording them during a free (RNG-driven) run turns the run into data; a
+*scripted* re-run consumes the record instead of the RNGs, which is what
+makes delta-debugging well-defined: dropping a decision from the script is
+a meaningful, executable variant (the scheduler falls back to the least
+step key, a dropped fault simply never strikes).  With the full record and
+no mask, the scripted run reproduces the free run bit-for-bit.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Collection, Sequence
+from dataclasses import dataclass
+from typing import Any
+
+from repro.runtime.scheduler import Scheduler, Step
+
+Decision = "SchedDecision | FaultDecision"
+
+
+@dataclass(frozen=True)
+class SchedDecision:
+    """The scheduler chose the step with this key at ``step_index``."""
+
+    step_index: int
+    key: tuple
+
+    def describe(self) -> str:
+        return f"step {self.step_index}: schedule {'/'.join(map(str, self.key))}"
+
+
+@dataclass(frozen=True)
+class FaultDecision:
+    """The injector dealt concrete operation ``op`` at ``step_index``."""
+
+    step_index: int
+    op: Any  # one of the ops in repro.campaign.faults
+
+    def describe(self) -> str:
+        return f"step {self.step_index}: fault {self.op.describe()}"
+
+
+class RecordingScheduler(Scheduler):
+    """Wrap a scheduler; append one :class:`SchedDecision` per choice."""
+
+    def __init__(self, inner: Scheduler, log: list):
+        self._inner = inner
+        self._log = log
+
+    def choose(self, candidates: Sequence[Step], step_index: int) -> Step:
+        chosen = self._inner.choose(candidates, step_index)
+        self._log.append(SchedDecision(step_index, chosen.key))
+        return chosen
+
+
+class ScriptedScheduler(Scheduler):
+    """Replay recorded schedule decisions; deterministic fallback otherwise.
+
+    ``masked`` decisions (and steps the record never reached, e.g. because a
+    masked fault changed the run's length) fall back to the candidate with
+    the least ``key`` -- the same deterministic order every simulator
+    component already sorts by.  ``fallbacks`` counts how often the record
+    did not apply, which the shrinker reports.
+    """
+
+    def __init__(
+        self,
+        decisions: Sequence[SchedDecision],
+        masked: Collection[SchedDecision] = (),
+    ):
+        masked_set = set(masked)
+        self._by_step = {
+            d.step_index: d.key
+            for d in decisions
+            if d not in masked_set
+        }
+        self.fallbacks = 0
+
+    def choose(self, candidates: Sequence[Step], step_index: int) -> Step:
+        if not candidates:
+            raise ValueError("no candidate steps")
+        wanted = self._by_step.get(step_index)
+        if wanted is not None:
+            for step in candidates:
+                if step.key == wanted:
+                    return step
+        self.fallbacks += 1
+        return min(candidates, key=lambda s: s.key)

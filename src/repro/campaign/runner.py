@@ -1,0 +1,216 @@
+"""Process fan-out for campaigns: timeouts, crash recovery, streaming.
+
+Trials are embarrassingly parallel and fully determined by
+``(spec, trial_id)``, so the runner ships *no* work description beyond the
+trial id: workers are ``fork``-started (the same platform condition as
+:mod:`repro.explore.parallel`) and inherit the spec, the programs module,
+everything.  Each live trial owns one worker process and one result pipe;
+the parent multiplexes completions with
+:func:`multiprocessing.connection.wait`, enforcing a wall-clock deadline
+per trial.
+
+Failure containment is per trial, never per campaign:
+
+* a worker that dies (OOM-kill, segfault, ``os._exit``) yields a
+  ``"crashed"`` :class:`~repro.campaign.trial.TrialResult` for its trial;
+* a worker that overruns ``trial_timeout`` is terminated and yields a
+  ``"timeout"`` result;
+* everything else keeps running, and the campaign completes.
+
+Because trials are deterministic, ``workers=1`` (the in-process fallback,
+also used where ``fork`` is unavailable) produces byte-identical digests
+to any parallel schedule -- the parity test relies on this.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import time
+from collections.abc import Callable, Sequence
+from multiprocessing.connection import wait as connection_wait
+
+from repro.campaign.trial import CampaignSpec, TrialResult, run_trial
+
+TrialFn = Callable[[CampaignSpec, int], TrialResult]
+
+
+def _default_trial_fn(spec: CampaignSpec, trial_id: int) -> TrialResult:
+    return run_trial(spec, trial_id)
+
+
+def _worker(conn, spec: CampaignSpec, trial_id: int, trial_fn: TrialFn) -> None:
+    result = trial_fn(spec, trial_id)
+    conn.send(result)
+    conn.close()
+
+
+def _failed(trial_id: int, outcome: str, wall: float, detail: str) -> TrialResult:
+    return TrialResult(
+        trial_id=trial_id,
+        outcome=outcome,
+        steps=0,
+        latency=None,
+        wall_seconds=wall,
+        wall_latency=None,
+        entries=0,
+        faults=0,
+        me1_after_horizon=0,
+        digest="",
+        detail=detail,
+    )
+
+
+def run_campaign(
+    spec: CampaignSpec,
+    trials: int,
+    *,
+    workers: int = 1,
+    trial_timeout: float | None = None,
+    trial_fn: TrialFn | None = None,
+    on_result: Callable[[TrialResult], None] | None = None,
+) -> list[TrialResult]:
+    """Run trials ``0..trials-1`` of ``spec``; results ordered by trial id.
+
+    ``on_result`` streams results in *completion* order as they arrive.
+    ``trial_fn`` exists for tests (inject crashes/hangs); campaigns use
+    :func:`repro.campaign.trial.run_trial`.
+    """
+    if trials < 0:
+        raise ValueError("trials must be non-negative")
+    fn = trial_fn or _default_trial_fn
+    if workers <= 1 or trials <= 1 or not _fork_available():
+        results = []
+        for trial_id in range(trials):
+            result = fn(spec, trial_id)
+            if on_result is not None:
+                on_result(result)
+            results.append(result)
+        return results
+    return _run_parallel(spec, trials, workers, trial_timeout, fn, on_result)
+
+
+def _fork_available() -> bool:
+    return "fork" in multiprocessing.get_all_start_methods()
+
+
+def _run_parallel(
+    spec: CampaignSpec,
+    trials: int,
+    workers: int,
+    trial_timeout: float | None,
+    trial_fn: TrialFn,
+    on_result: Callable[[TrialResult], None] | None,
+) -> list[TrialResult]:
+    ctx = multiprocessing.get_context("fork")
+    pending = iter(range(trials))
+    live: dict[int, tuple] = {}  # trial_id -> (process, conn, deadline)
+    results: dict[int, TrialResult] = {}
+
+    def finish(trial_id: int, result: TrialResult) -> None:
+        results[trial_id] = result
+        if on_result is not None:
+            on_result(result)
+
+    def spawn(trial_id: int) -> None:
+        recv, send = ctx.Pipe(duplex=False)
+        proc = ctx.Process(
+            target=_worker, args=(send, spec, trial_id, trial_fn)
+        )
+        proc.start()
+        send.close()  # parent keeps only the read end
+        deadline = (
+            time.monotonic() + trial_timeout
+            if trial_timeout is not None
+            else None
+        )
+        live[trial_id] = (proc, recv, deadline)
+
+    try:
+        while len(results) < trials:
+            while len(live) < workers:
+                trial_id = next(pending, None)
+                if trial_id is None:
+                    break
+                spawn(trial_id)
+            if not live:
+                break
+            connection_wait([conn for _p, conn, _d in live.values()], 0.05)
+            now = time.monotonic()
+            for trial_id in list(live):
+                proc, conn, deadline = live[trial_id]
+                if conn.poll():
+                    try:
+                        finish(trial_id, conn.recv())
+                    except EOFError:
+                        # A dead worker's closed pipe polls readable too;
+                        # join so the exitcode is available for the report.
+                        proc.join()
+                        finish(
+                            trial_id,
+                            _failed(
+                                trial_id,
+                                "crashed",
+                                0.0,
+                                "worker closed the pipe without a result "
+                                f"(exitcode {proc.exitcode})",
+                            ),
+                        )
+                elif deadline is not None and now > deadline:
+                    proc.terminate()
+                    finish(
+                        trial_id,
+                        _failed(
+                            trial_id,
+                            "timeout",
+                            trial_timeout or 0.0,
+                            f"exceeded trial_timeout={trial_timeout}s",
+                        ),
+                    )
+                elif not proc.is_alive():
+                    # The worker may have exited between the poll above and
+                    # this check, with its result already in the pipe.
+                    if conn.poll():
+                        try:
+                            finish(trial_id, conn.recv())
+                        except EOFError:
+                            finish(
+                                trial_id,
+                                _failed(
+                                    trial_id,
+                                    "crashed",
+                                    0.0,
+                                    "worker closed the pipe mid-result "
+                                    f"(exitcode {proc.exitcode})",
+                                ),
+                            )
+                    else:
+                        finish(
+                            trial_id,
+                            _failed(
+                                trial_id,
+                                "crashed",
+                                0.0,
+                                f"worker died with exitcode {proc.exitcode}",
+                            ),
+                        )
+                else:
+                    continue
+                conn.close()
+                proc.join()
+                del live[trial_id]
+    finally:
+        for proc, conn, _deadline in live.values():
+            proc.terminate()
+            conn.close()
+            proc.join()
+
+    return [results[i] for i in sorted(results)]
+
+
+def summarize_outcomes(results: Sequence[TrialResult]) -> dict[str, int]:
+    """Outcome -> count (stable key order: worst news first)."""
+    order = ("converged", "diverged", "timeout", "crashed")
+    counts = {key: 0 for key in order}
+    for result in results:
+        counts[result.outcome] = counts.get(result.outcome, 0) + 1
+    return {key: count for key, count in counts.items() if count}

@@ -1,0 +1,201 @@
+"""Counterexample shrinking: delta-debug a failing trial's decisions.
+
+A failing trial (safety violations that never cease, or no convergence by
+the step budget) arrives as a recorded decision list -- every scheduler
+choice and every concrete fault operation.  :func:`ddmin` (Zeller &
+Hildebrandt's delta debugging, complement-testing variant) prunes that
+list to a subset that still fails and is **1-minimal**: removing any
+single remaining decision makes the trial pass.  Probes are scripted
+replays (:func:`repro.campaign.trial.replay_trial`), so each is exactly as
+deterministic as the original run.
+
+The shrunk artifact is rendered through
+:func:`repro.core.counterexample.render_counterexample` -- the same
+counterexample vocabulary the Figure 1 systems established: a minimal
+witness that a claimed property does not hold.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Sequence
+from dataclasses import dataclass
+
+from repro.campaign.trial import (
+    CampaignSpec,
+    Decision,
+    TrialResult,
+    replay_trial,
+    run_trial,
+)
+from repro.core.counterexample import render_counterexample
+
+
+def _chunks(items: list, n: int) -> list[list]:
+    """Split ``items`` into ``n`` near-equal contiguous chunks."""
+    size, extra = divmod(len(items), n)
+    out, start = [], 0
+    for i in range(n):
+        stop = start + size + (1 if i < extra else 0)
+        if stop > start:
+            out.append(items[start:stop])
+        start = stop
+    return out
+
+
+def ddmin(
+    items: Sequence,
+    fails: Callable[[list], bool],
+    max_probes: int | None = None,
+) -> tuple[list, bool]:
+    """A 1-minimal failing subset of ``items`` under ``fails``.
+
+    Returns ``(subset, complete)``; ``complete`` is ``False`` only when
+    ``max_probes`` stopped the search early (the subset still fails, but
+    1-minimality is then unverified).  Probe results are cached, so
+    re-testing a seen subset is free.
+    """
+    current = list(items)
+    if not fails(current):
+        raise ValueError("ddmin requires a failing starting point")
+    cache: dict[frozenset, bool] = {}
+    probes = 0
+
+    def probe(candidate: list) -> bool | None:
+        nonlocal probes
+        key = frozenset(candidate)
+        if key in cache:
+            return cache[key]
+        if max_probes is not None and probes >= max_probes:
+            return None
+        probes += 1
+        verdict = fails(candidate)
+        cache[key] = verdict
+        return verdict
+
+    granularity = 2
+    while len(current) >= 2:
+        reduced = False
+        for i, chunk in enumerate(_chunks(current, granularity)):
+            complement = [x for x in current if x not in set(chunk)]
+            verdict = probe(complement)
+            if verdict is None:
+                return current, False
+            if verdict:
+                current = complement
+                granularity = max(granularity - 1, 2)
+                reduced = True
+                break
+        if not reduced:
+            if granularity >= len(current):
+                break
+            granularity = min(len(current), granularity * 2)
+    return current, True
+
+
+@dataclass(frozen=True)
+class ShrinkResult:
+    """The minimal failing decision list and how it was found."""
+
+    trial_id: int
+    original: tuple[Decision, ...]
+    minimal: tuple[Decision, ...]
+    probes: int
+    complete: bool  # False if max_probes cut the search short
+    final: TrialResult  # the scripted replay of `minimal`
+
+    @property
+    def reduction(self) -> float:
+        """Fraction of decisions eliminated."""
+        if not self.original:
+            return 0.0
+        return 1.0 - len(self.minimal) / len(self.original)
+
+    def render(self, spec: CampaignSpec) -> str:
+        """Human-readable counterexample via :mod:`repro.core.counterexample`."""
+        label = "bare" if spec.theta is None else f"W'(theta={spec.theta})"
+        return render_counterexample(
+            title=(
+                f"trial {self.trial_id}: {spec.algorithm} n={spec.n} "
+                f"{label} root_seed={spec.root_seed}"
+            ),
+            decisions=[d.describe() for d in self.minimal],
+            verdict=(
+                f"{self.final.outcome} after {self.final.steps} steps "
+                f"({self.final.entries} CS entries, "
+                f"{self.final.me1_after_horizon} post-horizon ME1 violations)"
+            ),
+            notes=(
+                f"shrunk {len(self.original)} -> {len(self.minimal)} "
+                f"decisions in {self.probes} replay probes"
+                + ("" if self.complete else " (probe budget hit)"),
+                "1-minimal: removing any single remaining decision "
+                "makes the trial pass"
+                if self.complete
+                else "minimality unverified (probe budget hit)",
+            ),
+        )
+
+
+def shrink_trial(
+    spec: CampaignSpec,
+    trial_id: int,
+    result: TrialResult | None = None,
+    *,
+    is_failing: Callable[[TrialResult], bool] | None = None,
+    max_probes: int | None = 2000,
+) -> ShrinkResult:
+    """Shrink one failing trial to a 1-minimal fault/schedule decision list.
+
+    ``result`` may carry the recorded decisions (from
+    ``run_trial(..., keep_decisions=...)``); otherwise the trial is re-run
+    to record them.  ``is_failing`` defaults to "did not converge".
+    """
+    failing = is_failing or (lambda r: not r.converged)
+    if result is None or result.decisions is None:
+        result = run_trial(spec, trial_id, keep_decisions="always")
+    if not failing(result):
+        raise ValueError(
+            f"trial {trial_id} passes ({result.outcome}); nothing to shrink"
+        )
+    decisions = result.decisions
+    assert decisions is not None
+    probes = 0
+
+    def fails(subset: list) -> bool:
+        nonlocal probes
+        probes += 1
+        return failing(replay_trial(spec, trial_id, subset))
+
+    if not fails(list(decisions)):
+        raise ValueError(
+            "scripted replay of the full decision list does not reproduce "
+            "the failure; the trial is not replay-faithful"
+        )
+    minimal, complete = ddmin(decisions, fails, max_probes=max_probes)
+    final = replay_trial(spec, trial_id, minimal)
+    return ShrinkResult(
+        trial_id=trial_id,
+        original=tuple(decisions),
+        minimal=tuple(minimal),
+        probes=probes,
+        complete=complete,
+        final=final,
+    )
+
+
+def is_locally_minimal(
+    spec: CampaignSpec,
+    trial_id: int,
+    decisions: Sequence[Decision],
+    is_failing: Callable[[TrialResult], bool] | None = None,
+) -> bool:
+    """Does removing any single decision make the trial pass?  (The
+    acceptance check for shrunk counterexamples; O(len) replays.)"""
+    failing = is_failing or (lambda r: not r.converged)
+    if not failing(replay_trial(spec, trial_id, list(decisions))):
+        return False
+    for i in range(len(decisions)):
+        remainder = [d for j, d in enumerate(decisions) if j != i]
+        if failing(replay_trial(spec, trial_id, remainder)):
+            return False
+    return True

@@ -1,0 +1,188 @@
+"""Campaign statistics: latency distributions, summaries, JSON artifacts.
+
+The quantity of interest (after *Ideal Stabilization*'s framing) is the
+per-burst recovery cost: how many steps after the fault window closes until
+the legitimacy predicate holds for good.  A campaign yields its empirical
+distribution -- mean/p50/p95/max plus an empirical CDF -- per configuration,
+and the JSON artifact (``BENCH_campaign.json`` in CI) records enough to
+regenerate every number: the spec, the root seed, and per-trial outcomes
+with digests.
+"""
+
+from __future__ import annotations
+
+import json
+from collections.abc import Sequence
+from dataclasses import asdict, dataclass
+from pathlib import Path
+
+from repro.campaign.runner import summarize_outcomes
+from repro.campaign.trial import CampaignSpec, TrialResult
+
+
+def quantile(values: Sequence[float], q: float) -> float:
+    """Empirical quantile (linear interpolation between order statistics)."""
+    if not values:
+        raise ValueError("quantile of an empty sample")
+    if not 0.0 <= q <= 1.0:
+        raise ValueError("q must be in [0, 1]")
+    ordered = sorted(values)
+    if len(ordered) == 1:
+        return float(ordered[0])
+    position = q * (len(ordered) - 1)
+    low = int(position)
+    high = min(low + 1, len(ordered) - 1)
+    fraction = position - low
+    return ordered[low] * (1.0 - fraction) + ordered[high] * fraction
+
+
+def ecdf(values: Sequence[float], points: int = 11) -> list[tuple[float, float]]:
+    """``points`` samples of the empirical CDF as (value, P[X <= value])."""
+    if not values:
+        return []
+    ordered = sorted(values)
+    out = []
+    for i in range(points):
+        q = i / (points - 1) if points > 1 else 1.0
+        out.append((quantile(ordered, q), q))
+    return out
+
+
+@dataclass(frozen=True)
+class LatencySummary:
+    """Distribution of convergence latency over the converged trials."""
+
+    count: int
+    mean: float
+    p50: float
+    p95: float
+    maximum: float
+    cdf: tuple[tuple[float, float], ...]
+
+    @staticmethod
+    def of(latencies: Sequence[int]) -> "LatencySummary":
+        if not latencies:
+            return LatencySummary(0, 0.0, 0.0, 0.0, 0.0, ())
+        return LatencySummary(
+            count=len(latencies),
+            mean=sum(latencies) / len(latencies),
+            p50=quantile(latencies, 0.50),
+            p95=quantile(latencies, 0.95),
+            maximum=float(max(latencies)),
+            cdf=tuple(ecdf(latencies)),
+        )
+
+
+@dataclass(frozen=True)
+class CampaignSummary:
+    """A whole campaign, aggregated."""
+
+    trials: int
+    outcomes: dict[str, int]
+    convergence_rate: float
+    latency: LatencySummary
+    wall_latency_mean: float
+    mean_steps: float
+    total_faults: int
+    wall_seconds: float
+    trials_per_second: float
+
+    def describe(self) -> str:
+        lines = [
+            f"trials:      {self.trials}  {self.outcomes}",
+            f"convergence: {self.convergence_rate:.1%}",
+        ]
+        if self.latency.count:
+            lines.append(
+                "latency:     "
+                f"mean {self.latency.mean:.1f}  p50 {self.latency.p50:.0f}  "
+                f"p95 {self.latency.p95:.0f}  max {self.latency.maximum:.0f} "
+                f"steps  ({self.wall_latency_mean * 1000:.1f} ms mean wall)"
+            )
+            cdf = "  ".join(
+                f"{value:.0f}:{p:.0%}" for value, p in self.latency.cdf
+            )
+            lines.append(f"latency CDF: {cdf}")
+        lines.append(
+            f"throughput:  {self.trials_per_second:.1f} trials/s "
+            f"({self.wall_seconds:.1f}s wall, "
+            f"{self.mean_steps:.0f} mean steps/trial, "
+            f"{self.total_faults} faults dealt)"
+        )
+        return "\n".join(lines)
+
+
+def summarize(
+    results: Sequence[TrialResult], wall_seconds: float
+) -> CampaignSummary:
+    """Aggregate a campaign's results (``wall_seconds``: end-to-end time)."""
+    latencies = [r.latency for r in results if r.latency is not None]
+    wall_latencies = [
+        r.wall_latency for r in results if r.wall_latency is not None
+    ]
+    converged = sum(1 for r in results if r.converged)
+    return CampaignSummary(
+        trials=len(results),
+        outcomes=summarize_outcomes(results),
+        convergence_rate=converged / len(results) if results else 0.0,
+        latency=LatencySummary.of(latencies),
+        wall_latency_mean=(
+            sum(wall_latencies) / len(wall_latencies)
+            if wall_latencies
+            else 0.0
+        ),
+        mean_steps=(
+            sum(r.steps for r in results) / len(results) if results else 0.0
+        ),
+        total_faults=sum(r.faults for r in results),
+        wall_seconds=wall_seconds,
+        trials_per_second=len(results) / wall_seconds if wall_seconds else 0.0,
+    )
+
+
+def artifact(
+    spec: CampaignSpec,
+    results: Sequence[TrialResult],
+    summary: CampaignSummary,
+) -> dict:
+    """The JSON-serializable campaign artifact (CI's BENCH_campaign.json)."""
+    spec_dict = asdict(spec)
+    spec_dict["rates"] = asdict(spec.rates)
+    return {
+        "spec": spec_dict,
+        "summary": {
+            "trials": summary.trials,
+            "outcomes": summary.outcomes,
+            "convergence_rate": summary.convergence_rate,
+            "latency": {
+                "count": summary.latency.count,
+                "mean": summary.latency.mean,
+                "p50": summary.latency.p50,
+                "p95": summary.latency.p95,
+                "max": summary.latency.maximum,
+                "cdf": [list(point) for point in summary.latency.cdf],
+            },
+            "wall_latency_mean_s": summary.wall_latency_mean,
+            "mean_steps": summary.mean_steps,
+            "total_faults": summary.total_faults,
+            "wall_seconds": summary.wall_seconds,
+            "trials_per_second": summary.trials_per_second,
+        },
+        "trials": [
+            {
+                "id": r.trial_id,
+                "outcome": r.outcome,
+                "steps": r.steps,
+                "latency": r.latency,
+                "entries": r.entries,
+                "faults": r.faults,
+                "digest": r.digest,
+            }
+            for r in results
+        ],
+    }
+
+
+def write_artifact(path: str | Path, payload: dict) -> None:
+    """Write a campaign artifact as pretty-printed JSON."""
+    Path(path).write_text(json.dumps(payload, indent=2) + "\n")

@@ -1,6 +1,7 @@
 """Command-line interface: ``python -m repro <command>``.
 
-Four commands cover the common workflows without writing any Python:
+A handful of commands cover the common workflows without writing any
+Python:
 
 ``run``
     Simulate a TME system (optionally wrapped, optionally under the
@@ -17,6 +18,12 @@ Four commands cover the common workflows without writing any Python:
     Run the unified exploration engine over a TME system's global (or one
     process's local) state space and print the full
     :class:`~repro.explore.ExplorationStats` instrumentation.
+
+``campaign``
+    Run a parallel Monte-Carlo fault-injection campaign
+    (:mod:`repro.campaign`): seeded randomized trials, convergence-latency
+    distribution, JSON artifact, plus ``--replay``/``--shrink`` for
+    bit-for-bit trial reproduction and counterexample minimization.
 
 Everything is seeded; identical invocations produce identical output.
 """
@@ -39,6 +46,7 @@ EXPERIMENTS: dict[str, tuple[str, str]] = {
     "E12": ("experiment_synthesis", "automatic wrapper synthesis"),
     "E13": ("experiment_fifo_ablation", "FIFO assumption ablation"),
     "E14": ("experiment_refinement", "basic vs refined wrapper"),
+    "E16": ("experiment_campaign", "Monte-Carlo convergence-latency campaign"),
 }
 
 
@@ -136,6 +144,99 @@ def build_parser() -> argparse.ArgumentParser:
             "group for ra/ra-count/lamport, ring rotations for token, "
             "peer permutations with --local (default: off, exact space)"
         ),
+    )
+
+    campaign = sub.add_parser(
+        "campaign",
+        help="run a parallel Monte-Carlo fault-injection campaign",
+    )
+    campaign.add_argument(
+        "--algorithm",
+        default="ra",
+        choices=["ra", "ra-count", "lamport", "token"],
+    )
+    campaign.add_argument("--n", type=int, default=8, help="number of processes")
+    campaign.add_argument("--trials", type=int, default=100)
+    campaign.add_argument(
+        "--root-seed",
+        type=int,
+        default=0,
+        help="root of the hierarchical per-trial seed derivation",
+    )
+    campaign.add_argument(
+        "--theta",
+        type=int,
+        default=4,
+        help="wrapper W' timeout (ignored with --bare)",
+    )
+    campaign.add_argument(
+        "--bare",
+        action="store_true",
+        help="run the bare algorithm, no wrapper",
+    )
+    campaign.add_argument(
+        "--faults",
+        nargs=2,
+        type=int,
+        metavar=("START", "STOP"),
+        default=(40, 160),
+        help="fault window in steps (default 40 160)",
+    )
+    campaign.add_argument(
+        "--fault-scale",
+        type=float,
+        default=1.0,
+        help="scale the standard per-step fault rates by this factor",
+    )
+    campaign.add_argument(
+        "--confirm-window",
+        type=int,
+        default=None,
+        help="legitimacy confirmation window (default: scales with n)",
+    )
+    campaign.add_argument(
+        "--max-steps",
+        type=int,
+        default=None,
+        help="per-trial step budget (default: scales with the window)",
+    )
+    campaign.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="worker processes (1 = in-process serial)",
+    )
+    campaign.add_argument(
+        "--trial-timeout",
+        type=float,
+        default=None,
+        help="wall-clock seconds per trial before it is killed",
+    )
+    campaign.add_argument(
+        "--json",
+        metavar="PATH",
+        default=None,
+        help="write the campaign artifact (spec + per-trial results) here",
+    )
+    campaign.add_argument(
+        "--replay",
+        type=int,
+        metavar="ID",
+        default=None,
+        help="replay one trial id from its recorded decisions and verify "
+        "the digest matches the free run",
+    )
+    campaign.add_argument(
+        "--shrink",
+        type=int,
+        metavar="ID",
+        default=None,
+        help="delta-debug one failing trial id to a minimal counterexample",
+    )
+    campaign.add_argument(
+        "--require-full-convergence",
+        action="store_true",
+        help="exit nonzero unless every trial converges (CI gate)",
     )
 
     listing = sub.add_parser("list", help="list available experiments")
@@ -261,6 +362,100 @@ def _cmd_explore(args: argparse.Namespace) -> int:
     return 0
 
 
+def _campaign_spec(args: argparse.Namespace):
+    from repro.campaign import CampaignSpec, FaultRates
+
+    start, stop = args.faults
+    return CampaignSpec(
+        algorithm=args.algorithm,
+        n=args.n,
+        root_seed=args.root_seed,
+        theta=None if args.bare else args.theta,
+        fault_start=start,
+        fault_stop=stop,
+        rates=FaultRates().scaled(args.fault_scale),
+        confirm_window=args.confirm_window,
+        max_steps=args.max_steps,
+    )
+
+
+def _cmd_campaign(args: argparse.Namespace) -> int:
+    import time
+
+    from repro.campaign import (
+        artifact,
+        replay_trial,
+        run_campaign,
+        run_trial,
+        shrink_trial,
+        summarize,
+        write_artifact,
+    )
+
+    spec = _campaign_spec(args)
+
+    if args.replay is not None:
+        free = run_trial(spec, args.replay, keep_decisions="always")
+        scripted = replay_trial(spec, args.replay, free.decisions)
+        match = free.digest == scripted.digest
+        print(
+            f"trial {args.replay}: free {free.outcome} "
+            f"({free.steps} steps, digest {free.digest[:16]}...)"
+        )
+        print(
+            f"scripted replay: {scripted.outcome} "
+            f"(digest {scripted.digest[:16]}...) -> "
+            f"{'MATCH' if match else 'MISMATCH'}"
+        )
+        return 0 if match else 1
+
+    if args.shrink is not None:
+        try:
+            result = shrink_trial(spec, args.shrink)
+        except ValueError as exc:
+            print(f"cannot shrink: {exc}")
+            return 2
+        print(result.render(spec))
+        return 0
+
+    label = "bare" if spec.theta is None else f"W'(theta={spec.theta})"
+    print(
+        f"campaign: {spec.algorithm} n={spec.n} {label} "
+        f"x{args.trials} trials, root_seed={spec.root_seed}, "
+        f"faults [{spec.fault_start},{spec.fault_stop}), "
+        f"workers={args.workers}"
+    )
+    started = time.perf_counter()
+    done = 0
+
+    def progress(result) -> None:
+        nonlocal done
+        done += 1
+        if done % 50 == 0 or done == args.trials:
+            print(f"  {done}/{args.trials} trials done", flush=True)
+
+    results = run_campaign(
+        spec,
+        args.trials,
+        workers=args.workers,
+        trial_timeout=args.trial_timeout,
+        on_result=progress,
+    )
+    summary = summarize(results, time.perf_counter() - started)
+    print(summary.describe())
+    failing = [r.trial_id for r in results if not r.converged]
+    if failing:
+        shown = ", ".join(str(i) for i in failing[:10])
+        more = "" if len(failing) <= 10 else f" (+{len(failing) - 10} more)"
+        print(f"failing trials: {shown}{more}  (use --shrink ID to minimize)")
+    if args.json is not None:
+        write_artifact(args.json, artifact(spec, results, summary))
+        print(f"artifact written to {args.json}")
+    if args.require_full_convergence and failing:
+        return 1
+    return 0
+
+
 def _cmd_list() -> int:
     for exp_id in sorted(EXPERIMENTS, key=lambda e: int(e[1:])):
         _fn, title = EXPERIMENTS[exp_id]
@@ -279,6 +474,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _cmd_figure1()
     if args.command == "explore":
         return _cmd_explore(args)
+    if args.command == "campaign":
+        return _cmd_campaign(args)
     if args.command == "list":
         return _cmd_list()
     raise AssertionError(f"unhandled command {args.command!r}")

@@ -58,3 +58,31 @@ def fault_F(state: str) -> str:
     """The transient state-corruption fault of Figure 1: it perturbs the
     initial state ``s0`` to ``s*`` (identity elsewhere)."""
     return S_STAR if state == S0 else state
+
+
+def render_counterexample(
+    title: str,
+    decisions: "list[str] | tuple[str, ...]",
+    verdict: str,
+    notes: "tuple[str, ...]" = (),
+) -> str:
+    """A counterexample as text: a titled, numbered decision list plus the
+    verdict it witnesses.
+
+    Figure 1 above is the paper's counterexample rendered as code; this is
+    the campaign's rendered as text -- a minimal sequence of scheduler and
+    fault decisions witnessing that a claimed property (here: convergence)
+    does not hold.
+    """
+    width = len(str(len(decisions))) if decisions else 1
+    lines = [f"counterexample: {title}", "-" * (16 + len(title))]
+    if decisions:
+        lines.extend(
+            f"  {i:>{width}}. {decision}"
+            for i, decision in enumerate(decisions, 1)
+        )
+    else:
+        lines.append("  (no decisions: the failure needs no faults at all)")
+    lines.append(f"verdict: {verdict}")
+    lines.extend(f"note: {note}" for note in notes)
+    return "\n".join(lines)

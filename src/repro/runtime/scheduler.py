@@ -70,12 +70,22 @@ class RandomScheduler(Scheduler):
 
     ``deliver_bias`` > 1 favours message delivery over internal actions
     (shorter message delays), < 1 lengthens delays.
+
+    ``rng`` is required and may be a :class:`random.Random` or an int seed
+    -- never an unseeded RNG.  Every run in this repo must be reproducible
+    from its seeds alone, so constructing a scheduler on wall-clock
+    entropy is a bug by policy.
     """
 
-    def __init__(self, rng: random.Random, deliver_bias: float = 1.0):
+    def __init__(self, rng: random.Random | int, deliver_bias: float = 1.0):
         if deliver_bias <= 0:
             raise ValueError("deliver_bias must be positive")
-        self._rng = rng
+        if isinstance(rng, bool) or not isinstance(rng, (random.Random, int)):
+            raise TypeError(
+                "rng must be a random.Random or an int seed; an unseeded "
+                "scheduler would make runs irreproducible"
+            )
+        self._rng = random.Random(rng) if isinstance(rng, int) else rng
         self._deliver_bias = deliver_bias
 
     def choose(self, candidates: Sequence[Step], step_index: int) -> Step:
@@ -89,7 +99,9 @@ class RandomScheduler(Scheduler):
         return self._rng.choices(ordered, weights=weights, k=1)[0]
 
     def fork(self) -> "RandomScheduler":
-        rng = random.Random()
+        # The seed is irrelevant (setstate overwrites it), but an explicit
+        # one keeps the repo free of unseeded random.Random() calls.
+        rng = random.Random(0)
         rng.setstate(self._rng.getstate())
         return RandomScheduler(rng, self._deliver_bias)
 

@@ -23,9 +23,9 @@
 from __future__ import annotations
 
 import itertools
-import random
 from dataclasses import dataclass, field
 
+from repro.campaign.seeds import FAULTS_STREAM, SCHEDULER_STREAM, spawn_rng
 from repro.clocks.timestamps import Timestamp
 from repro.faults.state_faults import ImproperInitialization
 from repro.runtime.scheduler import RandomScheduler
@@ -78,15 +78,19 @@ def everywhere_implements_lspec(
     """Monitor all Lspec clauses on fault-free runs from corrupted starts."""
     report = EverywhereReport(algorithm)
     for r in range(runs):
-        run_seed = seed * 10_000 + r
-        rng = random.Random(run_seed)
+        # Hierarchical derivation (repro.campaign.seeds): the injector and
+        # scheduler get independent streams from (seed, run), instead of
+        # the old ad-hoc `run_seed` / `run_seed + 1` pair whose streams
+        # could collide across neighbouring runs.
         programs = tme_programs(algorithm, n, client, wrapper)
         injector = ImproperInitialization(
-            rng, scramble_tme_state, garbage_channel_filler
+            spawn_rng(seed, "refinement", r, FAULTS_STREAM),
+            scramble_tme_state,
+            garbage_channel_filler,
         )
         sim = Simulator(
             programs,
-            RandomScheduler(random.Random(run_seed + 1)),
+            RandomScheduler(spawn_rng(seed, "refinement", r, SCHEDULER_STREAM)),
             fault_hook=injector,
         )
         trace = sim.run(steps)

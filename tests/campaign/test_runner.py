@@ -1,0 +1,88 @@
+"""The campaign runner: parity, streaming, crash and timeout containment."""
+
+import multiprocessing
+import os
+import time
+
+import pytest
+
+from repro.campaign import CampaignSpec, run_campaign, run_trial
+from repro.campaign.runner import summarize_outcomes
+
+SPEC = CampaignSpec(
+    algorithm="ra",
+    n=3,
+    root_seed=5,
+    fault_start=10,
+    fault_stop=40,
+    confirm_window=80,
+    max_steps=600,
+)
+
+fork_only = pytest.mark.skipif(
+    "fork" not in multiprocessing.get_all_start_methods(),
+    reason="campaign fan-out requires the fork start method",
+)
+
+
+class TestSerial:
+    def test_results_ordered_by_trial_id(self):
+        results = run_campaign(SPEC, 5)
+        assert [r.trial_id for r in results] == list(range(5))
+
+    def test_zero_trials(self):
+        assert run_campaign(SPEC, 0) == []
+
+    def test_negative_trials_rejected(self):
+        with pytest.raises(ValueError):
+            run_campaign(SPEC, -1)
+
+    def test_streams_results(self):
+        seen = []
+        run_campaign(SPEC, 3, on_result=lambda r: seen.append(r.trial_id))
+        assert sorted(seen) == [0, 1, 2]
+
+
+@fork_only
+class TestParallel:
+    def test_parallel_matches_serial_digests(self):
+        serial = run_campaign(SPEC, 6, workers=1)
+        parallel = run_campaign(SPEC, 6, workers=3)
+        assert [r.digest for r in serial] == [r.digest for r in parallel]
+        assert [r.outcome for r in serial] == [r.outcome for r in parallel]
+
+    def test_worker_crash_fails_only_its_trial(self):
+        def crashy(spec, trial_id):
+            if trial_id == 1:
+                os._exit(17)  # simulate a segfault/OOM-kill
+            return run_trial(spec, trial_id)
+
+        results = run_campaign(SPEC, 4, workers=2, trial_fn=crashy)
+        by_id = {r.trial_id: r for r in results}
+        assert by_id[1].outcome == "crashed"
+        assert "17" in by_id[1].detail
+        assert all(by_id[i].outcome == "converged" for i in (0, 2, 3))
+
+    def test_hung_worker_times_out(self):
+        def sleepy(spec, trial_id):
+            if trial_id == 0:
+                time.sleep(60)
+            return run_trial(spec, trial_id)
+
+        started = time.monotonic()
+        results = run_campaign(
+            SPEC, 2, workers=2, trial_timeout=1.0, trial_fn=sleepy
+        )
+        assert time.monotonic() - started < 30
+        by_id = {r.trial_id: r for r in results}
+        assert by_id[0].outcome == "timeout"
+        assert by_id[1].outcome == "converged"
+
+
+class TestSummarizeOutcomes:
+    def test_counts_and_order(self):
+        results = run_campaign(SPEC, 3)
+        assert summarize_outcomes(results) == {"converged": 3}
+
+    def test_empty(self):
+        assert summarize_outcomes([]) == {}

@@ -1,0 +1,67 @@
+"""The hierarchical seed scheme: stable, collision-free, process-portable."""
+
+from repro.campaign.seeds import (
+    FAULTS_STREAM,
+    SCHEDULER_STREAM,
+    derive_seed,
+    spawn_rng,
+)
+
+
+class TestDeriveSeed:
+    def test_deterministic(self):
+        assert derive_seed(7, 3, "x") == derive_seed(7, 3, "x")
+
+    def test_pinned_values(self):
+        # String seeding goes through SHA-512, not hash(): these values
+        # must hold in every process regardless of PYTHONHASHSEED.  If
+        # this test fails, every recorded root seed in every artifact is
+        # invalidated -- do not "fix" it by updating the constants.
+        assert derive_seed(0, 0, SCHEDULER_STREAM) == 15642976401613034503
+        assert derive_seed(42, 7, FAULTS_STREAM) == 5152353297227040245
+
+    def test_distinct_across_path_components(self):
+        seeds = {
+            derive_seed(0, 0, SCHEDULER_STREAM),
+            derive_seed(0, 0, FAULTS_STREAM),
+            derive_seed(0, 1, SCHEDULER_STREAM),
+            derive_seed(1, 0, SCHEDULER_STREAM),
+            derive_seed(0, 0, 0, SCHEDULER_STREAM),
+        }
+        assert len(seeds) == 5
+
+    def test_no_adjacent_trial_collisions(self):
+        # The ad-hoc `run_seed + 1` scheme this replaces made trial r's
+        # second stream equal trial r+1's first; the derived scheme must
+        # never alias streams across neighbouring trials.
+        seeds = [
+            derive_seed(0, trial, stream)
+            for trial in range(200)
+            for stream in (SCHEDULER_STREAM, FAULTS_STREAM)
+        ]
+        assert len(set(seeds)) == len(seeds)
+
+
+class TestSpawnRng:
+    def test_same_path_same_stream(self):
+        a = spawn_rng(5, 1, SCHEDULER_STREAM)
+        b = spawn_rng(5, 1, SCHEDULER_STREAM)
+        assert [a.random() for _ in range(20)] == [
+            b.random() for _ in range(20)
+        ]
+
+    def test_different_streams_diverge(self):
+        a = spawn_rng(5, 1, SCHEDULER_STREAM)
+        b = spawn_rng(5, 1, FAULTS_STREAM)
+        assert [a.random() for _ in range(5)] != [
+            b.random() for _ in range(5)
+        ]
+
+    def test_streams_independent_of_consumption_order(self):
+        # Drawing from one stream must not shift another (the defect of
+        # sharing one RNG between scheduler and injector).
+        a = spawn_rng(5, 1, SCHEDULER_STREAM)
+        spawn_rng(5, 1, FAULTS_STREAM).random()
+        b = spawn_rng(5, 1, SCHEDULER_STREAM)
+        a.random()
+        assert a.random() == [b.random() for _ in range(2)][1]

@@ -1,0 +1,121 @@
+"""ddmin and trial shrinking: minimality, budgets, render."""
+
+import dataclasses
+
+import pytest
+
+from repro.campaign import (
+    CampaignSpec,
+    FaultRates,
+    ddmin,
+    is_locally_minimal,
+    run_trial,
+    shrink_trial,
+)
+from repro.campaign.record import FaultDecision, SchedDecision
+
+# Bare RA on a 2-ring with loss-only faults: lost requests deadlock the
+# system, so failing trials exist and shrink to just the essential losses.
+DEADLOCKY = CampaignSpec(
+    algorithm="ra",
+    n=2,
+    root_seed=3,
+    theta=None,
+    fault_start=5,
+    fault_stop=25,
+    rates=FaultRates(
+        loss=0.9, duplication=0.0, corruption=0.0, state_corruption=0.0
+    ),
+    confirm_window=60,
+    max_steps=400,
+)
+
+
+def _failing_trial_id() -> int:
+    for trial_id in range(20):
+        if not run_trial(DEADLOCKY, trial_id).converged:
+            return trial_id
+    raise AssertionError("fixture spec produced no failing trial")
+
+
+class TestDdmin:
+    def test_isolates_the_failing_pair(self):
+        fails = lambda s: {3, 7} <= set(s)  # noqa: E731
+        minimal, complete = ddmin(list(range(10)), fails)
+        assert sorted(minimal) == [3, 7]
+        assert complete
+
+    def test_single_culprit(self):
+        minimal, complete = ddmin(list(range(32)), lambda s: 19 in s)
+        assert minimal == [19]
+        assert complete
+
+    def test_requires_failing_start(self):
+        with pytest.raises(ValueError):
+            ddmin([1, 2, 3], lambda s: False)
+
+    def test_probe_budget_stops_early(self):
+        minimal, complete = ddmin(
+            list(range(64)), lambda s: {5, 40} <= set(s), max_probes=3
+        )
+        assert not complete
+        assert {5, 40} <= set(minimal)  # still failing, just not minimal
+
+    def test_preserves_order(self):
+        minimal, _complete = ddmin(
+            list(range(10)), lambda s: {8, 2} <= set(s)
+        )
+        assert minimal == [2, 8]
+
+
+class TestShrinkTrial:
+    def test_shrinks_to_locally_minimal_fault_set(self):
+        trial_id = _failing_trial_id()
+        result = shrink_trial(DEADLOCKY, trial_id)
+        assert result.complete
+        assert len(result.minimal) < len(result.original)
+        assert not result.final.converged
+        assert is_locally_minimal(DEADLOCKY, trial_id, result.minimal)
+        # Deadlock-by-lost-request needs lost messages to stay lost:
+        # the minimal witness must retain at least one fault decision.
+        assert any(isinstance(d, FaultDecision) for d in result.minimal)
+
+    def test_rejects_passing_trial(self):
+        gentle = dataclasses.replace(DEADLOCKY, rates=FaultRates(0, 0, 0, 0))
+        result = run_trial(gentle, 0)
+        assert result.converged
+        with pytest.raises(ValueError, match="nothing to shrink"):
+            shrink_trial(gentle, 0, result)
+
+    def test_render_mentions_decisions_and_verdict(self):
+        trial_id = _failing_trial_id()
+        result = shrink_trial(DEADLOCKY, trial_id)
+        text = result.render(DEADLOCKY)
+        assert "counterexample" in text
+        assert "diverged" in text
+        assert "1-minimal" in text
+        for decision in result.minimal:
+            assert decision.describe() in text
+
+
+class TestIsLocallyMinimal:
+    def test_rejects_non_failing_list(self):
+        trial_id = _failing_trial_id()
+        assert not is_locally_minimal(DEADLOCKY, trial_id, [])
+
+    def test_rejects_padded_list(self):
+        # A minimal list plus one redundant schedule decision is no longer
+        # locally minimal: that decision can be removed without passing.
+        trial_id = _failing_trial_id()
+        minimal = list(shrink_trial(DEADLOCKY, trial_id).minimal)
+        full = run_trial(
+            DEADLOCKY, trial_id, keep_decisions="always"
+        ).decisions
+        spare = next(
+            d
+            for d in full
+            if isinstance(d, SchedDecision) and d not in set(minimal)
+        )
+        assert not is_locally_minimal(
+            DEADLOCKY, trial_id, minimal + [spare]
+        )

@@ -1,0 +1,106 @@
+"""Statistics and artifacts: quantiles, summaries, JSON round-trip."""
+
+import json
+
+import pytest
+
+from repro.campaign import (
+    CampaignSpec,
+    artifact,
+    ecdf,
+    quantile,
+    run_campaign,
+    summarize,
+    write_artifact,
+)
+from repro.campaign.runner import _failed
+from repro.campaign.stats import LatencySummary
+
+SPEC = CampaignSpec(
+    algorithm="ra",
+    n=3,
+    root_seed=9,
+    fault_start=10,
+    fault_stop=40,
+    confirm_window=80,
+    max_steps=600,
+)
+
+
+class TestQuantile:
+    def test_median_of_odd_sample(self):
+        assert quantile([3, 1, 2], 0.5) == 2
+
+    def test_interpolates(self):
+        assert quantile([0, 10], 0.25) == 2.5
+
+    def test_extremes(self):
+        values = [5, 1, 9, 3]
+        assert quantile(values, 0.0) == 1
+        assert quantile(values, 1.0) == 9
+
+    def test_singleton(self):
+        assert quantile([7], 0.95) == 7.0
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            quantile([], 0.5)
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            quantile([1], 1.5)
+
+
+class TestEcdf:
+    def test_monotone_and_spans_sample(self):
+        points = ecdf([4, 2, 8, 6], points=5)
+        values = [v for v, _p in points]
+        probs = [p for _v, p in points]
+        assert values == sorted(values)
+        assert probs == [0.0, 0.25, 0.5, 0.75, 1.0]
+        assert values[0] == 2 and values[-1] == 8
+
+    def test_empty(self):
+        assert ecdf([]) == []
+
+
+class TestSummarize:
+    def test_full_convergence(self):
+        results = run_campaign(SPEC, 5)
+        summary = summarize(results, wall_seconds=2.0)
+        assert summary.trials == 5
+        assert summary.convergence_rate == 1.0
+        assert summary.outcomes == {"converged": 5}
+        assert summary.latency.count == 5
+        assert summary.trials_per_second == 2.5
+        assert "convergence: 100.0%" in summary.describe()
+
+    def test_mixed_outcomes(self):
+        results = list(run_campaign(SPEC, 2))
+        results.append(_failed(2, "crashed", 0.0, "boom"))
+        summary = summarize(results, wall_seconds=1.0)
+        assert summary.convergence_rate == pytest.approx(2 / 3)
+        assert summary.outcomes["crashed"] == 1
+        assert summary.latency.count == 2
+
+    def test_empty_campaign(self):
+        summary = summarize([], wall_seconds=0.0)
+        assert summary.trials == 0
+        assert summary.convergence_rate == 0.0
+        assert summary.latency == LatencySummary.of([])
+
+
+class TestArtifact:
+    def test_json_round_trip(self, tmp_path):
+        results = run_campaign(SPEC, 3)
+        summary = summarize(results, wall_seconds=1.0)
+        payload = artifact(SPEC, results, summary)
+        path = tmp_path / "BENCH_campaign.json"
+        write_artifact(path, payload)
+        loaded = json.loads(path.read_text())
+        assert loaded == payload
+        assert loaded["spec"]["algorithm"] == "ra"
+        assert loaded["spec"]["rates"]["loss"] == SPEC.rates.loss
+        assert len(loaded["trials"]) == 3
+        assert all(t["digest"] for t in loaded["trials"])
+        assert loaded["summary"]["convergence_rate"] == 1.0

@@ -1,0 +1,172 @@
+"""The single-trial runner: determinism, replay parity, the monitor."""
+
+import dataclasses
+
+import pytest
+
+from repro.campaign import (
+    CampaignSpec,
+    FaultDecision,
+    FaultRates,
+    SchedDecision,
+    replay_trial,
+    run_trial,
+)
+from repro.campaign.faults import LoseMessage
+from repro.campaign.record import RecordingScheduler, ScriptedScheduler
+from repro.campaign.trial import canonical_repr
+from repro.runtime.scheduler import InternalStep
+
+FAST = CampaignSpec(
+    algorithm="ra",
+    n=3,
+    root_seed=11,
+    fault_start=10,
+    fault_stop=40,
+    confirm_window=80,
+    max_steps=600,
+)
+
+
+class TestSpecValidation:
+    def test_rejects_inverted_window(self):
+        with pytest.raises(ValueError):
+            CampaignSpec(fault_start=10, fault_stop=5)
+
+    def test_defaults_scale_with_n(self):
+        small = CampaignSpec(n=4)
+        large = CampaignSpec(n=32)
+        assert large.effective_confirm_window > small.effective_confirm_window
+        assert large.effective_max_steps > small.effective_max_steps
+
+    def test_explicit_budgets_win(self):
+        spec = CampaignSpec(confirm_window=77, max_steps=555)
+        assert spec.effective_confirm_window == 77
+        assert spec.effective_max_steps == 555
+
+
+class TestDeterminism:
+    def test_same_root_seed_identical_trace(self):
+        a = run_trial(FAST, 0)
+        b = run_trial(FAST, 0)
+        assert a.digest == b.digest
+        assert a == b or dataclasses.replace(
+            a, wall_seconds=0.0, wall_latency=None
+        ) == dataclasses.replace(b, wall_seconds=0.0, wall_latency=None)
+
+    def test_trial_ids_give_distinct_traces(self):
+        digests = {run_trial(FAST, i).digest for i in range(4)}
+        assert len(digests) == 4
+
+    def test_root_seeds_give_distinct_traces(self):
+        other = dataclasses.replace(FAST, root_seed=12)
+        assert run_trial(FAST, 0).digest != run_trial(other, 0).digest
+
+    def test_converged_trial_measures_latency(self):
+        result = run_trial(FAST, 0)
+        assert result.converged
+        assert result.latency is not None and result.latency >= 0
+        assert result.wall_latency is not None
+        assert result.entries > 0
+        assert result.steps <= FAST.effective_max_steps
+
+
+class TestReplayParity:
+    def test_full_replay_reproduces_digest(self):
+        free = run_trial(FAST, 2, keep_decisions="always")
+        scripted = replay_trial(FAST, 2, free.decisions)
+        assert scripted.digest == free.digest
+        assert scripted.outcome == free.outcome
+        assert scripted.steps == free.steps
+        assert scripted.faults == free.faults
+        assert "fallbacks=0 skipped_ops=0" in scripted.detail
+
+    def test_masking_changes_the_run(self):
+        free = run_trial(FAST, 2, keep_decisions="always")
+        fault_decisions = [
+            d for d in free.decisions if isinstance(d, FaultDecision)
+        ]
+        assert fault_decisions, "fixture trial dealt no faults"
+        masked = replay_trial(
+            FAST, 2, free.decisions, masked=[fault_decisions[0]]
+        )
+        assert masked.faults == free.faults - 1
+
+
+class TestKeepDecisions:
+    def test_failure_policy_drops_on_success(self):
+        assert run_trial(FAST, 0, keep_decisions="failure").decisions is None
+
+    def test_always_policy_keeps(self):
+        decisions = run_trial(FAST, 0, keep_decisions="always").decisions
+        assert decisions
+        assert any(isinstance(d, SchedDecision) for d in decisions)
+
+    def test_never_policy_drops(self):
+        assert run_trial(FAST, 0, keep_decisions="never").decisions is None
+
+
+class TestDivergenceDetection:
+    def test_lost_requests_diverge_bare_ra(self):
+        # Bare RA deadlocks when both requests of a 2-ring are lost; the
+        # monitor must report "diverged", not wait out the step budget's
+        # worth of convergence windows.
+        spec = CampaignSpec(
+            algorithm="ra",
+            n=2,
+            root_seed=3,
+            theta=None,
+            fault_start=5,
+            fault_stop=25,
+            rates=FaultRates(
+                loss=0.9, duplication=0.0, corruption=0.0, state_corruption=0.0
+            ),
+            confirm_window=60,
+            max_steps=400,
+        )
+        outcomes = {run_trial(spec, i).outcome for i in range(6)}
+        assert "diverged" in outcomes
+
+
+class TestCanonicalRepr:
+    def test_sets_are_order_free(self):
+        assert canonical_repr(frozenset({1, 2, 3})) == canonical_repr(
+            frozenset({3, 1, 2})
+        )
+
+    def test_dicts_are_key_ordered(self):
+        assert canonical_repr({"b": 1, "a": 2}) == canonical_repr(
+            {"a": 2, "b": 1}
+        )
+
+    def test_nested_structures(self):
+        value = {"k": (frozenset({"x", "y"}), [1, 2])}
+        assert canonical_repr(value) == canonical_repr(
+            {"k": (frozenset({"y", "x"}), [1, 2])}
+        )
+
+
+class TestScriptedScheduler:
+    def test_replays_recorded_choice(self):
+        a = InternalStep("p0", "act")
+        b = InternalStep("p1", "act")
+        sched = ScriptedScheduler([SchedDecision(0, b.key)])
+        assert sched.choose([a, b], 0) is b
+        assert sched.fallbacks == 0
+
+    def test_masked_or_missing_falls_back_to_least_key(self):
+        a = InternalStep("p0", "act")
+        b = InternalStep("p1", "act")
+        decision = SchedDecision(0, b.key)
+        sched = ScriptedScheduler([decision], masked=[decision])
+        assert sched.choose([b, a], 0) is a
+        assert sched.choose([b, a], 1) is a
+        assert sched.fallbacks == 2
+
+    def test_recording_wraps_and_logs(self):
+        log = []
+        inner = ScriptedScheduler([])
+        recording = RecordingScheduler(inner, log)
+        step = InternalStep("p0", "act")
+        assert recording.choose([step], 5) is step
+        assert log == [SchedDecision(5, step.key)]

@@ -88,3 +88,41 @@ class TestBudgeted:
         for i in range(5):
             budgeted.before_step(None, i)
         assert inner.calls == 1
+
+
+class TestWindowedEdgeCases:
+    def test_nested_windows_intersect(self):
+        # Windowed(Windowed(f, a, b), c, d) strikes exactly on the
+        # intersection [max(a, c), min(b, d)).
+        inner = AlwaysStrikes()
+        nested = Windowed(Windowed(inner, 2, 8), 4, 6)
+        hits = [bool(nested.before_step(None, i)) for i in range(10)]
+        assert hits == [i in (4, 5) for i in range(10)]
+
+    def test_nested_disjoint_windows_never_strike(self):
+        inner = AlwaysStrikes()
+        nested = Windowed(Windowed(inner, 0, 3), 5, 9)
+        assert all(not nested.before_step(None, i) for i in range(12))
+        assert inner.calls == 0
+
+    def test_inner_not_called_outside_window(self):
+        inner = AlwaysStrikes()
+        window = Windowed(inner, 2, 4)
+        for i in range(10):
+            window.before_step(None, i)
+        assert inner.calls == 2
+
+    def test_composite_of_windows_keeps_member_order(self):
+        # Composite order is by member position, not by window position.
+        late = Windowed(AlwaysStrikes("late"), 5, 10)
+        early = Windowed(AlwaysStrikes("early"), 0, 10)
+        combo = Composite([late, early])
+        assert combo.before_step(None, 7) == ["late@7", "early@7"]
+        assert combo.before_step(None, 2) == ["early@2"]
+
+    def test_windowed_composite_gates_all_members(self):
+        a, b = AlwaysStrikes("a"), AlwaysStrikes("b")
+        gated = Windowed(Composite([a, b]), 3, 5)
+        assert gated.before_step(None, 2) == []
+        assert gated.before_step(None, 3) == ["a@3", "b@3"]
+        assert a.calls == b.calls == 1

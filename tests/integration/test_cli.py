@@ -95,3 +95,71 @@ class TestCommands:
         assert main(["experiment", "E3", "--seeds", "1"]) == 0
         out = capsys.readouterr().out
         assert "recovered" in out
+
+
+class TestCampaignCommand:
+    FAST = [
+        "--n", "3",
+        "--trials", "4",
+        "--faults", "10", "40",
+        "--confirm-window", "80",
+        "--max-steps", "600",
+        "--root-seed", "7",
+    ]
+
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["campaign"])
+        assert args.algorithm == "ra"
+        assert args.n == 8
+        assert args.trials == 100
+        assert args.theta == 4 and not args.bare
+        assert tuple(args.faults) == (40, 160)
+
+    def test_campaign_reports_distribution(self, capsys):
+        assert main(["campaign", *self.FAST]) == 0
+        out = capsys.readouterr().out
+        assert "convergence: 100.0%" in out
+        assert "latency" in out
+
+    def test_campaign_json_artifact(self, capsys, tmp_path):
+        path = tmp_path / "BENCH_campaign.json"
+        code = main(
+            ["campaign", *self.FAST, "--json", str(path),
+             "--require-full-convergence"]
+        )
+        assert code == 0
+        import json
+
+        payload = json.loads(path.read_text())
+        assert payload["summary"]["outcomes"] == {"converged": 4}
+        assert len(payload["trials"]) == 4
+
+    def test_campaign_replay_matches(self, capsys):
+        assert main(["campaign", *self.FAST, "--replay", "2"]) == 0
+        assert "MATCH" in capsys.readouterr().out
+
+    def test_campaign_shrink_passing_trial_refused(self, capsys):
+        code = main(
+            ["campaign", *self.FAST, "--fault-scale", "0", "--shrink", "0"]
+        )
+        assert code == 2
+        assert "cannot shrink" in capsys.readouterr().out
+
+    def test_campaign_shrink_renders_counterexample(self, capsys):
+        code = main(
+            [
+                "campaign",
+                "--n", "2",
+                "--bare",
+                "--faults", "5", "25",
+                "--root-seed", "3",
+                "--fault-scale", "6",
+                "--confirm-window", "60",
+                "--max-steps", "400",
+                "--shrink", "1",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "counterexample" in out
+        assert "1-minimal" in out
