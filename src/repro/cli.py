@@ -25,6 +25,11 @@ Python:
     distribution, JSON artifact, plus ``--replay``/``--shrink`` for
     bit-for-bit trial reproduction and counterexample minimization.
 
+``lint``
+    Statically verify action purity, determinism, and graybox
+    non-interference (:mod:`repro.lint`); ``--dynamic`` adds the
+    instrumented cross-check run.
+
 Everything is seeded; identical invocations produce identical output.
 """
 
@@ -238,6 +243,51 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="exit nonzero unless every trial converges (CI gate)",
     )
+
+    lint = sub.add_parser(
+        "lint",
+        help="statically verify action purity, determinism, and "
+        "graybox non-interference",
+    )
+    lint.add_argument(
+        "targets",
+        nargs="*",
+        default=["tme"],
+        metavar="TARGET",
+        help="'tme' / src/repro/tme for the built-in catalog, or "
+        "module[:attr] / path/to/file.py exposing programs "
+        "(default: tme)",
+    )
+    lint.add_argument(
+        "--strict",
+        action="store_true",
+        help="exit nonzero on warnings, not just errors (CI gate)",
+    )
+    lint.add_argument(
+        "--json",
+        metavar="PATH",
+        default=None,
+        help="write the full report (findings, proofs, cross-checks) here",
+    )
+    lint.add_argument(
+        "--n", type=int, default=3, help="system size for the TME catalog"
+    )
+    lint.add_argument(
+        "--theta", type=int, default=4, help="wrapper timeout for the catalog"
+    )
+    lint.add_argument(
+        "--dynamic",
+        action="store_true",
+        help="also run the instrumented simulations and check "
+        "observed access sets against the static inference",
+    )
+    lint.add_argument(
+        "--steps",
+        type=int,
+        default=300,
+        help="simulation steps per dynamic cross-check",
+    )
+    lint.add_argument("--seed", type=int, default=0)
 
     listing = sub.add_parser("list", help="list available experiments")
     del listing
@@ -456,6 +506,29 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from repro.lint import run_lint
+
+    try:
+        report = run_lint(
+            args.targets,
+            n=args.n,
+            theta=args.theta,
+            dynamic=args.dynamic,
+            steps=args.steps,
+            seed=args.seed,
+        )
+    except ValueError as exc:
+        print(f"lint: {exc}")
+        return 2
+    print(report.render_text())
+    if args.json is not None:
+        with open(args.json, "w", encoding="utf-8") as fh:
+            fh.write(report.render_json())
+        print(f"report written to {args.json}")
+    return report.exit_code(strict=args.strict)
+
+
 def _cmd_list() -> int:
     for exp_id in sorted(EXPERIMENTS, key=lambda e: int(e[1:])):
         _fn, title = EXPERIMENTS[exp_id]
@@ -476,6 +549,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _cmd_explore(args)
     if args.command == "campaign":
         return _cmd_campaign(args)
+    if args.command == "lint":
+        return _cmd_lint(args)
     if args.command == "list":
         return _cmd_list()
     raise AssertionError(f"unhandled command {args.command!r}")

@@ -50,6 +50,10 @@ class Effect:
         """The empty effect (no updates, no sends)."""
         return Effect()
 
+    def writes(self) -> frozenset[str]:
+        """The variables this effect assigns (the runtime's write set)."""
+        return frozenset(self.updates)
+
     def merged_with(self, other: "Effect") -> "Effect":
         """Sequential merge: ``other``'s updates win; sends concatenate."""
         merged = dict(self.updates)
@@ -120,6 +124,31 @@ class GuardedAction:
         if not self.enabled(view):
             raise RuntimeError(f"action {self.name!r} executed while disabled")
         return self.body(view)
+
+    def reads(self) -> frozenset[str] | None:
+        """Statically inferred read set (variables + ``_``-meta), or ``None``
+        when inference cannot bound it.
+
+        Delegates to :mod:`repro.lint` so the runtime and the verifier share
+        one source of truth; reads routed through a published interface
+        adapter are *not* included (they belong to the adapter's Lspec
+        conformance, see :mod:`repro.lint.interference`).
+        """
+        from repro.lint import analyze_action
+
+        sets = analyze_action(self).sets
+        if sets.reads_unknown:
+            return None
+        return frozenset(sets.raw_reads | sets.meta_reads)
+
+    def writes(self) -> frozenset[str] | None:
+        """Statically inferred write set, or ``None`` when unbounded."""
+        from repro.lint import analyze_action
+
+        sets = analyze_action(self).sets
+        if sets.writes_unknown:
+            return None
+        return frozenset(sets.writes)
 
     def __repr__(self) -> str:
         kind = f", on={self.message_kind!r}" if self.message_kind else ""

@@ -54,6 +54,36 @@ class ProcessProgram:
         if len(names) != len(set(names)):
             raise ValueError(f"duplicate action names in program {self.name!r}")
 
+    def variables(self) -> frozenset[str]:
+        """The declared variable space (the corruptible state, Section 3.1)."""
+        return frozenset(self.initial_vars)
+
+    def validate_writes(self) -> None:
+        """Reject actions that write variables outside ``initial_vars``.
+
+        This closes the historic ``__post_init__`` gap: an undeclared write
+        would materialize a variable mid-run, changing snapshot shape and
+        hiding state from the fault model.  The check needs the static
+        inference of :mod:`repro.lint` (actions are opaque closures), so it
+        is explicit rather than part of construction -- campaigns build
+        thousands of programs per run.  ``python -m repro lint`` reports the
+        same violations as ``WRITE-UNDECLARED`` findings.
+        """
+        from repro.lint import analyze_action
+
+        declared = self.variables()
+        for act in self.actions + self.receive_actions:
+            sets = analyze_action(act).sets
+            if sets.writes_unknown:
+                continue  # unbounded writes are the lint's GRAY/INF domain
+            undeclared = sorted(sets.writes - declared)
+            if undeclared:
+                raise ValueError(
+                    f"action {act.name!r} of program {self.name!r} writes "
+                    f"undeclared variable(s) {undeclared}; declare them in "
+                    "initial_vars"
+                )
+
     def receive_action_for(self, kind: str) -> GuardedAction | None:
         """The receive handler registered for a message kind, if any."""
         for act in self.receive_actions:

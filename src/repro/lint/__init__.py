@@ -1,0 +1,68 @@
+"""repro.lint: static verification of the paper's action contracts.
+
+The runtime and the campaign engine (PRs 1-3) *assume* three properties of
+every guarded action, and the composition theorems add a fourth:
+
+1. **Purity** -- guards are predicates, bodies return Effects, nothing
+   mutates shared state in place (``Simulator.fork()`` is copy-on-write);
+2. **Determinism** -- same view, same effect: no wall clock, no unseeded
+   randomness, no hash-order iteration (campaign replay + shrinking);
+3. **Declared state** -- actions touch only variables in ``initial_vars``
+   (the fault model corrupts *declared* state; snapshots are shape-stable);
+4. **Graybox non-interference** -- the wrapper W writes only its own
+   variables and reads only the published Lspec interface (Lemma 6,
+   Theorems 4/5/8).
+
+This package checks all four *statically*, by abstract interpretation of
+the action functions' ASTs (sound over-approximation: when inference cannot
+bound an access set it says *unknown* and the proof fails loudly), and
+cross-checks the inference *dynamically* by running instrumented
+simulations whose observed access sets must stay inside the static ones.
+
+Entry point: ``python -m repro lint [target ...]`` or :func:`run_lint`.
+"""
+
+from repro.lint.dynamic import (
+    ActionObservation,
+    RecordingView,
+    cross_check,
+    instrument_program,
+)
+from repro.lint.findings import Finding, LintReport, Severity
+from repro.lint.inference import (
+    AccessSets,
+    ActionAnalysis,
+    Engine,
+    analyze_action,
+)
+from repro.lint.interference import (
+    InterferenceProof,
+    check_wrapper_interference,
+    tme_interference_proof,
+)
+from repro.lint.rules import Rule, default_rules, register_rule
+from repro.lint.runner import run_lint, tme_catalog
+from repro.lint.source import clear_caches
+
+__all__ = [
+    "AccessSets",
+    "ActionAnalysis",
+    "ActionObservation",
+    "Engine",
+    "Finding",
+    "InterferenceProof",
+    "LintReport",
+    "RecordingView",
+    "Rule",
+    "Severity",
+    "analyze_action",
+    "check_wrapper_interference",
+    "clear_caches",
+    "cross_check",
+    "default_rules",
+    "instrument_program",
+    "register_rule",
+    "run_lint",
+    "tme_catalog",
+    "tme_interference_proof",
+]

@@ -1,0 +1,183 @@
+"""Lint findings: rule identities, severities, locations, suppressions.
+
+A :class:`Finding` is one diagnosed violation of a paper contract, anchored
+to a source location (file, line, column) so editors and CI logs can jump
+to the definition site.  Findings can be silenced *at that site* with a
+justification comment::
+
+    deferred = view.deferred          # repro: lint-ok[DET-ORDER] sorted below
+
+A bare ``# repro: lint-ok`` suppresses every rule on that line; the
+bracketed form suppresses only the named rules (comma-separated).  The
+suppression is honoured where the finding points, or on the function's
+``def`` line to silence a rule for the whole function.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from collections.abc import Iterable
+from dataclasses import dataclass, field
+from enum import IntEnum
+from functools import lru_cache
+
+
+class Severity(IntEnum):
+    """Finding severities, ordered so ``max()`` picks the worst."""
+
+    INFO = 0
+    WARNING = 1
+    ERROR = 2
+
+    @property
+    def label(self) -> str:
+        return self.name.lower()
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    path: str
+    line: int
+    col: int
+    rule: str
+    severity: Severity
+    message: str
+    function: str = ""
+    action: str = ""
+
+    def render(self) -> str:
+        """``path:line:col: severity RULE message  [action]``."""
+        where = f"{self.path}:{self.line}:{self.col}"
+        ctx = f"  (action {self.action!r})" if self.action else ""
+        return f"{where}: {self.severity.label} [{self.rule}] {self.message}{ctx}"
+
+    def as_dict(self) -> dict:
+        return {
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "rule": self.rule,
+            "severity": self.severity.label,
+            "message": self.message,
+            "function": self.function,
+            "action": self.action,
+        }
+
+
+_SUPPRESS_RE = re.compile(
+    r"#\s*repro:\s*lint-ok(?:\[(?P<rules>[A-Z0-9_,\- ]+)\])?"
+)
+
+
+@lru_cache(maxsize=256)
+def _file_lines(path: str) -> tuple[str, ...]:
+    try:
+        with open(path, encoding="utf-8") as fh:
+            return tuple(fh.read().splitlines())
+    except OSError:
+        return ()
+
+
+def suppressed_rules(path: str, line: int) -> frozenset[str] | None:
+    """The rules suppressed on ``line`` of ``path``.
+
+    Returns ``None`` when there is no suppression comment, the empty
+    frozenset for a bare ``lint-ok`` (suppress everything), or the named
+    rule set for the bracketed form.
+    """
+    lines = _file_lines(path)
+    if not 1 <= line <= len(lines):
+        return None
+    match = _SUPPRESS_RE.search(lines[line - 1])
+    if match is None:
+        return None
+    rules = match.group("rules")
+    if rules is None:
+        return frozenset()
+    return frozenset(r.strip() for r in rules.split(",") if r.strip())
+
+
+def is_suppressed(finding: Finding, def_line: int | None = None) -> bool:
+    """Is ``finding`` silenced at its own line or the function header?"""
+    for line in {finding.line, def_line or finding.line}:
+        rules = suppressed_rules(finding.path, line)
+        if rules is not None and (not rules or finding.rule in rules):
+            return True
+    return False
+
+
+@dataclass
+class LintReport:
+    """The outcome of one lint run: findings plus what was proven."""
+
+    findings: list[Finding] = field(default_factory=list)
+    checked_actions: int = 0
+    checked_programs: int = 0
+    proofs: list[dict] = field(default_factory=list)
+    cross_checks: list[dict] = field(default_factory=list)
+
+    def extend(self, findings: Iterable[Finding]) -> None:
+        self.findings.extend(findings)
+
+    def unique_findings(self) -> list[Finding]:
+        """Deduplicated, location-sorted findings (one action's helpers can
+        be reached from several programs)."""
+        return sorted(set(self.findings))
+
+    def worst(self) -> Severity | None:
+        return max((f.severity for f in self.findings), default=None)
+
+    def counts(self) -> dict[str, int]:
+        out = {s.label: 0 for s in Severity}
+        for f in self.unique_findings():
+            out[f.severity.label] += 1
+        return out
+
+    def exit_code(self, strict: bool = False) -> int:
+        """0 clean; 1 on any error (or any warning under ``--strict``)."""
+        threshold = Severity.WARNING if strict else Severity.ERROR
+        worst = self.worst()
+        return 1 if worst is not None and worst >= threshold else 0
+
+    def render_text(self) -> str:
+        lines: list[str] = []
+        for f in self.unique_findings():
+            lines.append(f.render())
+        counts = self.counts()
+        lines.append(
+            f"lint: {self.checked_programs} programs, "
+            f"{self.checked_actions} actions checked -- "
+            f"{counts['error']} errors, {counts['warning']} warnings, "
+            f"{counts['info']} notes"
+        )
+        for proof in self.proofs:
+            status = "PROVEN" if proof["proven"] else "NOT PROVEN"
+            lines.append(
+                f"non-interference [{proof['program']}]: {status} "
+                f"(wrapper writes {sorted(proof['wrapper_writes'])}, "
+                f"interface reads {sorted(proof['interface_reads'])})"
+            )
+        for check in self.cross_checks:
+            status = "OK" if check["contained"] else "VIOLATED"
+            lines.append(
+                f"dynamic cross-check [{check['program']}]: {status} "
+                f"({check['steps']} steps, {check['actions_observed']} "
+                f"actions observed)"
+            )
+        return "\n".join(lines)
+
+    def as_dict(self) -> dict:
+        return {
+            "findings": [f.as_dict() for f in self.unique_findings()],
+            "counts": self.counts(),
+            "checked_actions": self.checked_actions,
+            "checked_programs": self.checked_programs,
+            "proofs": self.proofs,
+            "cross_checks": self.cross_checks,
+        }
+
+    def render_json(self) -> str:
+        return json.dumps(self.as_dict(), indent=2, sort_keys=True)

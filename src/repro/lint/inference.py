@@ -1,0 +1,985 @@
+"""Read/write-set inference for guarded actions.
+
+The paper's side conditions are *set-theoretic*: the wrapper's write set
+must be disjoint from the implementation's variables (Lemma 6 / Theorem 8),
+its read set must stay inside the published Lspec interface, and every
+action must be a pure function of its :class:`~repro.dsl.guards.LocalView`.
+This module infers those sets statically by abstract interpretation of the
+guard/body ASTs:
+
+* attribute and subscript access on the view parameter become *reads*;
+* ``Effect({...})`` constructions (including dicts built up locally,
+  ``**helper()`` spreads, and ``dict.update`` calls) become *writes*;
+* calls into resolvable closure/global helpers are followed
+  interprocedurally (memoized, depth-capped);
+* calls into an *interface boundary* -- a callable annotated to return
+  :class:`~repro.tme.interfaces.LspecView`, i.e. a published adapter -- are
+  not followed: their result is interface-tainted, and attribute reads on
+  it are **interface reads**, checked against ``LSPEC_VARIABLES`` by the
+  interference checker.
+
+Everything the interpreter cannot resolve makes the affected set *unknown*
+(a sound over-approximation to ``everything``), with a note at the exact
+source location so the finding is actionable.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from enum import Enum
+from types import BuiltinFunctionType, FunctionType, ModuleType
+from typing import Any
+
+from repro.dsl.guards import Effect, GuardedAction, Send
+from repro.lint.source import FunctionInfo, function_info
+
+META_VARS = frozenset({"_pid", "_peers", "_msg", "_sender", "_msg_clock"})
+
+#: method names that mutate their receiver in place
+MUTATORS = frozenset(
+    {
+        "append",
+        "add",
+        "update",
+        "pop",
+        "remove",
+        "clear",
+        "extend",
+        "insert",
+        "setdefault",
+        "popitem",
+        "sort",
+        "reverse",
+        "discard",
+        "difference_update",
+        "intersection_update",
+        "symmetric_difference_update",
+    }
+)
+
+_MAX_DEPTH = 12
+
+
+class Taint(Enum):
+    """What an abstract value may alias."""
+
+    VIEW = "view"  # the LocalView parameter itself
+    VIEWDICT = "viewdict"  # view.as_dict() -- a *copy* of all variables
+    INTERFACE = "interface"  # an LspecView (adapter output)
+    STATE = "state"  # a value read off the view (possibly shared)
+
+
+@dataclass(frozen=True)
+class Note:
+    """A located remark attached to an inference result."""
+
+    path: str
+    line: int
+    col: int
+    kind: str  # escape | unknown-read | unknown-write | mutation | view-assign
+    message: str
+
+
+@dataclass
+class AccessSets:
+    """The inferred access sets of one function (or merged action)."""
+
+    raw_reads: set[str] = field(default_factory=set)
+    meta_reads: set[str] = field(default_factory=set)
+    interface_reads: set[str] = field(default_factory=set)
+    writes: set[str] = field(default_factory=set)
+    sends: bool = False
+    boundary_crossed: bool = False  # view handed to a published adapter
+    reads_unknown: bool = False
+    writes_unknown: bool = False
+    notes: list[Note] = field(default_factory=list)
+
+    def merge(self, other: "AccessSets") -> None:
+        self.raw_reads |= other.raw_reads
+        self.meta_reads |= other.meta_reads
+        self.interface_reads |= other.interface_reads
+        self.writes |= other.writes
+        self.sends = self.sends or other.sends
+        self.boundary_crossed = self.boundary_crossed or other.boundary_crossed
+        self.reads_unknown = self.reads_unknown or other.reads_unknown
+        self.writes_unknown = self.writes_unknown or other.writes_unknown
+        self.notes.extend(other.notes)
+
+    def as_dict(self) -> dict:
+        return {
+            "raw_reads": sorted(self.raw_reads),
+            "meta_reads": sorted(self.meta_reads),
+            "interface_reads": sorted(self.interface_reads),
+            "writes": sorted(self.writes) if not self.writes_unknown else None,
+            "sends": self.sends,
+            "boundary_crossed": self.boundary_crossed,
+            "reads_unknown": self.reads_unknown,
+            "writes_unknown": self.writes_unknown,
+        }
+
+
+_MISSING = object()
+
+#: sentinel for "dict with statically unknown keys"
+_UNKNOWN_KEYS = object()
+
+
+@dataclass
+class Value:
+    """Abstract value: taint + (optional) resolved object / dict keys."""
+
+    taint: Taint | None = None
+    obj: Any = _MISSING
+    keys: Any = None  # frozenset[str] | _UNKNOWN_KEYS | None
+    const: Any = _MISSING
+    is_effect: bool = False
+
+
+@dataclass
+class Summary:
+    """Memoized result of analyzing one function under one taint binding."""
+
+    sets: AccessSets
+    return_taint: Taint | None = None
+    return_keys: Any = None  # frozenset | _UNKNOWN_KEYS | None
+    returns_effect: bool = False
+    visited: list[FunctionInfo] = field(default_factory=list)
+
+
+class Engine:
+    """Shared memo/state for one lint run."""
+
+    def __init__(self) -> None:
+        self._memo: dict[tuple[int, tuple], Summary] = {}
+        self._in_progress: set[tuple[int, tuple]] = set()
+        self._pins: list[Any] = []  # keep fns alive so ids stay unique
+
+    def analyze(
+        self,
+        info: FunctionInfo,
+        param_taints: tuple[Taint | None, ...],
+        depth: int = 0,
+    ) -> Summary:
+        if info.fn is None or not info.resolved:
+            sets = AccessSets(reads_unknown=True, writes_unknown=True)
+            sets.notes.append(
+                Note(
+                    info.path,
+                    info.line or 1,
+                    0,
+                    "escape",
+                    f"cannot resolve source of {info.name!r}; "
+                    "read/write sets are unknown",
+                )
+            )
+            return Summary(sets=sets, visited=[info])
+        key = (id(info.fn), param_taints)
+        self._pins.append(info.fn)
+        cached = self._memo.get(key)
+        if cached is not None:
+            return cached
+        if key in self._in_progress or depth > _MAX_DEPTH:
+            sets = AccessSets(reads_unknown=True, writes_unknown=True)
+            sets.notes.append(
+                Note(
+                    info.path,
+                    info.line,
+                    0,
+                    "escape",
+                    f"recursion while analyzing {info.name!r}; "
+                    "sets over-approximated to unknown",
+                )
+            )
+            return Summary(sets=sets, visited=[info])
+        self._in_progress.add(key)
+        try:
+            analyzer = _Analyzer(self, info, param_taints, depth)
+            summary = analyzer.run()
+        finally:
+            self._in_progress.discard(key)
+        self._memo[key] = summary
+        return summary
+
+
+def _is_interface_boundary(obj: Any) -> bool:
+    """Is ``obj`` a published adapter (returns the Lspec interface)?
+
+    The convention is structural: any callable whose return annotation is
+    ``LspecView`` is an abstraction-function boundary.  Reads *behind* it
+    belong to the implementation's conformance claim, not to the caller.
+    """
+    annotations = getattr(obj, "__annotations__", None) or {}
+    ret = annotations.get("return")
+    if ret is None:
+        return False
+    name = getattr(ret, "__name__", None) or str(ret)
+    return "LspecView" in name
+
+
+def _const_str(node: ast.expr) -> str | None:
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        return node.value
+    return None
+
+
+#: order-insensitive / set-producing consumers (see rules.DET-ORDER too)
+_ORDER_SAFE_CALLS = frozenset(
+    {"sorted", "min", "max", "sum", "len", "all", "any", "set", "frozenset"}
+)
+
+
+class _Analyzer(ast.NodeVisitor):
+    """Abstract interpreter over one function body."""
+
+    def __init__(
+        self,
+        engine: Engine,
+        info: FunctionInfo,
+        param_taints: tuple[Taint | None, ...],
+        depth: int,
+    ) -> None:
+        self.engine = engine
+        self.info = info
+        self.depth = depth
+        self.sets = AccessSets()
+        self.env: dict[str, Value] = {}
+        self.return_taint: Taint | None = None
+        self.return_keys: Any = None
+        self.returns_effect = False
+        self.visited: list[FunctionInfo] = [info]
+        params = info.params
+        for i, name in enumerate(params):
+            taint = param_taints[i] if i < len(param_taints) else None
+            self.env[name] = Value(taint=taint)
+
+    # -- driving --------------------------------------------------------------
+
+    def run(self) -> Summary:
+        for stmt in self.info.body_statements():
+            self.exec_stmt(stmt)
+        return Summary(
+            sets=self.sets,
+            return_taint=self.return_taint,
+            return_keys=self.return_keys,
+            returns_effect=self.returns_effect,
+            visited=self.visited,
+        )
+
+    def note(self, node: ast.AST, kind: str, message: str) -> None:
+        self.sets.notes.append(
+            Note(
+                self.info.path,
+                getattr(node, "lineno", self.info.line),
+                getattr(node, "col_offset", 0),
+                kind,
+                message,
+            )
+        )
+
+    # -- statements -----------------------------------------------------------
+
+    def exec_stmt(self, stmt: ast.stmt) -> None:
+        if isinstance(stmt, ast.Return):
+            self._exec_return(stmt)
+        elif isinstance(stmt, ast.Assign):
+            value = self.eval(stmt.value)
+            for target in stmt.targets:
+                self._assign(target, value, stmt)
+        elif isinstance(stmt, ast.AnnAssign):
+            value = self.eval(stmt.value) if stmt.value is not None else Value()
+            self._assign(stmt.target, value, stmt)
+        elif isinstance(stmt, ast.AugAssign):
+            self.eval(stmt.value)
+            if isinstance(stmt.target, ast.Name):
+                old = self.env.get(stmt.target.id, Value())
+                if old.taint in (Taint.VIEW, Taint.VIEWDICT, Taint.STATE):
+                    # x += ... keeps aliasing for containers; over-approximate
+                    self.env[stmt.target.id] = Value(taint=old.taint)
+                else:
+                    self.env[stmt.target.id] = Value()
+            else:
+                self._assign(stmt.target, Value(), stmt)
+        elif isinstance(stmt, ast.Expr):
+            self.eval(stmt.value)
+        elif isinstance(stmt, ast.If):
+            self.eval(stmt.test)
+            for s in stmt.body + stmt.orelse:
+                self.exec_stmt(s)
+        elif isinstance(stmt, (ast.For, ast.AsyncFor)):
+            iter_value = self.eval(stmt.iter)
+            element = Value()
+            if iter_value.taint is Taint.VIEWDICT:
+                self.sets.reads_unknown = True
+                self.note(
+                    stmt.iter,
+                    "unknown-read",
+                    "iteration over view.as_dict() reads every variable",
+                )
+            self._assign(stmt.target, element, stmt)
+            for s in stmt.body + stmt.orelse:
+                self.exec_stmt(s)
+        elif isinstance(stmt, ast.While):
+            self.eval(stmt.test)
+            for s in stmt.body + stmt.orelse:
+                self.exec_stmt(s)
+        elif isinstance(stmt, ast.Try):
+            for s in stmt.body + stmt.orelse + stmt.finalbody:
+                self.exec_stmt(s)
+            for handler in stmt.handlers:
+                for s in handler.body:
+                    self.exec_stmt(s)
+        elif isinstance(stmt, ast.With):
+            for item in stmt.items:
+                self.eval(item.context_expr)
+            for s in stmt.body:
+                self.exec_stmt(s)
+        elif isinstance(stmt, (ast.Raise, ast.Assert)):
+            for child in ast.iter_child_nodes(stmt):
+                if isinstance(child, ast.expr):
+                    self.eval(child)
+        elif isinstance(stmt, ast.Delete):
+            for target in stmt.targets:
+                if isinstance(target, ast.Subscript):
+                    base = self.eval(target.value)
+                    if base.taint is Taint.STATE:
+                        self.note(
+                            stmt,
+                            "mutation",
+                            "del on a value read from the view mutates "
+                            "shared state in place",
+                        )
+        # FunctionDef / ClassDef / Import / pass / break / continue: nothing
+        # flows through them that the sets care about (a nested def is only
+        # analyzed if it is called, at which point name resolution fails
+        # soundly -> unknown).
+
+    def _exec_return(self, stmt: ast.Return) -> None:
+        if stmt.value is None:
+            return
+        value = self.eval(stmt.value)
+        if value.taint is not None:
+            self.return_taint = value.taint
+        if value.keys is not None:
+            if self.return_keys is None:
+                self.return_keys = value.keys
+            elif (
+                self.return_keys is not _UNKNOWN_KEYS
+                and value.keys is not _UNKNOWN_KEYS
+            ):
+                self.return_keys = frozenset(self.return_keys) | value.keys
+            else:
+                self.return_keys = _UNKNOWN_KEYS
+        if value.is_effect:
+            self.returns_effect = True
+
+    def _assign(self, target: ast.expr, value: Value, stmt: ast.stmt) -> None:
+        if isinstance(target, ast.Name):
+            self.env[target.id] = value
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            for elt in target.elts:
+                self._assign(elt, Value(), stmt)
+        elif isinstance(target, ast.Subscript):
+            base = self.eval(target.value)
+            if base.taint in (Taint.VIEW, Taint.INTERFACE):
+                self.note(
+                    target,
+                    "view-assign",
+                    "assignment into the view; actions must return updates "
+                    "in an Effect",
+                )
+            elif base.taint is Taint.STATE:
+                self.note(
+                    target,
+                    "mutation",
+                    "subscript assignment on a value read from the view "
+                    "mutates shared state in place",
+                )
+            elif isinstance(target.value, ast.Name):
+                # dict key tracking: updates["x"] = ...
+                slot = self.env.get(target.value.id)
+                if slot is not None and slot.keys is not None:
+                    key = _const_str(target.slice)
+                    if key is None:
+                        slot.keys = _UNKNOWN_KEYS
+                    elif slot.keys is not _UNKNOWN_KEYS:
+                        slot.keys = frozenset(slot.keys) | {key}
+            self.eval(target.slice)
+        elif isinstance(target, ast.Attribute):
+            base = self.eval(target.value)
+            if base.taint in (Taint.VIEW, Taint.INTERFACE):
+                self.note(
+                    target,
+                    "view-assign",
+                    "attribute assignment on the view; actions must return "
+                    "updates in an Effect",
+                )
+            elif base.taint is Taint.STATE:
+                self.note(
+                    target,
+                    "mutation",
+                    "attribute assignment on a value read from the view "
+                    "mutates shared state in place",
+                )
+        elif isinstance(target, ast.Starred):
+            self._assign(target.value, Value(), stmt)
+
+    # -- reads ----------------------------------------------------------------
+
+    def _record_view_read(self, name: str, node: ast.AST) -> Value:
+        if name in META_VARS or name.startswith("_"):
+            self.sets.meta_reads.add(name)
+        else:
+            self.sets.raw_reads.add(name)
+        return Value(taint=Taint.STATE)
+
+    def _record_interface_read(self, name: str, node: ast.AST) -> Value:
+        self.sets.interface_reads.add(name)
+        return Value(taint=Taint.STATE)
+
+    # -- expressions ----------------------------------------------------------
+
+    def eval(self, node: ast.expr | None) -> Value:
+        if node is None:
+            return Value()
+        method = getattr(self, f"_eval_{type(node).__name__}", None)
+        if method is not None:
+            return method(node)
+        # default: evaluate children for their reads
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, ast.expr):
+                self.eval(child)
+        return Value()
+
+    def _eval_Constant(self, node: ast.Constant) -> Value:
+        return Value(const=node.value)
+
+    def _eval_Name(self, node: ast.Name) -> Value:
+        if node.id in self.env:
+            return self.env[node.id]
+        found, obj = self.info.resolve_name(node.id)
+        if found:
+            return Value(obj=obj)
+        return Value()
+
+    def _eval_Attribute(self, node: ast.Attribute) -> Value:
+        base = self.eval(node.value)
+        return self._attribute_on(base, node.attr, node)
+
+    def _attribute_on(self, base: Value, attr: str, node: ast.AST) -> Value:
+        if base.taint is Taint.VIEW:
+            if attr == "as_dict":
+                return Value(obj=("method", Taint.VIEW, "as_dict"))
+            return self._record_view_read(attr, node)
+        if base.taint is Taint.VIEWDICT:
+            return Value(obj=("method", Taint.VIEWDICT, attr))
+        if base.taint is Taint.INTERFACE:
+            if attr in ("get", "items", "keys", "values", "copy"):
+                return Value(obj=("method", Taint.INTERFACE, attr))
+            return self._record_interface_read(attr, node)
+        if base.taint is Taint.STATE:
+            return Value(obj=("method", Taint.STATE, attr))
+        if base.obj is not _MISSING and isinstance(
+            base.obj, (ModuleType, type, FunctionType, BuiltinFunctionType)
+        ):
+            try:
+                resolved = getattr(base.obj, attr, _MISSING)
+            except Exception:
+                resolved = _MISSING
+            if resolved is not _MISSING:
+                return Value(obj=resolved)
+        return Value()
+
+    def _eval_Subscript(self, node: ast.Subscript) -> Value:
+        base = self.eval(node.value)
+        key = _const_str(node.slice)
+        if base.taint in (Taint.VIEW, Taint.VIEWDICT):
+            if key is None:
+                self.sets.reads_unknown = True
+                self.note(
+                    node,
+                    "unknown-read",
+                    "subscript on the view with a non-constant key; "
+                    "read set is unknown",
+                )
+                return Value(taint=Taint.STATE)
+            return self._record_view_read(key, node)
+        if base.taint is Taint.INTERFACE:
+            if key is None:
+                self.sets.reads_unknown = True
+                self.note(
+                    node,
+                    "unknown-read",
+                    "subscript on the Lspec view with a non-constant key",
+                )
+                return Value(taint=Taint.STATE)
+            return self._record_interface_read(key, node)
+        self.eval(node.slice)
+        if base.taint is Taint.STATE:
+            return Value(taint=Taint.STATE)
+        return Value()
+
+    def _eval_Compare(self, node: ast.Compare) -> Value:
+        left = self.eval(node.left)
+        for op, comparator in zip(node.ops, node.comparators):
+            right = self.eval(comparator)
+            if isinstance(op, (ast.In, ast.NotIn)) and right.taint in (
+                Taint.VIEW,
+                Taint.VIEWDICT,
+                Taint.INTERFACE,
+            ):
+                key = left.const if isinstance(left.const, str) else None
+                if key is None:
+                    self.sets.reads_unknown = True
+                    self.note(
+                        node,
+                        "unknown-read",
+                        "membership test on the view with a non-constant key",
+                    )
+                elif right.taint is Taint.INTERFACE:
+                    self._record_interface_read(key, node)
+                else:
+                    self._record_view_read(key, node)
+            left = right
+        return Value()
+
+    def _eval_BoolOp(self, node: ast.BoolOp) -> Value:
+        taint = None
+        for value in node.values:
+            v = self.eval(value)
+            taint = taint or v.taint
+        return Value(taint=taint)
+
+    def _eval_IfExp(self, node: ast.IfExp) -> Value:
+        self.eval(node.test)
+        a = self.eval(node.body)
+        b = self.eval(node.orelse)
+        return Value(
+            taint=a.taint or b.taint,
+            keys=a.keys if a.keys is not None else b.keys,
+            is_effect=a.is_effect or b.is_effect,
+        )
+
+    def _eval_Dict(self, node: ast.Dict) -> Value:
+        keys: Any = frozenset()
+        for key_node, value_node in zip(node.keys, node.values):
+            value = self.eval(value_node)
+            if key_node is None:  # **spread
+                spread_keys = value.keys
+                if spread_keys is None or spread_keys is _UNKNOWN_KEYS:
+                    keys = _UNKNOWN_KEYS
+                    if value.taint in (Taint.VIEW, Taint.VIEWDICT):
+                        pass  # spreading the whole view: handled by caller
+                    self.note(
+                        value_node,
+                        "unknown-write",
+                        "dict spread with statically unknown keys",
+                    )
+                elif keys is not _UNKNOWN_KEYS:
+                    keys = frozenset(keys) | spread_keys
+            else:
+                key = _const_str(key_node)
+                if key is None:
+                    self.eval(key_node)
+                    keys = _UNKNOWN_KEYS
+                    self.note(
+                        key_node,
+                        "unknown-write",
+                        "dict literal with a non-constant key",
+                    )
+                elif keys is not _UNKNOWN_KEYS:
+                    keys = frozenset(keys) | {key}
+        return Value(keys=keys)
+
+    def _eval_Lambda(self, node: ast.Lambda) -> Value:
+        # A lambda closes over our locals: analyze its body in a child env
+        # with its own params unbound.
+        saved = dict(self.env)
+        for arg in node.args.posonlyargs + node.args.args:
+            self.env[arg.arg] = Value()
+        self.eval(node.body)
+        self.env = saved
+        return Value()
+
+    def _eval_comprehension(self, node: ast.expr, generators, exprs) -> Value:
+        saved = dict(self.env)
+        for gen in generators:
+            iter_value = self.eval(gen.iter)
+            if iter_value.taint is Taint.VIEWDICT:
+                self.sets.reads_unknown = True
+                self.note(
+                    gen.iter,
+                    "unknown-read",
+                    "iteration over view.as_dict() reads every variable",
+                )
+            self._assign(gen.target, Value(), node)  # type: ignore[arg-type]
+            for cond in gen.ifs:
+                self.eval(cond)
+        for expr in exprs:
+            if expr is not None:
+                self.eval(expr)
+        self.env = saved
+        return Value()
+
+    def _eval_ListComp(self, node: ast.ListComp) -> Value:
+        return self._eval_comprehension(node, node.generators, [node.elt])
+
+    def _eval_SetComp(self, node: ast.SetComp) -> Value:
+        return self._eval_comprehension(node, node.generators, [node.elt])
+
+    def _eval_GeneratorExp(self, node: ast.GeneratorExp) -> Value:
+        return self._eval_comprehension(node, node.generators, [node.elt])
+
+    def _eval_DictComp(self, node: ast.DictComp) -> Value:
+        self._eval_comprehension(node, node.generators, [node.key, node.value])
+        return Value(keys=_UNKNOWN_KEYS)
+
+    # -- calls ----------------------------------------------------------------
+
+    def _eval_Call(self, node: ast.Call) -> Value:
+        if isinstance(node.func, ast.Attribute):
+            return self._call_attribute(node)
+        func = self.eval(node.func)
+        return self._dispatch_call(node, func)
+
+    def _call_attribute(self, node: ast.Call) -> Value:
+        assert isinstance(node.func, ast.Attribute)
+        base_node = node.func.value
+        attr = node.func.attr
+        base = self.eval(base_node)
+
+        # method on a tracked local dict: updates.update({...})
+        if (
+            isinstance(base_node, ast.Name)
+            and base.taint is None
+            and base.keys is not None
+        ):
+            slot = self.env.get(base_node.id)
+            if attr == "update" and slot is not None:
+                added = self._dict_keys_of_arg(node.args[0]) if node.args else (
+                    frozenset()
+                )
+                for kw in node.keywords:
+                    if kw.arg is None:
+                        extra = self._dict_keys_of_arg(kw.value)
+                        added = (
+                            _UNKNOWN_KEYS
+                            if added is _UNKNOWN_KEYS or extra is _UNKNOWN_KEYS
+                            else frozenset(added) | extra
+                        )
+                    else:
+                        if added is not _UNKNOWN_KEYS:
+                            added = frozenset(added) | {kw.arg}
+                        self.eval(kw.value)
+                if added is _UNKNOWN_KEYS or slot.keys is _UNKNOWN_KEYS:
+                    slot.keys = _UNKNOWN_KEYS
+                    self.note(
+                        node,
+                        "unknown-write",
+                        "dict.update with statically unknown keys",
+                    )
+                else:
+                    slot.keys = frozenset(slot.keys) | added
+                return Value()
+
+        method = self._attribute_on(base, attr, node.func)
+        return self._dispatch_call(node, method, receiver=base, attr=attr)
+
+    def _dict_keys_of_arg(self, node: ast.expr) -> Any:
+        """Statically known key set of a dict-valued argument."""
+        value = self.eval(node)
+        if value.keys is not None:
+            return value.keys
+        return _UNKNOWN_KEYS
+
+    def _eval_args(self, node: ast.Call) -> list[Value]:
+        values = []
+        for arg in node.args:
+            if isinstance(arg, ast.Starred):
+                values.append(self.eval(arg.value))
+            else:
+                values.append(self.eval(arg))
+        for kw in node.keywords:
+            values.append(self.eval(kw.value))
+        return values
+
+    def _dispatch_call(
+        self,
+        node: ast.Call,
+        func: Value,
+        receiver: Value | None = None,
+        attr: str | None = None,
+    ) -> Value:
+        # -- view/interface method calls -----------------------------------
+        if (
+            isinstance(func.obj, tuple)
+            and len(func.obj) == 3
+            and func.obj[0] == "method"
+        ):
+            _tag, taint, name = func.obj
+            if taint is Taint.VIEW and name == "as_dict":
+                self._eval_args(node)
+                return Value(taint=Taint.VIEWDICT)
+            if taint is Taint.VIEWDICT:
+                if name == "get" and node.args:
+                    key = _const_str(node.args[0])
+                    for extra in node.args[1:]:
+                        self.eval(extra)
+                    if key is None:
+                        self.sets.reads_unknown = True
+                        self.note(
+                            node,
+                            "unknown-read",
+                            "dict.get on the view copy with a non-constant "
+                            "key",
+                        )
+                        return Value(taint=Taint.STATE)
+                    return self._record_view_read(key, node)
+                if name in ("items", "keys", "values"):
+                    self.sets.reads_unknown = True
+                    self.note(
+                        node,
+                        "unknown-read",
+                        f"view.as_dict().{name}() reads every variable",
+                    )
+                    return Value()
+                self._eval_args(node)
+                return Value()
+            if taint is Taint.INTERFACE:
+                if name == "get" and node.args:
+                    key = _const_str(node.args[0])
+                    for extra in node.args[1:]:
+                        self.eval(extra)
+                    if key is None:
+                        self.sets.reads_unknown = True
+                        self.note(
+                            node,
+                            "unknown-read",
+                            "Lspec view read with a non-constant key",
+                        )
+                        return Value(taint=Taint.STATE)
+                    return self._record_interface_read(key, node)
+                if name in ("items", "keys", "values"):
+                    # the whole interface: every Lspec variable is read
+                    from repro.tme.interfaces import LSPEC_VARIABLES
+
+                    self.sets.interface_reads.update(LSPEC_VARIABLES)
+                    self._eval_args(node)
+                    return Value(taint=Taint.STATE)
+                self._eval_args(node)
+                return Value()
+            if taint is Taint.STATE:
+                if name in MUTATORS:
+                    self.note(
+                        node,
+                        "mutation",
+                        f".{name}() on a value read from the view mutates "
+                        "shared state in place",
+                    )
+                self._eval_args(node)
+                return Value()
+
+        # -- Effect / Send construction ------------------------------------
+        if func.obj is Effect:
+            self._collect_effect_writes(node)
+            return Value(is_effect=True)
+        if func.obj is getattr(Effect, "none", None):
+            self._eval_args(node)
+            return Value(is_effect=True)
+        if func.obj is Send:
+            self._eval_args(node)
+            self.sets.sends = True
+            return Value()
+
+        # -- interface boundary (published adapters) -------------------------
+        if func.obj is not _MISSING and _is_interface_boundary(func.obj):
+            args = self._eval_args(node)
+            if any(
+                v.taint in (Taint.VIEW, Taint.VIEWDICT, Taint.STATE)
+                for v in args
+            ):
+                self.sets.boundary_crossed = True
+            return Value(taint=Taint.INTERFACE)
+
+        # -- LspecView class -------------------------------------------------
+        if func.obj is not _MISSING and getattr(
+            func.obj, "__name__", ""
+        ) == "LspecView" and isinstance(func.obj, type):
+            self._eval_args(node)
+            return Value(taint=Taint.INTERFACE)
+
+        # -- plain python helpers: follow the call ---------------------------
+        if isinstance(func.obj, FunctionType):
+            arg_taints: list[Taint | None] = []
+            tainted = False
+            for arg in node.args:
+                if isinstance(arg, ast.Starred):
+                    value = self.eval(arg.value)
+                    if value.taint is not None:
+                        tainted = True
+                    arg_taints = []  # positions unknowable past *args
+                    break
+                value = self.eval(arg)
+                arg_taints.append(value.taint)
+                if value.taint is not None:
+                    tainted = True
+            kw_tainted = False
+            for kw in node.keywords:
+                value = self.eval(kw.value)
+                if value.taint is not None:
+                    kw_tainted = True
+            sub_info = function_info(func.obj)
+            if kw_tainted:
+                # keyword binding is not modeled; a tainted keyword arg
+                # makes the callee's effect on our sets unknown
+                self.sets.reads_unknown = True
+                self.note(
+                    node,
+                    "escape",
+                    "view-derived value passed as a keyword argument; "
+                    "inference does not follow keyword bindings",
+                )
+                return Value()
+            sub = self.engine.analyze(
+                sub_info, tuple(arg_taints), self.depth + 1
+            )
+            self.sets.merge(sub.sets)
+            self.visited.extend(sub.visited)
+            return Value(
+                taint=sub.return_taint,
+                keys=sub.return_keys,
+                is_effect=sub.returns_effect,
+            )
+
+        # -- builtins and everything else ------------------------------------
+        if func.obj is dict and isinstance(func.obj, type):
+            keys: Any = frozenset()
+            for arg in node.args:
+                value = self.eval(arg)
+                if value.keys is not None and value.keys is not _UNKNOWN_KEYS:
+                    keys = frozenset(keys) | value.keys
+                else:
+                    keys = _UNKNOWN_KEYS
+            for kw in node.keywords:
+                self.eval(kw.value)
+                if kw.arg is None:
+                    keys = _UNKNOWN_KEYS
+                elif keys is not _UNKNOWN_KEYS:
+                    keys = frozenset(keys) | {kw.arg}
+            return Value(keys=keys)
+
+        args = self._eval_args(node)
+        name = getattr(func.obj, "__name__", None)
+        if any(v.taint in (Taint.VIEW, Taint.VIEWDICT) for v in args):
+            if name in _ORDER_SAFE_CALLS:
+                pass  # len(view) style: no variable content escapes
+            else:
+                self.sets.reads_unknown = True
+                self.note(
+                    node,
+                    "escape",
+                    "the view escapes into a call that cannot be analyzed; "
+                    "read set is unknown",
+                )
+        return Value()
+
+    def _collect_effect_writes(self, node: ast.Call) -> None:
+        updates_node: ast.expr | None = None
+        if node.args:
+            updates_node = node.args[0]
+        for kw in node.keywords:
+            if kw.arg == "updates":
+                updates_node = kw.value
+        # evaluate everything for reads/sends first
+        for arg in node.args[1:]:
+            value = self.eval(arg)
+        for kw in node.keywords:
+            if kw.arg != "updates":
+                self.eval(kw.value)
+        if len(node.args) >= 2 or any(k.arg == "sends" for k in node.keywords):
+            self.sets.sends = True
+        if updates_node is None:
+            return  # Effect() -- empty updates
+        value = self.eval(updates_node)
+        keys = value.keys
+        if keys is None or keys is _UNKNOWN_KEYS:
+            self.sets.writes_unknown = True
+            self.note(
+                updates_node,
+                "unknown-write",
+                "Effect updates with statically unknown keys; write set "
+                "is unknown",
+            )
+        else:
+            self.sets.writes |= set(keys)
+
+
+# ---------------------------------------------------------------------------
+# Action- and program-level entry points
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class ActionAnalysis:
+    """Inference result for one guarded action (guard + body merged)."""
+
+    action: GuardedAction
+    guard_info: FunctionInfo
+    body_info: FunctionInfo
+    guard: Summary
+    body: Summary
+
+    @property
+    def sets(self) -> AccessSets:
+        merged = AccessSets()
+        merged.merge(self.guard.sets)
+        merged.merge(self.body.sets)
+        return merged
+
+    @property
+    def guard_writes(self) -> set[str]:
+        return set(self.guard.sets.writes)
+
+    def visited_infos(self) -> list[FunctionInfo]:
+        seen: dict[int, FunctionInfo] = {}
+        for info in self.guard.visited + self.body.visited:
+            seen.setdefault(id(info), info)
+        return list(seen.values())
+
+
+def analyze_action(
+    action: GuardedAction, engine: Engine | None = None
+) -> ActionAnalysis:
+    """Infer the read/write sets of one guarded action."""
+    engine = engine or Engine()
+    guard_info = function_info(action.guard)
+    body_info = function_info(action.body)
+    guard = engine.analyze(guard_info, (Taint.VIEW,))
+    body = engine.analyze(body_info, (Taint.VIEW,))
+    analysis = ActionAnalysis(
+        action=action,
+        guard_info=guard_info,
+        body_info=body_info,
+        guard=guard,
+        body=body,
+    )
+    # A body whose return value is not a recognizable Effect defeats write
+    # inference even if no Effect(...) call was seen.  (Summaries are
+    # memoized; only mark once.)
+    if (
+        body_info.resolved
+        and not body.returns_effect
+        and not body.sets.writes_unknown
+    ):
+        body.sets.writes_unknown = True
+        body.sets.notes.append(
+            Note(
+                body_info.path,
+                body_info.line,
+                0,
+                "unknown-write",
+                f"body {body_info.name!r} does not visibly return an "
+                "Effect; write set is unknown",
+            )
+        )
+    return analysis

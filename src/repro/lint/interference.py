@@ -1,0 +1,266 @@
+"""Static non-interference proof for the graybox wrapper.
+
+The paper's composition theorems are conditional on two side conditions
+(Lemma 6 / Theorems 4, 5, 8):
+
+1. **Write disjointness** -- the wrapper ``W`` must not write any variable
+   of the wrapped implementation ``M`` (it owns only its ``w_``-prefixed
+   state).  Otherwise ``M box W`` is not a superposition and the refinement
+   ``[M => Lspec]`` proved for ``M`` alone says nothing about the
+   composition.
+2. **Graybox reads** -- ``W`` may read only the *published* Lspec interface
+   (through the implementation's adapter) plus its own variables.  Reading
+   implementation internals would make the wrapper whitebox, voiding the
+   reuse claim (Corollary 11).
+
+Both are proved here *statically* from the inferred access sets of
+:mod:`repro.lint.inference`: for every wrapper action, the write set must
+be inside the wrapper's own declared variables (and disjoint from the
+implementation's), raw view reads must stay inside ``w_*``/runtime
+metadata, and reads routed through the adapter boundary must name only
+``LSPEC_VARIABLES``.  An *unknown* set fails the proof -- soundness over
+convenience.  The runtime :class:`~repro.tme.interfaces.GrayboxView` keeps
+enforcing the same contract dynamically; this check moves the error to the
+definition site.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.dsl.program import ProcessProgram
+from repro.lint.findings import Finding, Severity
+from repro.lint.inference import (
+    META_VARS,
+    ActionAnalysis,
+    Engine,
+    analyze_action,
+)
+from repro.tme.interfaces import LSPEC_VARIABLES
+
+
+@dataclass
+class InterferenceProof:
+    """The outcome of checking one implementation/wrapper pair."""
+
+    program: str
+    wrapper_actions: tuple[str, ...]
+    implementation_vars: frozenset[str]
+    wrapper_vars: frozenset[str]
+    wrapper_writes: set[str] = field(default_factory=set)
+    wrapper_raw_reads: set[str] = field(default_factory=set)
+    interface_reads: set[str] = field(default_factory=set)
+    findings: list[Finding] = field(default_factory=list)
+
+    @property
+    def proven(self) -> bool:
+        return not any(f.severity >= Severity.ERROR for f in self.findings)
+
+    def as_dict(self) -> dict:
+        return {
+            "program": self.program,
+            "proven": self.proven,
+            "wrapper_actions": list(self.wrapper_actions),
+            "implementation_vars": sorted(self.implementation_vars),
+            "wrapper_vars": sorted(self.wrapper_vars),
+            "wrapper_writes": sorted(self.wrapper_writes),
+            "wrapper_raw_reads": sorted(self.wrapper_raw_reads),
+            "interface_reads": sorted(self.interface_reads),
+            "findings": [f.as_dict() for f in self.findings],
+        }
+
+    def describe(self) -> str:
+        status = "PROVEN" if self.proven else "NOT PROVEN"
+        overlap = sorted(self.wrapper_writes & self.implementation_vars)
+        lines = [
+            f"non-interference [{self.program}]: {status}",
+            f"  wrapper writes     : {sorted(self.wrapper_writes)}"
+            f"  (∩ {len(self.implementation_vars)} implementation vars"
+            f" = {overlap})",
+            f"  wrapper raw reads  : {sorted(self.wrapper_raw_reads)}",
+            f"  interface reads    : {sorted(self.interface_reads)}"
+            f"  (Lspec = {sorted(LSPEC_VARIABLES)})",
+        ]
+        for finding in self.findings:
+            lines.append("  " + finding.render())
+        return "\n".join(lines)
+
+
+def _wrapper_finding(
+    analysis: ActionAnalysis, rule: str, message: str,
+    severity: Severity = Severity.ERROR,
+) -> Finding:
+    info = analysis.body_info
+    return Finding(
+        path=info.path,
+        line=info.line,
+        col=0,
+        rule=rule,
+        severity=severity,
+        message=message,
+        function=info.name,
+        action=analysis.action.name,
+    )
+
+
+def check_wrapper_interference(
+    implementation: ProcessProgram,
+    wrapper: ProcessProgram,
+    engine: Engine | None = None,
+    label: str | None = None,
+) -> InterferenceProof:
+    """Prove (or refute) that ``wrapper`` does not interfere with
+    ``implementation``.
+
+    Both programs are the *pre-composition* per-process programs -- e.g.
+    ``ra_program(...)`` and ``wrapper_program(...)`` -- so the variable
+    spaces are still separate.
+    """
+    engine = engine or Engine()
+    impl_vars = frozenset(implementation.initial_vars)
+    wrapper_vars = frozenset(wrapper.initial_vars)
+    wrapper_actions = wrapper.actions + wrapper.receive_actions
+    proof = InterferenceProof(
+        program=label or f"{implementation.name} vs {wrapper.name}",
+        wrapper_actions=tuple(a.name for a in wrapper_actions),
+        implementation_vars=impl_vars,
+        wrapper_vars=wrapper_vars,
+    )
+
+    for action in wrapper_actions:
+        analysis = analyze_action(action, engine)
+        sets = analysis.sets
+
+        if sets.writes_unknown:
+            proof.findings.append(
+                _wrapper_finding(
+                    analysis,
+                    "GRAY-UNKNOWN",
+                    f"wrapper action {action.name!r}: write set could not "
+                    "be inferred; non-interference (Lemma 6) is not "
+                    "statically provable",
+                )
+            )
+        proof.wrapper_writes |= sets.writes
+        for var in sorted(sets.writes & impl_vars):
+            proof.findings.append(
+                _wrapper_finding(
+                    analysis,
+                    "GRAY-WRITE",
+                    f"wrapper action {action.name!r} writes implementation "
+                    f"variable {var!r}; the wrapper may only write its own "
+                    f"state ({sorted(wrapper_vars)})",
+                )
+            )
+        for var in sorted(sets.writes - wrapper_vars - impl_vars):
+            proof.findings.append(
+                _wrapper_finding(
+                    analysis,
+                    "GRAY-WRITE",
+                    f"wrapper action {action.name!r} writes {var!r}, which "
+                    "is not declared wrapper state",
+                )
+            )
+
+        if sets.reads_unknown:
+            proof.findings.append(
+                _wrapper_finding(
+                    analysis,
+                    "GRAY-UNKNOWN",
+                    f"wrapper action {action.name!r}: read set could not be "
+                    "inferred; graybox-ness is not statically provable",
+                )
+            )
+        proof.wrapper_raw_reads |= sets.raw_reads
+        for var in sorted(sets.raw_reads - wrapper_vars):
+            proof.findings.append(
+                _wrapper_finding(
+                    analysis,
+                    "GRAY-READ",
+                    f"wrapper action {action.name!r} reads {var!r} directly "
+                    "from the view; only wrapper-owned variables and the "
+                    "published Lspec interface (through the adapter) are "
+                    "graybox-visible",
+                )
+            )
+        proof.interface_reads |= sets.interface_reads
+        for var in sorted(sets.interface_reads - set(LSPEC_VARIABLES)):
+            proof.findings.append(
+                _wrapper_finding(
+                    analysis,
+                    "GRAY-IFACE",
+                    f"wrapper action {action.name!r} reads {var!r} from the "
+                    f"interface view, outside Lspec {sorted(LSPEC_VARIABLES)}",
+                )
+            )
+
+    # Reverse direction: the implementation must not write wrapper state.
+    for action in implementation.actions + implementation.receive_actions:
+        analysis = analyze_action(action, engine)
+        sets = analysis.sets
+        if sets.writes_unknown:
+            proof.findings.append(
+                _wrapper_finding(
+                    analysis,
+                    "GRAY-UNKNOWN",
+                    f"implementation action {action.name!r}: write set could "
+                    "not be inferred; reverse non-interference unchecked",
+                    severity=Severity.WARNING,
+                )
+            )
+            continue
+        for var in sorted(sets.writes & wrapper_vars):
+            proof.findings.append(
+                _wrapper_finding(
+                    analysis,
+                    "GRAY-WRITE",
+                    f"implementation action {action.name!r} writes wrapper "
+                    f"variable {var!r}; superposition requires disjoint "
+                    "write spaces in both directions",
+                )
+            )
+    return proof
+
+
+def tme_interference_proof(
+    algorithm: str,
+    n: int = 3,
+    theta: int = 4,
+    refined: bool = True,
+    engine: Engine | None = None,
+) -> InterferenceProof:
+    """Build one TME system's implementation + wrapper pair and check it.
+
+    ``theta > 0`` exercises both wrapper actions (``W:correct`` *and*
+    ``W:tick``).  The token ring is the negative control for *reuse* --
+    non-interference still holds for it (the wrapper simply does not help),
+    which is exactly what Theorem 8's failure mode predicts: the missing
+    piece is Lspec conformance, not superposition.
+    """
+    from repro.tme.interfaces import adapter_for
+    from repro.tme.scenarios import tme_programs
+    from repro.tme.wrapper import WrapperConfig, wrapper_program
+
+    config = WrapperConfig(theta=theta, refined=refined)
+    programs = tme_programs(algorithm, n)
+    pid = sorted(programs)[0]
+    implementation = programs[pid]
+    all_pids = tuple(sorted(programs))
+    wrapper = wrapper_program(
+        pid, all_pids, adapter_for(implementation.name), config
+    )
+    return check_wrapper_interference(
+        implementation,
+        wrapper,
+        engine,
+        label=f"{implementation.name} [] {config.variant_name} "
+        f"({algorithm}, n={n})",
+    )
+
+
+__all__ = [
+    "InterferenceProof",
+    "check_wrapper_interference",
+    "tme_interference_proof",
+    "META_VARS",
+]

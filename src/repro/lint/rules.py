@@ -1,0 +1,601 @@
+"""Pluggable lint rules over guard/body functions.
+
+Two kinds of rule run over every function reachable from an action:
+
+* **Syntactic rules** subclass :class:`Rule` and inspect the function's AST
+  (with live name resolution through its closure/globals, so ``random.random``
+  is distinguished from ``rng.random`` on a seeded instance).  They catch
+  determinism hazards -- wall-clock reads, ambient entropy, memory-address
+  identity, iteration in hash order -- and purity hazards: exactly the
+  properties campaign replay (PR 3) and ``Simulator.fork()`` depend on.
+
+* **Inference-backed checks** (:func:`findings_from_notes`,
+  :func:`action_findings`, :func:`program_findings`) convert the notes and
+  sets produced by :mod:`repro.lint.inference` into findings: in-place
+  mutation of shared state, guards that construct effects, writes to
+  undeclared variables.
+
+Every finding honours ``# repro: lint-ok[RULE]`` suppressions at its own
+line or the function's ``def`` line (:mod:`repro.lint.findings`).
+
+Rule catalogue
+==============
+
+=================  ========  ====================================================
+DET-TIME           error     wall-clock access (``time.*``, ``datetime.now``)
+DET-RANDOM         error     module-level (unseeded) ``random.*``
+DET-ENTROPY        error     ``os.urandom`` / ``uuid`` / ``secrets``
+DET-ID             error     ``id()`` -- memory addresses differ across processes
+DET-HASH           warning   builtin ``hash()`` -- salted for ``str`` by default
+DET-ORDER          warn/err  iteration over sets / dict views in an order-
+                             sensitive position (wrap in ``sorted(...)``)
+PURITY-IO          warning   file/system calls from a guard or body
+PURITY-GLOBAL      error     ``global``/``nonlocal`` rebinding
+MUT-VIEW           error     assignment into the :class:`LocalView`
+MUT-SHARED         error     in-place mutation of a value read from the view
+CAPTURE-MUTABLE    warning   closure over a mutable container
+GUARD-EFFECT       error     a guard that constructs ``Effect``/``Send``
+INF-UNKNOWN        warning   read/write inference gave up at this site
+WRITE-UNDECLARED   error     effect writes a variable absent from initial_vars
+READ-UNDECLARED    warning   reads a variable that is never declared
+GRAY-WRITE         error     wrapper writes an implementation variable
+GRAY-READ          error     wrapper reads outside ``w_*``/Lspec interface
+GRAY-IFACE         error     interface read outside ``LSPEC_VARIABLES``
+GRAY-UNKNOWN       error     non-interference not statically provable
+=================  ========  ====================================================
+"""
+
+from __future__ import annotations
+
+import ast
+import builtins
+import random as _random_module
+from collections.abc import Iterable, Iterator
+from dataclasses import replace
+from types import ModuleType
+
+from repro.lint.findings import Finding, Severity, is_suppressed
+from repro.lint.inference import (
+    META_VARS,
+    AccessSets,
+    ActionAnalysis,
+    Note,
+)
+from repro.lint.source import FunctionInfo
+
+_ORDER_SAFE = frozenset(
+    {"sorted", "min", "max", "sum", "all", "any", "set", "frozenset", "len"}
+)
+
+_IO_MODULES = frozenset(
+    {"os", "posix", "nt", "io", "subprocess", "socket", "shutil", "pathlib"}
+)
+
+
+class Rule:
+    """A syntactic rule applied to one function's AST."""
+
+    rule_id: str = ""
+    severity: Severity = Severity.WARNING
+    description: str = ""
+
+    def check(self, info: FunctionInfo) -> Iterator[Finding]:
+        raise NotImplementedError
+
+    def finding(
+        self, info: FunctionInfo, node: ast.AST, message: str
+    ) -> Finding:
+        return Finding(
+            path=info.path,
+            line=getattr(node, "lineno", info.line),
+            col=getattr(node, "col_offset", 0),
+            rule=self.rule_id,
+            severity=self.severity,
+            message=message,
+            function=info.name,
+        )
+
+
+_RULES: list[Rule] = []
+
+
+def register_rule(rule_class: type[Rule]) -> type[Rule]:
+    """Class decorator: add a rule to the default rule set."""
+    _RULES.append(rule_class())
+    return rule_class
+
+
+def default_rules() -> tuple[Rule, ...]:
+    return tuple(_RULES)
+
+
+# ---------------------------------------------------------------------------
+# call-target resolution (live objects through the closure)
+# ---------------------------------------------------------------------------
+
+
+def _resolve_call_target(info: FunctionInfo, node: ast.Call) -> object | None:
+    """Resolve ``time.time`` / ``os.urandom`` / ``id`` to the live object."""
+    func = node.func
+    parts: list[str] = []
+    while isinstance(func, ast.Attribute):
+        parts.append(func.attr)
+        func = func.value
+    if not isinstance(func, ast.Name):
+        return None
+    found, obj = info.resolve_name(func.id)
+    if not found:
+        return None
+    for attr in reversed(parts):
+        if not isinstance(obj, (ModuleType, type)):
+            return None
+        try:
+            obj = getattr(obj, attr, None)
+        except Exception:
+            return None
+        if obj is None:
+            return None
+    return obj
+
+
+def _walk_calls(info: FunctionInfo) -> Iterator[tuple[ast.Call, object]]:
+    if info.node is None:
+        return
+    for node in ast.walk(info.node):
+        if isinstance(node, ast.Call):
+            target = _resolve_call_target(info, node)
+            if target is not None:
+                yield node, target
+
+
+# ---------------------------------------------------------------------------
+# determinism rules
+# ---------------------------------------------------------------------------
+
+
+@register_rule
+class WallClockRule(Rule):
+    rule_id = "DET-TIME"
+    severity = Severity.ERROR
+    description = "actions must not read the wall clock"
+
+    def check(self, info: FunctionInfo) -> Iterator[Finding]:
+        for node, target in _walk_calls(info):
+            module = getattr(target, "__module__", None)
+            name = getattr(target, "__name__", "")
+            if module == "time":
+                yield self.finding(
+                    info,
+                    node,
+                    f"wall-clock call time.{name}() makes the action "
+                    "nondeterministic; use logical clocks",
+                )
+            elif module == "datetime" and name in ("now", "today", "utcnow"):
+                yield self.finding(
+                    info,
+                    node,
+                    f"wall-clock call datetime {name}() makes the action "
+                    "nondeterministic; use logical clocks",
+                )
+
+
+@register_rule
+class UnseededRandomRule(Rule):
+    rule_id = "DET-RANDOM"
+    severity = Severity.ERROR
+    description = "actions must not draw from the unseeded module RNG"
+
+    def check(self, info: FunctionInfo) -> Iterator[Finding]:
+        hidden = getattr(_random_module, "_inst", None)
+        for node, target in _walk_calls(info):
+            bound_self = getattr(target, "__self__", None)
+            if bound_self is not None and bound_self is hidden:
+                yield self.finding(
+                    info,
+                    node,
+                    f"random.{getattr(target, '__name__', '?')}() draws from "
+                    "the process-global unseeded RNG; thread a seeded "
+                    "random.Random through instead",
+                )
+
+
+@register_rule
+class EntropyRule(Rule):
+    rule_id = "DET-ENTROPY"
+    severity = Severity.ERROR
+    description = "actions must not read ambient entropy"
+
+    def check(self, info: FunctionInfo) -> Iterator[Finding]:
+        for node, target in _walk_calls(info):
+            module = getattr(target, "__module__", None)
+            name = getattr(target, "__name__", "")
+            if module in ("uuid", "secrets"):
+                yield self.finding(
+                    info,
+                    node,
+                    f"{module}.{name}() reads ambient entropy; replay and "
+                    "trace digests would diverge",
+                )
+            elif name in ("urandom", "getrandom") and module in (
+                "os",
+                "posix",
+                "nt",
+            ):
+                yield self.finding(
+                    info,
+                    node,
+                    f"os.{name}() reads ambient entropy; replay and trace "
+                    "digests would diverge",
+                )
+
+
+@register_rule
+class IdentityRule(Rule):
+    rule_id = "DET-ID"
+    severity = Severity.ERROR
+    description = "id() values differ across processes and runs"
+
+    def check(self, info: FunctionInfo) -> Iterator[Finding]:
+        for node, target in _walk_calls(info):
+            if target is builtins.id:
+                yield self.finding(
+                    info,
+                    node,
+                    "id() exposes a memory address; campaign workers fork "
+                    "and replay would not reproduce it",
+                )
+
+
+@register_rule
+class HashRule(Rule):
+    rule_id = "DET-HASH"
+    severity = Severity.WARNING
+    description = "builtin hash() of str is salted per process"
+
+    def check(self, info: FunctionInfo) -> Iterator[Finding]:
+        for node, target in _walk_calls(info):
+            if target is builtins.hash:
+                yield self.finding(
+                    info,
+                    node,
+                    "hash() of str/bytes is salted by PYTHONHASHSEED; use a "
+                    "content digest (hashlib) for stable values",
+                )
+
+
+def _unordered_kind(info: FunctionInfo, node: ast.expr) -> str | None:
+    """Classify an expression as certainly-unordered ('set'/'dict-view')."""
+    if isinstance(node, ast.Set):
+        return "set"
+    if isinstance(node, ast.Call):
+        if isinstance(node.func, ast.Attribute) and node.func.attr in (
+            "keys",
+            "values",
+            "items",
+        ):
+            return "dict-view"
+        target = _resolve_call_target(info, node)
+        if target in (set, frozenset):
+            return "set"
+        annotations = getattr(target, "__annotations__", None) or {}
+        ret = str(annotations.get("return", ""))
+        if ret.startswith(("frozenset", "set[", "Set[")) or ret == "set":
+            return "set"
+    return None
+
+
+@register_rule
+class OrderedIterationRule(Rule):
+    rule_id = "DET-ORDER"
+    severity = Severity.WARNING  # ERROR when the iterable is a set
+    description = "iteration order over sets/dict views is not canonical"
+
+    def check(self, info: FunctionInfo) -> Iterator[Finding]:
+        if info.node is None:
+            return
+        order_safe_args: set[int] = set()
+        for node in ast.walk(info.node):
+            if isinstance(node, ast.Call):
+                name = getattr(
+                    _resolve_call_target(info, node), "__name__", None
+                )
+                if isinstance(node.func, ast.Name):
+                    name = name or node.func.id
+                if name in _ORDER_SAFE:
+                    for arg in node.args:
+                        order_safe_args.add(id(arg))
+        for node in ast.walk(info.node):
+            iters: list[ast.expr] = []
+            sensitive = True
+            if isinstance(node, ast.For):
+                iters = [node.iter]
+            elif isinstance(node, (ast.ListComp, ast.GeneratorExp)):
+                # a comprehension handed straight to an order-insensitive
+                # consumer (any/all/sum/min/max/set/sorted) is fine
+                if id(node) in order_safe_args:
+                    sensitive = False
+                iters = [gen.iter for gen in node.generators]
+            elif isinstance(node, ast.Call):
+                target = _resolve_call_target(info, node)
+                if target in (tuple, list) and node.args:
+                    iters = [node.args[0]]
+            if not sensitive:
+                continue
+            for it in iters:
+                kind = _unordered_kind(info, it)
+                if kind is None:
+                    continue
+                severity = (
+                    Severity.ERROR if kind == "set" else Severity.WARNING
+                )
+                yield Finding(
+                    path=info.path,
+                    line=it.lineno,
+                    col=it.col_offset,
+                    rule=self.rule_id,
+                    severity=severity,
+                    message=(
+                        f"iteration over a {kind} in an order-sensitive "
+                        "position; wrap it in sorted(...) so effects do not "
+                        "depend on hash/insertion order"
+                    ),
+                    function=info.name,
+                )
+
+
+# ---------------------------------------------------------------------------
+# purity rules
+# ---------------------------------------------------------------------------
+
+
+@register_rule
+class IoRule(Rule):
+    rule_id = "PURITY-IO"
+    severity = Severity.WARNING
+    description = "actions must be pure functions of their view"
+
+    def check(self, info: FunctionInfo) -> Iterator[Finding]:
+        for node, target in _walk_calls(info):
+            module = getattr(target, "__module__", None)
+            name = getattr(target, "__name__", "")
+            if target in (builtins.open, builtins.input, builtins.print):
+                yield self.finding(
+                    info,
+                    node,
+                    f"{name}() performs I/O from an action; actions must be "
+                    "pure functions of their LocalView",
+                )
+            elif (
+                module in _IO_MODULES
+                and callable(target)
+                and not isinstance(target, type)
+                and name not in ("urandom", "getrandom")  # DET-ENTROPY's
+            ):
+                yield self.finding(
+                    info,
+                    node,
+                    f"{module}.{name}() touches the environment from an "
+                    "action; actions must be pure functions of their view",
+                )
+
+
+@register_rule
+class GlobalWriteRule(Rule):
+    rule_id = "PURITY-GLOBAL"
+    severity = Severity.ERROR
+    description = "actions must not rebind enclosing/global names"
+
+    def check(self, info: FunctionInfo) -> Iterator[Finding]:
+        if info.node is None:
+            return
+        for node in ast.walk(info.node):
+            if isinstance(node, (ast.Global, ast.Nonlocal)):
+                kind = "global" if isinstance(node, ast.Global) else "nonlocal"
+                yield self.finding(
+                    info,
+                    node,
+                    f"{kind} rebinding of {', '.join(node.names)} leaks "
+                    "state across action executions; return updates in an "
+                    "Effect instead",
+                )
+
+
+@register_rule
+class MutableCaptureRule(Rule):
+    rule_id = "CAPTURE-MUTABLE"
+    severity = Severity.WARNING
+    description = "closures over mutable containers outlive Simulator.fork()"
+
+    def check(self, info: FunctionInfo) -> Iterator[Finding]:
+        if info.fn is None or info.node is None:
+            return
+        for name, value in sorted(info.closure.items(), key=lambda kv: kv[0]):
+            if isinstance(value, (list, dict, set, bytearray)):
+                yield self.finding(
+                    info,
+                    info.node,
+                    f"closure captures mutable {type(value).__name__} "
+                    f"{name!r}; shared across forks and executions, this "
+                    "breaks CoW forking and replay (capture an immutable "
+                    "value or pass it through the view)",
+                )
+
+
+# ---------------------------------------------------------------------------
+# inference-backed findings
+# ---------------------------------------------------------------------------
+
+_NOTE_RULES = {
+    "mutation": ("MUT-SHARED", Severity.ERROR),
+    "view-assign": ("MUT-VIEW", Severity.ERROR),
+    "escape": ("INF-UNKNOWN", Severity.WARNING),
+    "unknown-read": ("INF-UNKNOWN", Severity.WARNING),
+    "unknown-write": ("INF-UNKNOWN", Severity.WARNING),
+}
+
+
+def findings_from_notes(
+    notes: Iterable[Note],
+    sets: AccessSets,
+    function: str = "",
+    action: str = "",
+) -> list[Finding]:
+    """Convert inference notes into findings.
+
+    ``unknown-write`` notes are only surfaced when write inference actually
+    gave up (a dict with odd keys that never reaches an Effect is harmless);
+    likewise ``unknown-read``/``escape`` notes require ``reads_unknown``.
+    """
+    out: list[Finding] = []
+    for note in notes:
+        rule, severity = _NOTE_RULES.get(note.kind, (None, None))
+        if rule is None:
+            continue
+        if note.kind == "unknown-write" and not sets.writes_unknown:
+            continue
+        if note.kind in ("unknown-read", "escape") and not sets.reads_unknown:
+            continue
+        out.append(
+            Finding(
+                path=note.path,
+                line=note.line,
+                col=note.col,
+                rule=rule,
+                severity=severity,
+                message=note.message,
+                function=function,
+                action=action,
+            )
+        )
+    return out
+
+
+def action_findings(analysis: ActionAnalysis) -> list[Finding]:
+    """Run every rule over one action: syntactic rules on each reachable
+    function, plus the inference-backed checks."""
+    findings: list[Finding] = []
+    action_name = analysis.action.name
+    for info in analysis.visited_infos():
+        if info.node is None:
+            continue
+        for rule in default_rules():
+            for finding in rule.check(info):
+                findings.append(replace(finding, action=action_name))
+    for label, summary, info in (
+        ("guard", analysis.guard, analysis.guard_info),
+        ("body", analysis.body, analysis.body_info),
+    ):
+        findings.extend(
+            findings_from_notes(
+                summary.sets.notes,
+                summary.sets,
+                function=info.name,
+                action=action_name,
+            )
+        )
+    guard_sets = analysis.guard.sets
+    if guard_sets.writes or guard_sets.sends:
+        what = "state updates" if guard_sets.writes else "message sends"
+        findings.append(
+            Finding(
+                path=analysis.guard_info.path,
+                line=analysis.guard_info.line,
+                col=0,
+                rule="GUARD-EFFECT",
+                severity=Severity.ERROR,
+                message=(
+                    f"guard constructs {what}; guards must be pure "
+                    "predicates -- effects belong in the body"
+                ),
+                function=analysis.guard_info.name,
+                action=action_name,
+            )
+        )
+    return findings
+
+
+def program_findings(
+    analyses: Iterable[ActionAnalysis],
+    declared: frozenset[str],
+    program_name: str = "",
+) -> list[Finding]:
+    """Program-level checks: every inferred write/read against the declared
+    variable space (the ``ProcessProgram.__post_init__`` validation gap)."""
+    findings: list[Finding] = []
+    for analysis in analyses:
+        sets = analysis.sets
+        info = analysis.body_info
+        for var in sorted(sets.writes - declared):
+            findings.append(
+                Finding(
+                    path=info.path,
+                    line=info.line,
+                    col=0,
+                    rule="WRITE-UNDECLARED",
+                    severity=Severity.ERROR,
+                    message=(
+                        f"action {analysis.action.name!r} writes variable "
+                        f"{var!r} which is absent from "
+                        f"{program_name or 'the program'}'s initial_vars; "
+                        "faults could never corrupt it and snapshots would "
+                        "change shape mid-run"
+                    ),
+                    function=info.name,
+                    action=analysis.action.name,
+                ),
+            )
+        if not sets.reads_unknown:
+            undeclared_reads = {
+                var
+                for var in sets.raw_reads - declared
+                if not var.startswith("_")
+            }
+            for var in sorted(undeclared_reads):
+                findings.append(
+                    Finding(
+                        path=info.path,
+                        line=info.line,
+                        col=0,
+                        rule="READ-UNDECLARED",
+                        severity=Severity.WARNING,
+                        message=(
+                            f"action {analysis.action.name!r} reads variable "
+                            f"{var!r} which is never declared in "
+                            f"{program_name or 'the program'}'s initial_vars "
+                            "(typo, or a composition-partner variable?)"
+                        ),
+                        function=info.name,
+                        action=analysis.action.name,
+                    ),
+                )
+    return findings
+
+
+def filter_suppressed(
+    findings: Iterable[Finding],
+    def_lines: dict[tuple[str, str], int] | None = None,
+) -> list[Finding]:
+    """Drop findings silenced by ``# repro: lint-ok[...]`` comments.
+
+    ``def_lines`` maps ``(path, function_name)`` to the function's ``def``
+    line, so a suppression on the header silences the whole function.
+    """
+    def_lines = def_lines or {}
+    kept = []
+    for finding in findings:
+        header = def_lines.get((finding.path, finding.function))
+        if not is_suppressed(finding, header):
+            kept.append(finding)
+    return kept
+
+
+__all__ = [
+    "Rule",
+    "register_rule",
+    "default_rules",
+    "action_findings",
+    "program_findings",
+    "findings_from_notes",
+    "filter_suppressed",
+    "META_VARS",
+]

@@ -1,0 +1,177 @@
+"""Source resolution: from live function objects to AST nodes.
+
+Guards and bodies are *closures* built by program factories
+(:func:`repro.tme.ricart_agrawala.ra_program` and friends), so the lint
+cannot work from file paths alone -- it starts from the function objects a
+:class:`~repro.dsl.guards.GuardedAction` actually carries, finds their
+defining file, and locates the matching ``def``/``lambda`` node in that
+file's AST.  Whole files are parsed once and cached; resolution is memoized
+per code object.
+
+Resolution can fail (C functions, ``functools.partial``, interactively
+defined code).  That is not an error here: :class:`FunctionInfo.node` is
+``None`` and downstream inference reports *unknown* sets -- the sound
+over-approximation the contracts require.
+"""
+
+from __future__ import annotations
+
+import ast
+import inspect
+from dataclasses import dataclass, field
+from functools import lru_cache
+from types import FunctionType
+from typing import Any
+
+FuncNode = ast.FunctionDef | ast.AsyncFunctionDef | ast.Lambda
+
+
+@dataclass
+class FunctionInfo:
+    """A live function paired with its source location and AST."""
+
+    fn: FunctionType | None
+    path: str
+    line: int
+    name: str
+    node: FuncNode | None
+    closure: dict[str, Any] = field(default_factory=dict)
+    globals_: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def resolved(self) -> bool:
+        return self.node is not None
+
+    @property
+    def params(self) -> tuple[str, ...]:
+        if self.node is None:
+            return ()
+        args = self.node.args
+        names = [a.arg for a in args.posonlyargs + args.args]
+        return tuple(names)
+
+    def body_statements(self) -> list[ast.stmt]:
+        if self.node is None:
+            return []
+        if isinstance(self.node, ast.Lambda):
+            return [ast.Return(value=self.node.body)]
+        return list(self.node.body)
+
+    def resolve_name(self, name: str) -> tuple[bool, Any]:
+        """Look a free name up in the closure, then globals, then builtins.
+
+        Returns ``(found, value)`` -- ``found`` distinguishes a name bound
+        to ``None`` from an unresolvable name.
+        """
+        if name in self.closure:
+            return True, self.closure[name]
+        if name in self.globals_:
+            return True, self.globals_[name]
+        builtins = self.globals_.get("__builtins__", {})
+        if isinstance(builtins, dict):
+            if name in builtins:
+                return True, builtins[name]
+        elif hasattr(builtins, name):
+            return True, getattr(builtins, name)
+        return False, None
+
+
+@lru_cache(maxsize=128)
+def _module_ast(path: str) -> ast.Module | None:
+    try:
+        with open(path, encoding="utf-8") as fh:
+            return ast.parse(fh.read(), filename=path)
+    except (OSError, SyntaxError):
+        return None
+
+
+@lru_cache(maxsize=128)
+def _function_nodes(path: str) -> tuple[FuncNode, ...]:
+    tree = _module_ast(path)
+    if tree is None:
+        return ()
+    return tuple(
+        node
+        for node in ast.walk(tree)
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda))
+    )
+
+
+def _locate_node(path: str, line: int, name: str) -> FuncNode | None:
+    """The def/lambda node for a code object (first line + name match)."""
+    candidates = []
+    for node in _function_nodes(path):
+        if isinstance(node, ast.Lambda):
+            if name == "<lambda>" and node.lineno == line:
+                candidates.append(node)
+        elif node.name == name and node.lineno == line:
+            candidates.append(node)
+    if len(candidates) == 1:
+        return candidates[0]
+    if candidates and name != "<lambda>":
+        return candidates[0]
+    # Several lambdas on one line are ambiguous; give up (-> unknown sets)
+    # rather than guess the wrong one.
+    return candidates[0] if len(candidates) == 1 else None
+
+
+def _closure_vars(fn: FunctionType) -> dict[str, Any]:
+    cells = fn.__closure__ or ()
+    names = fn.__code__.co_freevars
+    out: dict[str, Any] = {}
+    for name, cell in zip(names, cells):
+        try:
+            out[name] = cell.cell_contents
+        except ValueError:  # empty cell (still being defined)
+            continue
+    return out
+
+
+_INFO_CACHE: dict[int, FunctionInfo] = {}
+
+
+def function_info(fn: Any) -> FunctionInfo:
+    """Resolve a callable into a :class:`FunctionInfo` (memoized).
+
+    Non-Python callables resolve to an unresolved info whose location is
+    best-effort (``<builtin>`` when nothing better exists).
+    """
+    if isinstance(fn, FunctionType):
+        code = fn.__code__
+        # Key on the function object itself (held strongly, so ids stay
+        # unique): closure instances of one code object can capture
+        # different values and must not share an info.
+        cached = _INFO_CACHE.get(id(fn))
+        if cached is not None and cached.fn is fn:
+            return cached
+        path = code.co_filename
+        line = code.co_firstlineno
+        name = fn.__name__
+        node = _locate_node(path, line, name)
+        info = FunctionInfo(
+            fn=fn,
+            path=path,
+            line=line,
+            name=name,
+            node=node,
+            closure=_closure_vars(fn),
+            globals_=fn.__globals__,
+        )
+        _INFO_CACHE[id(fn)] = info
+        return info
+    name = getattr(fn, "__name__", repr(fn))
+    try:
+        path = inspect.getfile(fn)
+        _source, line = inspect.getsourcelines(fn)
+    except (TypeError, OSError):
+        path, line = "<builtin>", 0
+    return FunctionInfo(
+        fn=None, path=path, line=line, name=name, node=None
+    )
+
+
+def clear_caches() -> None:
+    """Drop all memoized source state (tests that rewrite fixtures)."""
+    _INFO_CACHE.clear()
+    _module_ast.cache_clear()
+    _function_nodes.cache_clear()

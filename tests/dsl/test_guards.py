@@ -94,3 +94,29 @@ class TestSendsToAll:
 
     def test_empty_peers(self):
         assert sends_to_all([], "request", lambda k: k) == ()
+
+
+class TestIntrospection:
+    """The accessors shared between the runtime and repro.lint."""
+
+    def test_effect_writes(self):
+        assert Effect({"x": 1, "y": 2}).writes() == {"x", "y"}
+        assert Effect.none().writes() == frozenset()
+
+    def test_action_reads_and_writes_inferred(self):
+        def body(view):
+            return Effect({"x": view.x + view.y})
+
+        act = GuardedAction("t:x", lambda v: v.x > 0, body)
+        assert act.reads() == {"x", "y"}
+        assert act.writes() == {"x"}
+
+    def test_unbounded_sets_are_none(self):
+        from functools import partial
+
+        def body(view, _extra):
+            return Effect({"x": view.x})
+
+        act = GuardedAction("t:opaque", always_enabled, partial(body, _extra=1))
+        assert act.reads() is None
+        assert act.writes() is None

@@ -93,3 +93,45 @@ def test_merge_initial_vars():
     p1 = ProcessProgram("1", {"x": 1})
     p2 = ProcessProgram("2", {"x": 2, "y": 3})
     assert merge_initial_vars([p1, p2]) == {"x": 2, "y": 3}
+
+
+class TestDeclaredVariables:
+    """variables() and the undeclared-write validation (lint-backed)."""
+
+    def test_variables_accessor(self):
+        program = ProcessProgram("p", {"x": 1, "y": 2})
+        assert program.variables() == {"x", "y"}
+
+    def test_validate_writes_accepts_declared(self):
+        def body(view):
+            return Effect({"x": view.x + 1})
+
+        program = ProcessProgram(
+            "p", {"x": 0}, actions=(GuardedAction("a", lambda v: True, body),)
+        )
+        program.validate_writes()  # does not raise
+
+    def test_validate_writes_rejects_undeclared(self):
+        def body(view):
+            return Effect({"ghost": 1})
+
+        program = ProcessProgram(
+            "p", {"x": 0}, actions=(GuardedAction("a", lambda v: True, body),)
+        )
+        with pytest.raises(ValueError, match="ghost.*initial_vars"):
+            program.validate_writes()
+
+    def test_validate_writes_skips_unbounded(self):
+        from functools import partial
+
+        def body(view, _extra):
+            return Effect({"anything": 1})
+
+        program = ProcessProgram(
+            "p",
+            {"x": 0},
+            actions=(
+                GuardedAction("a", lambda v: True, partial(body, _extra=1)),
+            ),
+        )
+        program.validate_writes()  # unknown write sets are the lint's domain

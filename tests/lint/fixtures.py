@@ -1,0 +1,265 @@
+"""Deliberately contract-violating programs for the lint golden tests.
+
+Every factory here builds a :class:`~repro.dsl.program.ProcessProgram`
+breaking exactly one (named) contract, so the tests can assert that the
+lint reports the right rule at the right source line.  The ``MARKS``
+helper locates the marked violation lines without hard-coding numbers.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+import time
+
+from repro.dsl.guards import Effect, GuardedAction, LocalView
+from repro.dsl.program import ProcessProgram
+
+
+def _marked_lines() -> dict[str, int]:
+    marks: dict[str, int] = {}
+    with open(__file__, encoding="utf-8") as fh:
+        for lineno, text in enumerate(fh, start=1):
+            if "# mark:" in text:
+                marks[text.rsplit("# mark:", 1)[1].strip()] = lineno
+    return marks
+
+
+MARKS = _marked_lines()
+
+
+# -- DET-TIME: wall clock in a guard ----------------------------------------
+
+
+def clock_guard(view: LocalView) -> bool:
+    return time.time() > view.deadline  # mark: time-call
+
+
+def clock_body(view: LocalView) -> Effect:
+    return Effect({"deadline": view.deadline + 1})
+
+
+def clock_program() -> ProcessProgram:
+    return ProcessProgram(
+        "BadClock",
+        {"deadline": 0},
+        actions=(GuardedAction("bad:clock", clock_guard, clock_body),),
+    )
+
+
+# -- DET-RANDOM: the module-level (unseeded) RNG ----------------------------
+
+
+def random_body(view: LocalView) -> Effect:
+    if random.random() < 0.5:  # mark: random-call
+        return Effect({"coin": 1})
+    return Effect({"coin": 0})
+
+
+def random_program() -> ProcessProgram:
+    return ProcessProgram(
+        "BadRandom",
+        {"coin": 0},
+        actions=(
+            GuardedAction("bad:random", lambda _view: True, random_body),
+        ),
+    )
+
+
+# -- DET-ORDER: iteration over a set feeding an order-sensitive effect ------
+
+
+def order_body(view: LocalView) -> Effect:
+    order = []
+    for member in set(view.members):  # mark: set-iteration
+        order.append(member)
+    return Effect({"ranking": tuple(order)})
+
+
+def order_program() -> ProcessProgram:
+    return ProcessProgram(
+        "BadOrder",
+        {"members": ("a", "b"), "ranking": ()},
+        actions=(GuardedAction("bad:order", lambda _view: True, order_body),),
+    )
+
+
+# -- DET-ENTROPY + DET-ID: ambient entropy and memory addresses -------------
+
+
+def entropy_body(view: LocalView) -> Effect:
+    token = os.urandom(4)  # mark: urandom-call
+    return Effect({"token": token, "tag": id(view)})  # mark: id-call
+
+
+def entropy_program() -> ProcessProgram:
+    return ProcessProgram(
+        "BadEntropy",
+        {"token": b"", "tag": 0},
+        actions=(
+            GuardedAction("bad:entropy", lambda _view: True, entropy_body),
+        ),
+    )
+
+
+# -- MUT-SHARED: in-place mutation of a value read from the view ------------
+
+
+def mutation_body(view: LocalView) -> Effect:
+    bucket = view.bucket
+    bucket.append(view._pid)  # mark: shared-mutation
+    return Effect({"bucket": bucket})
+
+
+def mutation_program() -> ProcessProgram:
+    return ProcessProgram(
+        "BadMutation",
+        {"bucket": ()},
+        actions=(
+            GuardedAction("bad:mutation", lambda _view: True, mutation_body),
+        ),
+    )
+
+
+# -- GUARD-EFFECT: a guard that builds effects ------------------------------
+
+
+def effectful_guard(view: LocalView) -> bool:  # mark: effectful-guard
+    Effect({"sneaky": view.x + 1})
+    return True
+
+
+def guard_effect_program() -> ProcessProgram:
+    return ProcessProgram(
+        "BadGuardEffect",
+        {"x": 0, "sneaky": 0},
+        actions=(
+            GuardedAction(
+                "bad:guard-effect",
+                effectful_guard,
+                lambda view: Effect({"x": view.x}),
+            ),
+        ),
+    )
+
+
+# -- WRITE-UNDECLARED: effect writes outside initial_vars -------------------
+
+
+def undeclared_body(view: LocalView) -> Effect:
+    return Effect({"ghost": view.x + 1})  # mark: undeclared-write
+
+
+def undeclared_program() -> ProcessProgram:
+    return ProcessProgram(
+        "BadUndeclared",
+        {"x": 0},
+        actions=(
+            GuardedAction(
+                "bad:undeclared", lambda _view: True, undeclared_body
+            ),
+        ),
+    )
+
+
+# -- CAPTURE-MUTABLE: closure over a mutable container ----------------------
+
+
+def capture_program() -> ProcessProgram:
+    history: list[str] = []
+
+    def capture_body(view: LocalView) -> Effect:  # mark: mutable-capture
+        history.append(view._pid)
+        return Effect({"count": len(history)})
+
+    return ProcessProgram(
+        "BadCapture",
+        {"count": 0},
+        actions=(
+            GuardedAction("bad:capture", lambda _view: True, capture_body),
+        ),
+    )
+
+
+# -- a graybox-violating wrapper (for the interference tests) ---------------
+
+
+def make_impl_program() -> ProcessProgram:
+    def step_body(view: LocalView) -> Effect:
+        return Effect({"phase": view.phase, "lc": view.lc + 1})
+
+    return ProcessProgram(
+        "ImplM",
+        {"phase": "t", "lc": 0, "received": ()},
+        actions=(
+            GuardedAction("impl:step", lambda _view: True, step_body),
+        ),
+    )
+
+
+def make_whitebox_wrapper() -> ProcessProgram:
+    """A wrapper that both writes an implementation variable and reads one
+    directly from the view -- the two ways to break Lemma 6."""
+
+    def meddle_body(view: LocalView) -> Effect:
+        return Effect(
+            {"w_count": view.w_count + 1, "phase": "h"}  # mark: gray-write
+        )
+
+    def peek_guard(view: LocalView) -> bool:
+        return bool(view.received)  # mark: gray-read
+
+    return ProcessProgram(
+        "WhiteboxW",
+        {"w_count": 0},
+        actions=(GuardedAction("W:meddle", peek_guard, meddle_body),),
+    )
+
+
+# -- suppression: same violation as clock_program, but justified ------------
+
+
+def suppressed_clock_guard(view: LocalView) -> bool:
+    # Not actually justified -- exists to test the suppression mechanism.
+    return time.time() > view.deadline  # repro: lint-ok[DET-TIME] test fixture
+
+
+def suppressed_program() -> ProcessProgram:
+    return ProcessProgram(
+        "SuppressedClock",
+        {"deadline": 0},
+        actions=(
+            GuardedAction(
+                "ok:suppressed", suppressed_clock_guard, clock_body
+            ),
+        ),
+    )
+
+
+# -- a fully clean program (negative control for the rules) -----------------
+
+
+def clean_body(view: LocalView) -> Effect:
+    ordered = tuple(sorted(set(view.members)))
+    return Effect({"ranking": ordered})
+
+
+def clean_program() -> ProcessProgram:
+    return ProcessProgram(
+        "CleanControl",
+        {"members": ("b", "a"), "ranking": ()},
+        actions=(GuardedAction("ok:clean", lambda _view: True, clean_body),),
+    )
+
+
+#: the CLI/runner discovery hook: every violating program in one catalog
+LINT_PROGRAMS = (
+    clock_program,
+    random_program,
+    order_program,
+    entropy_program,
+    mutation_program,
+    guard_effect_program,
+    undeclared_program,
+    capture_program,
+)

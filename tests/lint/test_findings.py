@@ -1,0 +1,119 @@
+"""Findings, severities, suppressions, and report rendering."""
+
+import json
+
+from repro.lint.findings import (
+    Finding,
+    LintReport,
+    Severity,
+    is_suppressed,
+    suppressed_rules,
+)
+
+from tests.lint import fixtures
+
+
+def make_finding(**overrides) -> Finding:
+    base = dict(
+        path="x.py",
+        line=3,
+        col=1,
+        rule="DET-TIME",
+        severity=Severity.ERROR,
+        message="no clocks",
+        function="g",
+        action="a:x",
+    )
+    base.update(overrides)
+    return Finding(**base)
+
+
+class TestFinding:
+    def test_render_includes_location_rule_action(self):
+        text = make_finding().render()
+        assert text.startswith("x.py:3:1: error [DET-TIME] no clocks")
+        assert "(action 'a:x')" in text
+
+    def test_ordering_is_by_location(self):
+        early = make_finding(line=1)
+        late = make_finding(line=9)
+        assert sorted([late, early]) == [early, late]
+
+    def test_as_dict_round_trips_through_json(self):
+        payload = json.loads(json.dumps(make_finding().as_dict()))
+        assert payload["rule"] == "DET-TIME"
+        assert payload["severity"] == "error"
+
+
+class TestSuppression:
+    def test_named_rule_suppression(self):
+        line = fixtures.MARKS["time-call"]
+        # the suppressed twin carries the lint-ok comment
+        suppressed_line = next(
+            i
+            for i, text in enumerate(
+                open(fixtures.__file__, encoding="utf-8"), start=1
+            )
+            if "lint-ok[DET-TIME]" in text
+        )
+        assert suppressed_rules(fixtures.__file__, line) is None
+        assert suppressed_rules(fixtures.__file__, suppressed_line) == {
+            "DET-TIME"
+        }
+
+    def test_is_suppressed_matches_rule(self, tmp_path):
+        src = tmp_path / "m.py"
+        src.write_text("x = 1  # repro: lint-ok[DET-ID]\ny = 2\n")
+        hit = make_finding(path=str(src), line=1, rule="DET-ID")
+        miss_rule = make_finding(path=str(src), line=1, rule="DET-TIME")
+        miss_line = make_finding(path=str(src), line=2, rule="DET-ID")
+        assert is_suppressed(hit)
+        assert not is_suppressed(miss_rule)
+        assert not is_suppressed(miss_line)
+
+    def test_bare_lint_ok_suppresses_everything(self, tmp_path):
+        src = tmp_path / "m.py"
+        src.write_text("x = 1  # repro: lint-ok\n")
+        assert is_suppressed(make_finding(path=str(src), line=1))
+        assert is_suppressed(
+            make_finding(path=str(src), line=1, rule="ANYTHING")
+        )
+
+    def test_def_line_suppression(self, tmp_path):
+        src = tmp_path / "m.py"
+        src.write_text("def g(v):  # repro: lint-ok[DET-TIME]\n    pass\n")
+        finding = make_finding(path=str(src), line=2)
+        assert is_suppressed(finding, def_line=1)
+        assert not is_suppressed(finding)
+
+
+class TestLintReport:
+    def test_exit_codes(self):
+        clean = LintReport()
+        assert clean.exit_code() == 0
+        assert clean.exit_code(strict=True) == 0
+
+        warned = LintReport(
+            findings=[make_finding(severity=Severity.WARNING)]
+        )
+        assert warned.exit_code() == 0
+        assert warned.exit_code(strict=True) == 1
+
+        errored = LintReport(findings=[make_finding()])
+        assert errored.exit_code() == 1
+
+    def test_render_text_summarises_and_dedupes(self):
+        report = LintReport(
+            findings=[make_finding(), make_finding()],
+            checked_actions=4,
+            checked_programs=2,
+        )
+        text = report.render_text()
+        assert text.count("no clocks") == 1
+        assert "2 programs, 4 actions checked -- 1 errors" in text
+
+    def test_render_json_is_valid(self):
+        report = LintReport(findings=[make_finding()], checked_actions=1)
+        payload = json.loads(report.render_json())
+        assert payload["counts"]["error"] == 1
+        assert payload["findings"][0]["rule"] == "DET-TIME"

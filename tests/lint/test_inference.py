@@ -1,0 +1,111 @@
+"""Read/write-set inference over the real TME action closures."""
+
+import pytest
+
+from repro.lint.inference import Engine, analyze_action
+from repro.tme.interfaces import LSPEC_VARIABLES, adapter_for
+from repro.tme.scenarios import tme_programs
+from repro.tme.wrapper import WrapperConfig, wrapper_program
+
+
+@pytest.fixture(scope="module")
+def engine():
+    return Engine()
+
+
+def action_named(program, name):
+    for act in program.actions + program.receive_actions:
+        if act.name == name:
+            return act
+    raise AssertionError(f"no action {name!r}")
+
+
+class TestImplementationSets:
+    def test_ra_grant_sets(self, engine):
+        program = tme_programs("ra", 3)["p0"]
+        sets = analyze_action(action_named(program, "ra:grant"), engine).sets
+        assert sets.raw_reads == {"lc", "phase", "req", "req_of"}
+        assert sets.writes == {"lc", "phase"}
+        assert not sets.sends
+        assert not sets.reads_unknown and not sets.writes_unknown
+
+    def test_ra_recv_request_reads_meta(self, engine):
+        program = tme_programs("ra", 3)["p0"]
+        sets = analyze_action(
+            action_named(program, "ra:recv-request"), engine
+        ).sets
+        assert {"_msg", "_sender", "_msg_clock"} <= sets.meta_reads
+        assert "received" in sets.writes
+        assert sets.sends  # the immediate/deferred reply
+
+    def test_all_actions_fully_inferred(self, engine):
+        """No TME action should defeat the inference (the sound fallback is
+        allowed, but hitting it on our own code means lost precision)."""
+        for algorithm in ("ra", "ra-count", "lamport", "token"):
+            program = tme_programs(algorithm, 3)["p0"]
+            for act in program.actions + program.receive_actions:
+                analysis = analyze_action(act, engine)
+                assert not analysis.sets.reads_unknown, (algorithm, act.name)
+                assert not analysis.sets.writes_unknown, (algorithm, act.name)
+
+    def test_writes_within_declared_variables(self, engine):
+        for algorithm in ("ra", "lamport", "token"):
+            program = tme_programs(algorithm, 3)["p0"]
+            declared = frozenset(program.initial_vars)
+            for act in program.actions + program.receive_actions:
+                sets = analyze_action(act, engine).sets
+                assert sets.writes <= declared, (algorithm, act.name)
+
+
+class TestWrapperSets:
+    @pytest.fixture(scope="class")
+    def wrapper(self):
+        return wrapper_program(
+            "p0",
+            ("p0", "p1", "p2"),
+            adapter_for("RA_ME"),
+            WrapperConfig(theta=4),
+        )
+
+    def test_correct_action_crosses_the_boundary(self, engine, wrapper):
+        act = next(a for a in wrapper.actions if a.name == "W:correct")
+        sets = analyze_action(act, engine).sets
+        assert sets.boundary_crossed
+        assert sets.raw_reads == {"w_timer"}
+        assert sets.writes == {"w_timer"}
+        assert sets.sends
+        # reads through the adapter stay inside the published interface
+        assert sets.interface_reads <= set(LSPEC_VARIABLES)
+        assert "phase" in sets.interface_reads
+
+    def test_tick_action_is_local(self, engine, wrapper):
+        act = next(a for a in wrapper.actions if a.name == "W:tick")
+        sets = analyze_action(act, engine).sets
+        assert sets.raw_reads == {"w_timer"}
+        assert sets.writes == {"w_timer"}
+        assert not sets.sends
+
+
+class TestSoundFallback:
+    def test_unresolvable_callable_reports_unknown(self, engine):
+        from functools import partial
+
+        from repro.dsl.guards import Effect, GuardedAction
+
+        def body(view, _extra):
+            return Effect({"x": view.x})
+
+        act = GuardedAction(
+            "opaque", lambda _v: True, partial(body, _extra=1)
+        )
+        sets = analyze_action(act, engine).sets
+        assert sets.reads_unknown
+        assert sets.writes_unknown
+
+    def test_memoization_shares_summaries(self):
+        engine = Engine()
+        program = tme_programs("ra", 3)["p0"]
+        act = action_named(program, "ra:grant")
+        first = analyze_action(act, engine)
+        second = analyze_action(act, engine)
+        assert first.body is second.body

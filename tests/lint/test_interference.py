@@ -1,0 +1,110 @@
+"""The static non-interference proof (Lemma 6 / Theorems 4, 5, 8)."""
+
+import pytest
+
+from repro.lint.inference import Engine
+from repro.lint.interference import (
+    check_wrapper_interference,
+    tme_interference_proof,
+)
+
+from tests.lint import fixtures
+
+
+@pytest.fixture(scope="module")
+def engine():
+    return Engine()
+
+
+class TestTmeProofs:
+    @pytest.mark.parametrize(
+        "algorithm", ["ra", "ra-count", "lamport", "token"]
+    )
+    def test_wrapper_proven_non_interfering(self, engine, algorithm):
+        proof = tme_interference_proof(algorithm, n=3, theta=4, engine=engine)
+        assert proof.proven, proof.describe()
+        # the wrapper's write set is disjoint from the implementation's
+        assert not proof.wrapper_writes & proof.implementation_vars
+        assert proof.wrapper_writes == {"w_timer"}
+        # direct reads stay inside wrapper-owned state
+        assert proof.wrapper_raw_reads <= proof.wrapper_vars
+        # interface reads stay inside the published Lspec variables
+        from repro.tme.interfaces import LSPEC_VARIABLES
+
+        assert proof.interface_reads <= set(LSPEC_VARIABLES)
+        assert proof.interface_reads  # and are non-trivial
+
+    def test_proof_dict_is_json_shaped(self, engine):
+        proof = tme_interference_proof("ra", engine=engine)
+        payload = proof.as_dict()
+        assert payload["proven"] is True
+        assert payload["wrapper_writes"] == ["w_timer"]
+        assert set(payload["wrapper_actions"]) == {"W:correct", "W:tick"}
+
+    def test_untimed_wrapper_also_proven(self, engine):
+        proof = tme_interference_proof("ra", theta=0, engine=engine)
+        assert proof.proven
+        assert proof.wrapper_actions == ("W:correct",)
+
+
+class TestNegativeControl:
+    def test_whitebox_wrapper_refuted(self, engine):
+        proof = check_wrapper_interference(
+            fixtures.make_impl_program(),
+            fixtures.make_whitebox_wrapper(),
+            engine,
+            label="whitebox",
+        )
+        assert not proof.proven
+        rules = {f.rule for f in proof.findings}
+        assert "GRAY-WRITE" in rules  # writes implementation 'phase'
+        assert "GRAY-READ" in rules  # reads implementation 'received'
+        write = next(f for f in proof.findings if f.rule == "GRAY-WRITE")
+        assert "'phase'" in write.message
+        read = next(f for f in proof.findings if f.rule == "GRAY-READ")
+        assert "'received'" in read.message
+
+    def test_implementation_writing_wrapper_state_refuted(self, engine):
+        from repro.dsl.guards import Effect, GuardedAction
+        from repro.dsl.program import ProcessProgram
+
+        def poke_body(view):
+            return Effect({"lc": view.lc + 1, "w_count": 0})
+
+        impl = ProcessProgram(
+            "PokingImpl",
+            {"lc": 0},
+            actions=(
+                GuardedAction("impl:poke", lambda _v: True, poke_body),
+            ),
+        )
+        wrapper = fixtures.make_whitebox_wrapper()
+        proof = check_wrapper_interference(impl, wrapper, engine)
+        messages = [
+            f.message for f in proof.findings if f.rule == "GRAY-WRITE"
+        ]
+        assert any("implementation action" in m for m in messages)
+
+    def test_unknown_write_set_fails_the_proof(self, engine):
+        from functools import partial
+
+        from repro.dsl.guards import Effect, GuardedAction
+        from repro.dsl.program import ProcessProgram
+
+        def opaque(view, _extra):
+            return Effect()
+
+        wrapper = ProcessProgram(
+            "OpaqueW",
+            {"w_x": 0},
+            actions=(
+                GuardedAction(
+                    "W:opaque", lambda _v: True, partial(opaque, _extra=1)
+                ),
+            ),
+        )
+        proof = check_wrapper_interference(
+            fixtures.make_impl_program(), wrapper, engine
+        )
+        assert not proof.proven
+        assert any(f.rule == "GRAY-UNKNOWN" for f in proof.findings)

@@ -1,0 +1,116 @@
+"""Golden tests: each violating fixture trips its rule at the marked line."""
+
+import pytest
+
+from repro.lint.findings import LintReport
+from repro.lint.inference import Engine
+from repro.lint.runner import lint_program
+
+from tests.lint import fixtures
+
+
+@pytest.fixture(scope="module")
+def engine():
+    return Engine()
+
+
+def findings_for(program, engine):
+    report = LintReport()
+    lint_program(program, engine, report)
+    return report.findings
+
+
+def the_finding(findings, rule):
+    matches = [f for f in findings if f.rule == rule]
+    assert matches, f"no {rule} finding in {[f.rule for f in findings]}"
+    return matches[0]
+
+
+class TestGoldenViolations:
+    def test_wall_clock_in_guard(self, engine):
+        finding = the_finding(
+            findings_for(fixtures.clock_program(), engine), "DET-TIME"
+        )
+        assert finding.line == fixtures.MARKS["time-call"]
+        assert finding.action == "bad:clock"
+        assert finding.path == fixtures.__file__
+
+    def test_unseeded_random(self, engine):
+        finding = the_finding(
+            findings_for(fixtures.random_program(), engine), "DET-RANDOM"
+        )
+        assert finding.line == fixtures.MARKS["random-call"]
+        assert finding.action == "bad:random"
+
+    def test_set_iteration_is_an_error(self, engine):
+        finding = the_finding(
+            findings_for(fixtures.order_program(), engine), "DET-ORDER"
+        )
+        assert finding.line == fixtures.MARKS["set-iteration"]
+        assert finding.severity.label == "error"
+
+    def test_entropy_and_id(self, engine):
+        findings = findings_for(fixtures.entropy_program(), engine)
+        entropy = the_finding(findings, "DET-ENTROPY")
+        identity = the_finding(findings, "DET-ID")
+        assert entropy.line == fixtures.MARKS["urandom-call"]
+        assert identity.line == fixtures.MARKS["id-call"]
+
+    def test_shared_mutation(self, engine):
+        finding = the_finding(
+            findings_for(fixtures.mutation_program(), engine), "MUT-SHARED"
+        )
+        assert finding.line == fixtures.MARKS["shared-mutation"]
+        assert ".append()" in finding.message
+
+    def test_guard_constructing_effect(self, engine):
+        finding = the_finding(
+            findings_for(fixtures.guard_effect_program(), engine),
+            "GUARD-EFFECT",
+        )
+        assert finding.line == fixtures.MARKS["effectful-guard"]
+        assert finding.function == "effectful_guard"
+
+    def test_undeclared_write_names_action_and_variable(self, engine):
+        finding = the_finding(
+            findings_for(fixtures.undeclared_program(), engine),
+            "WRITE-UNDECLARED",
+        )
+        assert "'bad:undeclared'" in finding.message
+        assert "'ghost'" in finding.message
+
+    def test_mutable_closure_capture(self, engine):
+        finding = the_finding(
+            findings_for(fixtures.capture_program(), engine),
+            "CAPTURE-MUTABLE",
+        )
+        assert finding.line == fixtures.MARKS["mutable-capture"]
+        assert "'history'" in finding.message
+
+
+class TestCleanPasses:
+    def test_clean_control_program(self, engine):
+        assert findings_for(fixtures.clean_program(), engine) == []
+
+    def test_suppression_silences_the_marked_rule(self, engine):
+        findings = findings_for(fixtures.suppressed_program(), engine)
+        assert all(f.rule != "DET-TIME" for f in findings)
+
+    @pytest.mark.parametrize(
+        "algorithm", ["ra", "ra-count", "lamport", "token"]
+    )
+    def test_tme_implementations_are_clean(self, engine, algorithm):
+        from repro.tme.scenarios import tme_programs
+
+        program = tme_programs(algorithm, 3)["p0"]
+        assert findings_for(program, engine) == []
+
+    @pytest.mark.parametrize("impl", ["RA_ME", "Lamport_ME"])
+    def test_wrappers_are_clean(self, engine, impl):
+        from repro.tme.interfaces import adapter_for
+        from repro.tme.wrapper import WrapperConfig, wrapper_program
+
+        wrapper = wrapper_program(
+            "p0", ("p0", "p1", "p2"), adapter_for(impl), WrapperConfig(theta=4)
+        )
+        assert findings_for(wrapper, engine) == []

@@ -1,0 +1,119 @@
+"""The lint driver and the ``python -m repro lint`` command."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.lint.runner import (
+    collect_programs,
+    is_tme_target,
+    run_lint,
+    tme_catalog,
+)
+
+from tests.lint import fixtures
+
+FIXTURES = fixtures.__file__
+
+
+class TestTargets:
+    def test_tme_target_spellings(self):
+        assert is_tme_target("tme")
+        assert is_tme_target("repro.tme")
+        assert is_tme_target("src/repro/tme")
+        assert not is_tme_target("tests/lint/fixtures.py")
+
+    def test_collect_from_file_path(self):
+        programs = collect_programs(FIXTURES)
+        assert len(programs) == len(fixtures.LINT_PROGRAMS)
+
+    def test_collect_from_module_attr(self):
+        programs = collect_programs("tests.lint.fixtures:clock_program")
+        assert [p.name for p in programs] == ["BadClock"]
+
+    def test_unknown_target_raises(self):
+        with pytest.raises(ValueError):
+            collect_programs("tests.lint.fixtures:nonexistent")
+
+    def test_catalog_covers_all_algorithms_and_wrappers(self):
+        names = [p.name for p in tme_catalog(n=3)]
+        for impl in ("RA_ME", "RACount_ME", "Lamport_ME", "TokenRing_ME"):
+            assert impl in names
+        assert sum("W'" in n for n in names) == 4
+
+
+class TestRunLint:
+    def test_tme_is_clean_and_proven(self):
+        report = run_lint(["tme"], n=3)
+        assert report.findings == []
+        assert report.checked_programs == 8
+        assert len(report.proofs) == 4
+        assert all(p["proven"] for p in report.proofs)
+
+    def test_fixture_violations_are_found(self):
+        report = run_lint([FIXTURES])
+        rules = {f.rule for f in report.findings}
+        assert {
+            "DET-TIME",
+            "DET-RANDOM",
+            "DET-ORDER",
+            "DET-ENTROPY",
+            "DET-ID",
+            "MUT-SHARED",
+            "GUARD-EFFECT",
+            "WRITE-UNDECLARED",
+            "CAPTURE-MUTABLE",
+        } <= rules
+        assert report.exit_code() == 1
+
+    def test_dynamic_mode_attaches_cross_checks(self):
+        report = run_lint(["tme"], n=3, dynamic=True, steps=60)
+        assert len(report.cross_checks) == 4
+        assert all(c["contained"] for c in report.cross_checks)
+        assert report.exit_code() == 0
+
+
+class TestCli:
+    def test_lint_tme_exits_zero(self, capsys):
+        assert main(["lint", "tme"]) == 0
+        out = capsys.readouterr().out
+        assert "PROVEN" in out
+        assert "0 errors" in out
+
+    def test_lint_package_path_spelling(self, capsys):
+        assert main(["lint", "src/repro/tme"]) == 0
+        assert "non-interference" in capsys.readouterr().out
+
+    def test_lint_fixtures_exits_nonzero(self, capsys):
+        assert main(["lint", FIXTURES]) == 1
+        assert "[DET-TIME]" in capsys.readouterr().out
+
+    def test_strict_flag_promotes_warnings(self, capsys, tmp_path):
+        src = tmp_path / "warny.py"
+        src.write_text(
+            "from repro.dsl.guards import Effect, GuardedAction\n"
+            "from repro.dsl.program import ProcessProgram\n"
+            "def make():\n"
+            "    history = []\n"
+            "    def body(view):\n"
+            "        history.append(1)\n"
+            "        return Effect({'x': view.x})\n"
+            "    return ProcessProgram('Warny', {'x': 0}, actions=(\n"
+            "        GuardedAction('w:x', lambda _v: True, body),))\n"
+            "LINT_PROGRAMS = (make,)\n"
+        )
+        assert main(["lint", str(src)]) == 0
+        assert main(["lint", str(src), "--strict"]) == 1
+
+    def test_json_artifact(self, capsys, tmp_path):
+        artifact = tmp_path / "lint.json"
+        assert main(["lint", "tme", "--json", str(artifact)]) == 0
+        payload = json.loads(artifact.read_text())
+        assert payload["counts"]["error"] == 0
+        assert len(payload["proofs"]) == 4
+        assert all(p["proven"] for p in payload["proofs"])
+
+    def test_bad_target_exits_two(self, capsys):
+        assert main(["lint", "no.such.module"]) == 2
+        assert "lint:" in capsys.readouterr().out
