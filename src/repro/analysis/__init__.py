@@ -3,6 +3,7 @@
 from repro.analysis.experiments import (
     CampaignSettings,
     experiment_campaign,
+    experiment_churn,
     experiment_deadlock,
     experiment_everywhere,
     experiment_fifo_ablation,
@@ -32,6 +33,7 @@ __all__ = [
     "RunMetrics",
     "cs_entries",
     "experiment_campaign",
+    "experiment_churn",
     "experiment_deadlock",
     "experiment_everywhere",
     "experiment_fifo_ablation",

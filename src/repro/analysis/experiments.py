@@ -808,3 +808,73 @@ def experiment_campaign(
             continue  # already measured in the size sweep
         rows.append(row(algorithms[0], sizes[0], scale, "intensity"))
     return rows
+
+
+def experiment_churn(
+    algorithms: tuple[str, ...] = ("ra", "ra-count", "lamport", "token"),
+    n: int = 8,
+    trials: int = 10,
+    theta: int = 4,
+    churn_scale: float = 1.0,
+    root_seed: int = 0,
+    workers: int = 1,
+) -> list[Row]:
+    """E17: availability under crash-restart/partition churn, with and
+    without the self-healing recovery subsystem (:mod:`repro.recovery`).
+
+    Every wrapped algorithm runs the same churned campaign (the standard
+    Section 3.1 fault burst *plus* crash-restart and partition decisions
+    at the standard :class:`~repro.campaign.ChurnRates` scaled by
+    ``churn_scale``) twice -- recovery attached, recovery off -- and the
+    table reports convergence, mean availability, and the detection /
+    recovery latency distributions.  The token ring is the negative
+    control: exclusion cannot substitute for its token, so only the
+    watchdog's global reset restores service.
+    """
+    import time
+
+    from repro.campaign import CampaignSpec, ChurnRates
+    from repro.campaign import run_campaign as run_mc_campaign
+    from repro.campaign import summarize
+    from repro.recovery import RecoveryConfig
+
+    def row(algorithm: str, recovery: bool) -> Row:
+        spec = CampaignSpec(
+            algorithm=algorithm,
+            n=n,
+            root_seed=root_seed,
+            theta=theta,
+            churn=ChurnRates().scaled(churn_scale),
+            recovery=RecoveryConfig() if recovery else None,
+        )
+        started = time.perf_counter()
+        results = run_mc_campaign(spec, trials, workers=workers)
+        summary = summarize(results, time.perf_counter() - started)
+        detection = summary.detection
+        recovery_lat = summary.recovery
+        return {
+            "algorithm": algorithm,
+            "recovery": "on" if recovery else "off",
+            "n": n,
+            "trials": trials,
+            "converged": f"{summary.outcomes.get('converged', 0)}/{trials}",
+            "availability": (
+                round(summary.availability_mean, 3)
+                if summary.availability_mean is not None
+                else "-"
+            ),
+            "detect_p50": detection.p50 if detection else "-",
+            "detect_p95": round(detection.p95, 1) if detection else "-",
+            "recover_p50": recovery_lat.p50 if recovery_lat else "-",
+            "recover_p95": (
+                round(recovery_lat.p95, 1) if recovery_lat else "-"
+            ),
+            "dropped": summary.total_dropped,
+        }
+
+    rows: list[Row] = []
+    for algorithm in algorithms:
+        rows.append(row(algorithm, recovery=True))
+    for algorithm in algorithms:
+        rows.append(row(algorithm, recovery=False))
+    return rows

@@ -18,7 +18,8 @@ Layers:
   (scheduler choices + concrete fault operations);
 * :mod:`repro.campaign.faults`  -- the deciding fault injector: rolls the
   Section 3.1 fault classes (loss / duplication / corruption / state
-  corruption) into *concrete, replayable* operations;
+  corruption, plus crash-restart / crash-stop / partition / heal churn
+  when :class:`ChurnRates` is set) into *concrete, replayable* operations;
 * :mod:`repro.campaign.trial`   -- the deterministic single-trial runner
   with an online legitimacy monitor and a canonical trace digest;
 * :mod:`repro.campaign.runner`  -- process fan-out with per-trial timeout
@@ -31,7 +32,15 @@ Layers:
   empirical CDF) and the JSON artifact behind EXPERIMENTS.md E16.
 """
 
-from repro.campaign.faults import DecidingFaults, FaultRates, ReplayFaults
+from repro.campaign.faults import (
+    ChurnRates,
+    CrashProcess,
+    DecidingFaults,
+    FaultRates,
+    HealNet,
+    PartitionNet,
+    ReplayFaults,
+)
 from repro.campaign.record import (
     FaultDecision,
     RecordingScheduler,
@@ -65,10 +74,14 @@ from repro.campaign.trial import (
 __all__ = [
     "CampaignSpec",
     "CampaignSummary",
+    "ChurnRates",
+    "CrashProcess",
     "DecidingFaults",
     "FaultDecision",
     "FaultRates",
+    "HealNet",
     "LatencySummary",
+    "PartitionNet",
     "RecordingScheduler",
     "ReplayFaults",
     "SchedDecision",

@@ -57,6 +57,38 @@ class FaultRates:
         )
 
 
+@dataclass(frozen=True)
+class ChurnRates:
+    """Per-step strike probabilities of the crash/partition fault classes.
+
+    Churn rolls are *appended* after the four Section 3.1 classes and only
+    when a spec opts in, so every pre-churn campaign consumes its RNG
+    stream -- and therefore produces its trace digest -- unchanged.
+    """
+
+    crash_restart: float = 0.02
+    crash_stop: float = 0.0
+    partition: float = 0.01
+    heal: float = 0.0
+    #: Steps a crash-restart victim stays down before reviving.
+    downtime: int = 40
+    #: Steps until a partition auto-heals (``None`` = stays cut until an
+    #: explicit :class:`HealNet` strikes).
+    heal_after: int | None = 60
+
+    def scaled(self, factor: float) -> "ChurnRates":
+        """Rates at a different churn intensity (durations unchanged)."""
+        cap = lambda p: min(0.95, p * factor)  # noqa: E731
+        return ChurnRates(
+            crash_restart=cap(self.crash_restart),
+            crash_stop=cap(self.crash_stop),
+            partition=cap(self.partition),
+            heal=cap(self.heal),
+            downtime=self.downtime,
+            heal_after=self.heal_after,
+        )
+
+
 # ---------------------------------------------------------------------------
 # Concrete, replayable operations
 # ---------------------------------------------------------------------------
@@ -115,7 +147,57 @@ class CorruptState:
         return f"scramble {self.pid}.{{{names}}}"
 
 
-FaultOp = LoseMessage | DuplicateMessage | CorruptMessage | CorruptState
+@dataclass(frozen=True)
+class CrashProcess:
+    """Crash ``pid``.  ``downtime`` is the steps until the scheduled restart
+    (``None`` = crash-stop); ``restart_vars`` is the improperly initialized
+    valuation the restart re-enters from, recorded at decision time so
+    replays restart bit-for-bit identically."""
+
+    pid: str
+    downtime: int | None
+    restart_vars: tuple[tuple[str, Any], ...] | None
+
+    def describe(self) -> str:
+        if self.downtime is None:
+            return f"crash-stop {self.pid}"
+        return f"crash {self.pid} (downtime {self.downtime})"
+
+
+@dataclass(frozen=True)
+class PartitionNet:
+    """Cut every link between ``side`` and its complement; ``heal_after``
+    steps later the cut heals on its own (``None`` = until a HealNet)."""
+
+    side: tuple[str, ...]
+    heal_after: int | None
+
+    def describe(self) -> str:
+        when = (
+            f"heal after {self.heal_after}"
+            if self.heal_after is not None
+            else "unhealed"
+        )
+        return f"partition {{{','.join(self.side)}}} ({when})"
+
+
+@dataclass(frozen=True)
+class HealNet:
+    """Bring every cut link back up."""
+
+    def describe(self) -> str:
+        return "heal all links"
+
+
+FaultOp = (
+    LoseMessage
+    | DuplicateMessage
+    | CorruptMessage
+    | CorruptState
+    | CrashProcess
+    | PartitionNet
+    | HealNet
+)
 
 
 def apply_op(simulator: "Simulator", op: FaultOp) -> str | None:
@@ -123,8 +205,41 @@ def apply_op(simulator: "Simulator", op: FaultOp) -> str | None:
     if isinstance(op, CorruptState):
         if op.pid not in simulator.processes:
             return None
+        if not simulator.processes[op.pid].is_live:
+            return None
         simulator.processes[op.pid].corrupt(dict(op.updates))
         return f"state-corrupt: {op.describe()}"
+    if isinstance(op, CrashProcess):
+        proc = simulator.processes.get(op.pid)
+        if proc is None or not proc.is_live:
+            return None
+        restart_at = (
+            simulator.step_index + op.downtime
+            if op.downtime is not None
+            else None
+        )
+        restart_vars = (
+            dict(op.restart_vars) if op.restart_vars is not None else None
+        )
+        dropped = simulator.crash_process(
+            op.pid, restart_at=restart_at, restart_vars=restart_vars
+        )
+        return f"crash: {op.describe()} (mail lost: {dropped})"
+    if isinstance(op, PartitionNet):
+        heal_at = (
+            simulator.step_index + op.heal_after
+            if op.heal_after is not None
+            else None
+        )
+        links = simulator.network.cut(op.side, heal_at=heal_at)
+        if not links:
+            return None
+        return f"partition: {op.describe()} ({len(links)} links)"
+    if isinstance(op, HealNet):
+        healed = simulator.network.heal_all()
+        if not healed:
+            return None
+        return f"heal: {len(healed)} links up"
     chan = simulator.network.channel(op.src, op.dst)
     if op.index >= len(chan):
         return None
@@ -150,8 +265,9 @@ class DecidingFaults(FaultInjector):
     """Roll, record, and apply the four fault classes each step.
 
     One step can deal up to one fault of each class, decided in a fixed
-    order (loss, duplication, corruption, state corruption) so the RNG
-    stream is consumed identically on every run of the same seed.
+    order (loss, duplication, corruption, state corruption, then -- only
+    when ``churn`` is set -- crash-restart, crash-stop, partition, heal) so
+    the RNG stream is consumed identically on every run of the same seed.
     """
 
     def __init__(
@@ -159,10 +275,12 @@ class DecidingFaults(FaultInjector):
         rng: random.Random,
         rates: FaultRates,
         log: list | None = None,
+        churn: ChurnRates | None = None,
     ):
         self.rng = rng
         self.rates = rates
         self.log = log
+        self.churn = churn
         self.count = 0
 
     def _victim(self, simulator: "Simulator") -> tuple[str, str, int] | None:
@@ -203,6 +321,59 @@ class DecidingFaults(FaultInjector):
             updates = scramble_tme_state(simulator.processes[pid], rng)
             if updates:
                 ops.append(CorruptState(pid, tuple(sorted(updates.items()))))
+        if self.churn is not None:
+            # Churn rolls come strictly after the Section 3.1 classes, in a
+            # fixed order of their own, so churn-free specs consume the RNG
+            # stream exactly as before this fault class existed.
+            ops.extend(self._decide_churn(simulator))
+        return ops
+
+    def _decide_churn(self, simulator: "Simulator") -> list[FaultOp]:
+        ops: list[FaultOp] = []
+        rng = self.rng
+        churn = self.churn
+        assert churn is not None
+        n = len(simulator.processes)
+        max_down = (n - 1) // 2  # keep a strict majority live
+
+        def crash_victim() -> str | None:
+            crashed = sum(
+                1 for p in simulator.processes.values() if not p.is_live
+            )
+            if crashed >= max_down:
+                return None
+            live = [
+                pid
+                for pid in sorted(simulator.processes)
+                if simulator.processes[pid].is_live
+            ]
+            return rng.choice(live) if live else None
+
+        if rng.random() < churn.crash_restart:
+            pid = crash_victim()
+            if pid is not None:
+                proc = simulator.processes[pid]
+                restart_vars = dict(proc.program.initial_vars)
+                restart_vars.update(scramble_tme_state(proc, rng))
+                ops.append(
+                    CrashProcess(
+                        pid,
+                        churn.downtime,
+                        tuple(sorted(restart_vars.items())),
+                    )
+                )
+        if rng.random() < churn.crash_stop:
+            pid = crash_victim()
+            if pid is not None:
+                ops.append(CrashProcess(pid, None, None))
+        if rng.random() < churn.partition and not simulator.network.down_links():
+            if max_down >= 1:
+                pids = sorted(simulator.processes)
+                size = rng.randrange(1, max_down + 1)
+                side = tuple(sorted(rng.sample(pids, size)))
+                ops.append(PartitionNet(side, churn.heal_after))
+        if rng.random() < churn.heal and simulator.network.down_links():
+            ops.append(HealNet())
         return ops
 
     def before_step(self, simulator: "Simulator", step_index: int) -> list[str]:

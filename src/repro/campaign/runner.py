@@ -11,10 +11,13 @@ per trial.
 
 Failure containment is per trial, never per campaign:
 
-* a worker that dies (OOM-kill, segfault, ``os._exit``) yields a
-  ``"crashed"`` :class:`~repro.campaign.trial.TrialResult` for its trial;
+* a worker that dies (OOM-kill, segfault, ``os._exit``) gets its trial
+  *requeued* with backoff -- trials are deterministic, so a sporadic
+  environmental kill deserves a clean retry; only after
+  ``max_trial_retries`` consecutive worker deaths does the trial surface
+  as a ``"crashed"`` :class:`~repro.campaign.trial.TrialResult`;
 * a worker that overruns ``trial_timeout`` is terminated and yields a
-  ``"timeout"`` result;
+  ``"timeout"`` result (no retry: the overrun is deterministic too);
 * everything else keeps running, and the campaign completes.
 
 Because trials are deterministic, ``workers=1`` (the in-process fallback,
@@ -68,16 +71,26 @@ def run_campaign(
     trial_timeout: float | None = None,
     trial_fn: TrialFn | None = None,
     on_result: Callable[[TrialResult], None] | None = None,
+    max_trial_retries: int = 2,
+    retry_backoff: float = 0.2,
+    retry_stats: dict | None = None,
 ) -> list[TrialResult]:
     """Run trials ``0..trials-1`` of ``spec``; results ordered by trial id.
 
     ``on_result`` streams results in *completion* order as they arrive.
     ``trial_fn`` exists for tests (inject crashes/hangs); campaigns use
-    :func:`repro.campaign.trial.run_trial`.
+    :func:`repro.campaign.trial.run_trial`.  A trial whose worker dies is
+    requeued up to ``max_trial_retries`` times, waiting ``retry_backoff``
+    seconds (doubling per attempt) before the respawn; ``retry_stats``
+    (when given) receives a ``"requeues"`` count for the artifact.
     """
     if trials < 0:
         raise ValueError("trials must be non-negative")
+    if max_trial_retries < 0:
+        raise ValueError("max_trial_retries must be non-negative")
     fn = trial_fn or _default_trial_fn
+    if retry_stats is not None:
+        retry_stats.setdefault("requeues", 0)
     if workers <= 1 or trials <= 1 or not _fork_available():
         results = []
         for trial_id in range(trials):
@@ -86,25 +99,41 @@ def run_campaign(
                 on_result(result)
             results.append(result)
         return results
-    return _run_parallel(spec, trials, workers, trial_timeout, fn, on_result)
+    return _run_parallel(
+        spec,
+        trials,
+        workers,
+        trial_timeout,
+        fn,
+        on_result,
+        max_trial_retries,
+        retry_backoff,
+        retry_stats,
+    )
 
 
 def _fork_available() -> bool:
     return "fork" in multiprocessing.get_all_start_methods()
 
 
-def _run_parallel(
+def _run_parallel(  # noqa: PLR0913 -- the runner's full policy surface
     spec: CampaignSpec,
     trials: int,
     workers: int,
     trial_timeout: float | None,
     trial_fn: TrialFn,
     on_result: Callable[[TrialResult], None] | None,
+    max_trial_retries: int,
+    retry_backoff: float,
+    retry_stats: dict | None,
 ) -> list[TrialResult]:
     ctx = multiprocessing.get_context("fork")
     pending = iter(range(trials))
     live: dict[int, tuple] = {}  # trial_id -> (process, conn, deadline)
     results: dict[int, TrialResult] = {}
+    attempts: dict[int, int] = {}  # trial_id -> worker deaths so far
+    retry_queue: list[tuple[float, int]] = []  # (ready_at, trial_id)
+    requeues = 0
 
     def finish(trial_id: int, result: TrialResult) -> None:
         results[trial_id] = result
@@ -125,14 +154,52 @@ def _run_parallel(
         )
         live[trial_id] = (proc, recv, deadline)
 
+    def crashed(trial_id: int, exitcode: object, context: str) -> None:
+        """A worker died without delivering a result: requeue or give up."""
+        nonlocal requeues
+        deaths = attempts.get(trial_id, 0) + 1
+        attempts[trial_id] = deaths
+        if deaths <= max_trial_retries:
+            requeues += 1
+            backoff = retry_backoff * (2 ** (deaths - 1))
+            retry_queue.append((time.monotonic() + backoff, trial_id))
+            return
+        finish(
+            trial_id,
+            _failed(
+                trial_id,
+                "crashed",
+                0.0,
+                f"worker {context} (exitcode {exitcode}) "
+                f"after {deaths} attempts",
+            ),
+        )
+
+    def spawn_ready() -> None:
+        """Fill free worker slots: due retries first, then fresh trials."""
+        now = time.monotonic()
+        while len(live) < workers and retry_queue:
+            ready_at, trial_id = min(retry_queue)
+            if ready_at > now:
+                break
+            retry_queue.remove((ready_at, trial_id))
+            spawn(trial_id)
+        while len(live) < workers:
+            trial_id = next(pending, None)
+            if trial_id is None:
+                break
+            spawn(trial_id)
+
     try:
         while len(results) < trials:
-            while len(live) < workers:
-                trial_id = next(pending, None)
-                if trial_id is None:
-                    break
-                spawn(trial_id)
+            spawn_ready()
             if not live:
+                if retry_queue:
+                    # Every outstanding trial is backing off; wait it out.
+                    time.sleep(
+                        max(0.0, min(r for r, _t in retry_queue) - time.monotonic())
+                    )
+                    continue
                 break
             connection_wait([conn for _p, conn, _d in live.values()], 0.05)
             now = time.monotonic()
@@ -145,15 +212,10 @@ def _run_parallel(
                         # A dead worker's closed pipe polls readable too;
                         # join so the exitcode is available for the report.
                         proc.join()
-                        finish(
+                        crashed(
                             trial_id,
-                            _failed(
-                                trial_id,
-                                "crashed",
-                                0.0,
-                                "worker closed the pipe without a result "
-                                f"(exitcode {proc.exitcode})",
-                            ),
+                            proc.exitcode,
+                            "closed the pipe without a result",
                         )
                 elif deadline is not None and now > deadline:
                     proc.terminate()
@@ -173,26 +235,14 @@ def _run_parallel(
                         try:
                             finish(trial_id, conn.recv())
                         except EOFError:
-                            finish(
+                            crashed(
                                 trial_id,
-                                _failed(
-                                    trial_id,
-                                    "crashed",
-                                    0.0,
-                                    "worker closed the pipe mid-result "
-                                    f"(exitcode {proc.exitcode})",
-                                ),
+                                proc.exitcode,
+                                "closed the pipe mid-result",
                             )
                     else:
-                        finish(
-                            trial_id,
-                            _failed(
-                                trial_id,
-                                "crashed",
-                                0.0,
-                                f"worker died with exitcode {proc.exitcode}",
-                            ),
-                        )
+                        proc.join()
+                        crashed(trial_id, proc.exitcode, "died")
                 else:
                     continue
                 conn.close()
@@ -204,6 +254,8 @@ def _run_parallel(
             conn.close()
             proc.join()
 
+    if retry_stats is not None:
+        retry_stats["requeues"] = retry_stats.get("requeues", 0) + requeues
     return [results[i] for i in sorted(results)]
 
 

@@ -113,6 +113,25 @@ class ShrinkResult:
     def render(self, spec: CampaignSpec) -> str:
         """Human-readable counterexample via :mod:`repro.core.counterexample`."""
         label = "bare" if spec.theta is None else f"W'(theta={spec.theta})"
+        notes = [
+            f"shrunk {len(self.original)} -> {len(self.minimal)} "
+            f"decisions in {self.probes} replay probes"
+            + ("" if self.complete else " (probe budget hit)"),
+            "1-minimal: removing any single remaining decision "
+            "makes the trial pass"
+            if self.complete
+            else "minimality unverified (probe budget hit)",
+        ]
+        if self.final.ops_skipped:
+            notes.append(
+                f"{self.final.ops_skipped} masked fault ops skipped at "
+                "replay (victim crashed/absent when its decision came due)"
+            )
+        if self.final.sched_fallbacks:
+            notes.append(
+                f"{self.final.sched_fallbacks} scheduler fallbacks "
+                "(scripted choice unavailable; deterministic substitute)"
+            )
         return render_counterexample(
             title=(
                 f"trial {self.trial_id}: {spec.algorithm} n={spec.n} "
@@ -124,15 +143,7 @@ class ShrinkResult:
                 f"({self.final.entries} CS entries, "
                 f"{self.final.me1_after_horizon} post-horizon ME1 violations)"
             ),
-            notes=(
-                f"shrunk {len(self.original)} -> {len(self.minimal)} "
-                f"decisions in {self.probes} replay probes"
-                + ("" if self.complete else " (probe budget hit)"),
-                "1-minimal: removing any single remaining decision "
-                "makes the trial pass"
-                if self.complete
-                else "minimality unverified (probe budget hit)",
-            ),
+            notes=tuple(notes),
         )
 
 

@@ -86,12 +86,35 @@ class CampaignSummary:
     total_faults: int
     wall_seconds: float
     trials_per_second: float
+    # -- robustness aggregates (defaults keep pre-churn callers valid) -----
+    availability_mean: float | None = None
+    detection: LatencySummary | None = None
+    recovery: LatencySummary | None = None
+    total_dropped: int = 0
+    total_corrupted: int = 0
+    requeues: int = 0
 
     def describe(self) -> str:
         lines = [
             f"trials:      {self.trials}  {self.outcomes}",
             f"convergence: {self.convergence_rate:.1%}",
         ]
+        if self.availability_mean is not None:
+            lines.append(f"availability: {self.availability_mean:.1%} mean")
+        if self.detection is not None and self.detection.count:
+            lines.append(
+                "detection:   "
+                f"mean {self.detection.mean:.1f}  p50 {self.detection.p50:.0f}  "
+                f"p95 {self.detection.p95:.0f} steps "
+                f"({self.detection.count} incidents)"
+            )
+        if self.recovery is not None and self.recovery.count:
+            lines.append(
+                "recovery:    "
+                f"mean {self.recovery.mean:.1f}  p50 {self.recovery.p50:.0f}  "
+                f"p95 {self.recovery.p95:.0f} steps "
+                f"({self.recovery.count} episodes)"
+            )
         if self.latency.count:
             lines.append(
                 "latency:     "
@@ -109,11 +132,20 @@ class CampaignSummary:
             f"{self.mean_steps:.0f} mean steps/trial, "
             f"{self.total_faults} faults dealt)"
         )
+        if self.total_dropped or self.total_corrupted:
+            lines.append(
+                f"channels:    {self.total_dropped} dropped, "
+                f"{self.total_corrupted} corrupted"
+            )
+        if self.requeues:
+            lines.append(f"requeues:    {self.requeues} worker respawns")
         return "\n".join(lines)
 
 
 def summarize(
-    results: Sequence[TrialResult], wall_seconds: float
+    results: Sequence[TrialResult],
+    wall_seconds: float,
+    requeues: int = 0,
 ) -> CampaignSummary:
     """Aggregate a campaign's results (``wall_seconds``: end-to-end time)."""
     latencies = [r.latency for r in results if r.latency is not None]
@@ -121,6 +153,11 @@ def summarize(
         r.wall_latency for r in results if r.wall_latency is not None
     ]
     converged = sum(1 for r in results if r.converged)
+    availabilities = [
+        r.availability for r in results if r.availability is not None
+    ]
+    detections = [d for r in results for d in r.detections]
+    recoveries = [d for r in results for d in r.recoveries]
     return CampaignSummary(
         trials=len(results),
         outcomes=summarize_outcomes(results),
@@ -137,6 +174,16 @@ def summarize(
         total_faults=sum(r.faults for r in results),
         wall_seconds=wall_seconds,
         trials_per_second=len(results) / wall_seconds if wall_seconds else 0.0,
+        availability_mean=(
+            sum(availabilities) / len(availabilities)
+            if availabilities
+            else None
+        ),
+        detection=LatencySummary.of(detections) if detections else None,
+        recovery=LatencySummary.of(recoveries) if recoveries else None,
+        total_dropped=sum(r.dropped for r in results),
+        total_corrupted=sum(r.corrupted for r in results),
+        requeues=requeues,
     )
 
 
@@ -148,25 +195,37 @@ def artifact(
     """The JSON-serializable campaign artifact (CI's BENCH_campaign.json)."""
     spec_dict = asdict(spec)
     spec_dict["rates"] = asdict(spec.rates)
+
+    def _latency_dict(latency: LatencySummary | None) -> dict | None:
+        if latency is None:
+            return None
+        return {
+            "count": latency.count,
+            "mean": latency.mean,
+            "p50": latency.p50,
+            "p95": latency.p95,
+            "max": latency.maximum,
+            "cdf": [list(point) for point in latency.cdf],
+        }
+
     return {
         "spec": spec_dict,
         "summary": {
             "trials": summary.trials,
             "outcomes": summary.outcomes,
             "convergence_rate": summary.convergence_rate,
-            "latency": {
-                "count": summary.latency.count,
-                "mean": summary.latency.mean,
-                "p50": summary.latency.p50,
-                "p95": summary.latency.p95,
-                "max": summary.latency.maximum,
-                "cdf": [list(point) for point in summary.latency.cdf],
-            },
+            "latency": _latency_dict(summary.latency),
             "wall_latency_mean_s": summary.wall_latency_mean,
             "mean_steps": summary.mean_steps,
             "total_faults": summary.total_faults,
             "wall_seconds": summary.wall_seconds,
             "trials_per_second": summary.trials_per_second,
+            "availability_mean": summary.availability_mean,
+            "detection": _latency_dict(summary.detection),
+            "recovery": _latency_dict(summary.recovery),
+            "total_dropped": summary.total_dropped,
+            "total_corrupted": summary.total_corrupted,
+            "requeues": summary.requeues,
         },
         "trials": [
             {
@@ -177,6 +236,11 @@ def artifact(
                 "entries": r.entries,
                 "faults": r.faults,
                 "digest": r.digest,
+                "dropped": r.dropped,
+                "corrupted": r.corrupted,
+                "availability": r.availability,
+                "detections": len(r.detections),
+                "recoveries": len(r.recoveries),
             }
             for r in results
         ],

@@ -32,7 +32,12 @@ import time
 from collections.abc import Collection, Sequence
 from dataclasses import dataclass, field, replace
 
-from repro.campaign.faults import DecidingFaults, FaultRates, ReplayFaults
+from repro.campaign.faults import (
+    ChurnRates,
+    DecidingFaults,
+    FaultRates,
+    ReplayFaults,
+)
 from repro.campaign.record import (
     FaultDecision,
     RecordingScheduler,
@@ -40,7 +45,8 @@ from repro.campaign.record import (
     ScriptedScheduler,
 )
 from repro.campaign.seeds import FAULTS_STREAM, SCHEDULER_STREAM, spawn_rng
-from repro.faults.injector import Windowed
+from repro.faults.injector import Composite, FaultInjector, Windowed
+from repro.recovery import RecoveryConfig, RecoveryManager
 from repro.runtime.scheduler import RandomScheduler
 from repro.runtime.simulator import Simulator
 from repro.runtime.trace import StepRecord
@@ -75,6 +81,11 @@ class CampaignSpec:
     think_delay: int = 2
     eat_delay: int = 1
     digest_every: int = 64
+    #: ``None`` = no crash/partition churn (the pre-churn RNG stream and
+    #: digests are bit-for-bit preserved in that case).
+    churn: ChurnRates | None = None
+    #: ``None`` = no recovery subsystem attached.
+    recovery: RecoveryConfig | None = None
 
     def __post_init__(self) -> None:
         if self.fault_stop < self.fault_start:
@@ -101,6 +112,13 @@ class CampaignSpec:
             return self.max_steps
         return self.fault_stop + max(1200, 3 * self.effective_confirm_window)
 
+    @property
+    def effective_avail_window(self) -> int:
+        """A step is *served* if the last CS entry is at most this old
+        (given demand); a quarter of the confirmation window keeps the
+        availability measure strictly harder than the convergence one."""
+        return max(30, self.effective_confirm_window // 4)
+
 
 @dataclass(frozen=True)
 class TrialResult:
@@ -118,6 +136,15 @@ class TrialResult:
     digest: str
     detail: str = ""
     decisions: tuple[Decision, ...] | None = None
+    # -- robustness measurements (defaults keep pre-churn artifacts valid) --
+    availability: float | None = None
+    dropped: int = 0
+    corrupted: int = 0
+    detections: tuple[int, ...] = ()
+    recoveries: tuple[int, ...] = ()
+    recovery_stages: tuple[tuple[str, int], ...] = ()
+    sched_fallbacks: int = 0
+    ops_skipped: int = 0
 
     @property
     def converged(self) -> bool:
@@ -188,7 +215,9 @@ class TraceDigest:
 class _Monitor:
     """Track ME1 cleanliness, CS entries, and open hungers step by step."""
 
-    def __init__(self, simulator: Simulator, horizon: int):
+    def __init__(
+        self, simulator: Simulator, horizon: int, avail_window: int = 0
+    ):
         self.horizon = horizon
         self.phases = {
             pid: proc.variables.get("phase")
@@ -202,6 +231,9 @@ class _Monitor:
         self.me1_total = 0
         self.me1_after_horizon = 0
         self.entry_indices: list[int] = []
+        self.avail_window = avail_window
+        self.served_steps = 0
+        self.observed_steps = 0
 
     def observe(self, simulator: Simulator, state_index: int) -> None:
         eating = 0
@@ -223,6 +255,23 @@ class _Monitor:
             self.me1_total += 1
             if state_index > self.horizon:
                 self.me1_after_horizon += 1
+        if self.avail_window:
+            # A step is served if nobody wants the CS, or somebody entered
+            # it recently enough (grace from step 0 before the first entry).
+            self.observed_steps += 1
+            demand = any(
+                since is not None for since in self.hungry_since.values()
+            )
+            last_entry = self.entry_indices[-1] if self.entry_indices else 0
+            if not demand or state_index - last_entry <= self.avail_window:
+                self.served_steps += 1
+
+    @property
+    def availability(self) -> float | None:
+        """Fraction of observed steps that were served (None untracked)."""
+        if not self.avail_window or not self.observed_steps:
+            return None
+        return self.served_steps / self.observed_steps
 
     def converged_at(self, state_index: int, window: int) -> int | None:
         """The convergence candidate, once a window confirms it."""
@@ -266,6 +315,20 @@ def build_trial_simulator(
     return sim
 
 
+def _attach_recovery(
+    spec: CampaignSpec, hook: FaultInjector
+) -> tuple[FaultInjector, RecoveryManager | None]:
+    """Compose the recovery manager behind the trial's fault hook.
+
+    The composition is identical in free runs and replays (the manager is
+    deterministic and RNG-free, so it needs no recorded decisions).
+    """
+    if spec.recovery is None:
+        return hook, None
+    manager = RecoveryManager(spec.recovery)
+    return Composite([hook, manager]), manager
+
+
 def _execute(
     spec: CampaignSpec,
     trial_id: int,
@@ -274,10 +337,15 @@ def _execute(
     fault_count,
     log: list | None,
     keep_decisions: str,
+    recovery_manager: RecoveryManager | None = None,
 ) -> TrialResult:
     started = time.perf_counter()
     sim = build_trial_simulator(spec, scheduler, fault_hook)
-    monitor = _Monitor(sim, horizon=spec.fault_stop)
+    monitor = _Monitor(
+        sim,
+        horizon=spec.fault_stop,
+        avail_window=spec.effective_avail_window,
+    )
     digest = TraceDigest()
     window = spec.effective_confirm_window
     max_steps = spec.effective_max_steps
@@ -309,6 +377,14 @@ def _execute(
     keep = keep_decisions == "always" or (
         keep_decisions == "failure" and outcome != "converged"
     )
+    detections: tuple[int, ...] = ()
+    recoveries: tuple[int, ...] = ()
+    recovery_stages: tuple[tuple[str, int], ...] = ()
+    if recovery_manager is not None:
+        metrics = recovery_manager.metrics()
+        detections = metrics.detection_latencies
+        recoveries = metrics.recovery_latencies
+        recovery_stages = metrics.stage_counts
     return TrialResult(
         trial_id=trial_id,
         outcome=outcome,
@@ -325,6 +401,12 @@ def _execute(
             f"window={window} max_steps={max_steps}"
         ),
         decisions=tuple(log) if keep and log is not None else None,
+        availability=monitor.availability,
+        dropped=sim.network.total_dropped(),
+        corrupted=sim.network.total_corrupted(),
+        detections=detections,
+        recoveries=recoveries,
+        recovery_stages=recovery_stages,
     )
 
 
@@ -349,9 +431,14 @@ def run_trial(
         log,
     )
     deciding = DecidingFaults(
-        spawn_rng(spec.root_seed, trial_id, FAULTS_STREAM), spec.rates, log
+        spawn_rng(spec.root_seed, trial_id, FAULTS_STREAM),
+        spec.rates,
+        log,
+        churn=spec.churn,
     )
-    hook = Windowed(deciding, spec.fault_start, spec.fault_stop)
+    hook, manager = _attach_recovery(
+        spec, Windowed(deciding, spec.fault_start, spec.fault_stop)
+    )
     return _execute(
         spec,
         trial_id,
@@ -360,6 +447,7 @@ def run_trial(
         lambda: deciding.count,
         log,
         keep_decisions,
+        recovery_manager=manager,
     )
 
 
@@ -379,16 +467,23 @@ def replay_trial(
     fault_decisions = [d for d in decisions if isinstance(d, FaultDecision)]
     scheduler = ScriptedScheduler(sched_decisions, masked)
     replayer = ReplayFaults(fault_decisions, masked)
+    hook, manager = _attach_recovery(spec, replayer)
     result = _execute(
         spec,
         trial_id,
         scheduler,
-        replayer,
+        hook,
         lambda: replayer.count,
         None,
         "never",
+        recovery_manager=manager,
     )
     extra = (
         f" fallbacks={scheduler.fallbacks} skipped_ops={replayer.skipped}"
     )
-    return replace(result, detail=result.detail + extra)
+    return replace(
+        result,
+        detail=result.detail + extra,
+        sched_fallbacks=scheduler.fallbacks,
+        ops_skipped=replayer.skipped,
+    )

@@ -8,7 +8,7 @@ Python:
     standard fault campaign) and print the full verification bundle.
 
 ``experiment``
-    Regenerate one of the EXPERIMENTS.md tables (E2-E14) at a chosen
+    Regenerate one of the EXPERIMENTS.md tables (E2-E17) at a chosen
     repetition count.
 
 ``figure1``
@@ -52,6 +52,7 @@ EXPERIMENTS: dict[str, tuple[str, str]] = {
     "E13": ("experiment_fifo_ablation", "FIFO assumption ablation"),
     "E14": ("experiment_refinement", "basic vs refined wrapper"),
     "E16": ("experiment_campaign", "Monte-Carlo convergence-latency campaign"),
+    "E17": ("experiment_churn", "crash-restart/partition churn with recovery"),
 }
 
 
@@ -192,6 +193,39 @@ def build_parser() -> argparse.ArgumentParser:
         type=float,
         default=1.0,
         help="scale the standard per-step fault rates by this factor",
+    )
+    campaign.add_argument(
+        "--churn",
+        type=float,
+        default=0.0,
+        metavar="SCALE",
+        help="crash-restart/partition churn: scale the standard churn "
+        "rates by this factor (0 = off, pre-churn digests unchanged)",
+    )
+    campaign.add_argument(
+        "--downtime",
+        type=int,
+        default=40,
+        help="steps a crash-restarted process stays down (with --churn)",
+    )
+    campaign.add_argument(
+        "--heal-after",
+        type=int,
+        default=60,
+        help="steps before an injected partition auto-heals (with --churn)",
+    )
+    campaign.add_argument(
+        "--recovery",
+        action=argparse.BooleanOptionalAction,
+        default=None,
+        help="attach the self-healing recovery subsystem "
+        "(default: on iff --churn > 0)",
+    )
+    campaign.add_argument(
+        "--stall-window",
+        type=int,
+        default=None,
+        help="recovery watchdog stall threshold (default: scales with n)",
     )
     campaign.add_argument(
         "--confirm-window",
@@ -413,9 +447,23 @@ def _cmd_explore(args: argparse.Namespace) -> int:
 
 
 def _campaign_spec(args: argparse.Namespace):
-    from repro.campaign import CampaignSpec, FaultRates
+    from repro.campaign import CampaignSpec, ChurnRates, FaultRates
+    from repro.recovery import RecoveryConfig
 
     start, stop = args.faults
+    churn = None
+    if args.churn > 0:
+        churn = ChurnRates(
+            downtime=args.downtime, heal_after=args.heal_after
+        ).scaled(args.churn)
+    with_recovery = (
+        args.recovery if args.recovery is not None else churn is not None
+    )
+    recovery = (
+        RecoveryConfig(stall_window=args.stall_window)
+        if with_recovery
+        else None
+    )
     return CampaignSpec(
         algorithm=args.algorithm,
         n=args.n,
@@ -426,6 +474,8 @@ def _campaign_spec(args: argparse.Namespace):
         rates=FaultRates().scaled(args.fault_scale),
         confirm_window=args.confirm_window,
         max_steps=args.max_steps,
+        churn=churn,
+        recovery=recovery,
     )
 
 
@@ -469,11 +519,16 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
         return 0
 
     label = "bare" if spec.theta is None else f"W'(theta={spec.theta})"
+    extras = ""
+    if spec.churn is not None:
+        extras += f", churn x{args.churn:g}"
+    if spec.recovery is not None:
+        extras += ", recovery on"
     print(
         f"campaign: {spec.algorithm} n={spec.n} {label} "
         f"x{args.trials} trials, root_seed={spec.root_seed}, "
         f"faults [{spec.fault_start},{spec.fault_stop}), "
-        f"workers={args.workers}"
+        f"workers={args.workers}{extras}"
     )
     started = time.perf_counter()
     done = 0
@@ -484,14 +539,20 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
         if done % 50 == 0 or done == args.trials:
             print(f"  {done}/{args.trials} trials done", flush=True)
 
+    retry_stats: dict = {}
     results = run_campaign(
         spec,
         args.trials,
         workers=args.workers,
         trial_timeout=args.trial_timeout,
         on_result=progress,
+        retry_stats=retry_stats,
     )
-    summary = summarize(results, time.perf_counter() - started)
+    summary = summarize(
+        results,
+        time.perf_counter() - started,
+        requeues=retry_stats.get("requeues", 0),
+    )
     print(summary.describe())
     failing = [r.trial_id for r in results if not r.converged]
     if failing:

@@ -1,5 +1,10 @@
 """The paper's fault model (Section 3.1), as composable injectors."""
 
+from repro.faults.crash_faults import (
+    CrashRestart,
+    CrashStop,
+    PartitionFaults,
+)
 from repro.faults.injector import (
     BudgetedFaults,
     Composite,
@@ -26,6 +31,8 @@ __all__ = [
     "ChannelFlush",
     "Composite",
     "CrashRecover",
+    "CrashRestart",
+    "CrashStop",
     "FaultInjector",
     "ImproperInitialization",
     "MessageCorruption",
@@ -33,6 +40,7 @@ __all__ = [
     "MessageLoss",
     "MessageReorder",
     "NoFaults",
+    "PartitionFaults",
     "Scripted",
     "StateCorruption",
     "Windowed",

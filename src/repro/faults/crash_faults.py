@@ -1,0 +1,202 @@
+"""Crash-restart and partition fault injectors.
+
+These extend the Section 3.1 fault lattice with the two classes a
+production deployment of the wrapper must additionally survive: *crash
+churn* (a process loses its volatile state and later restarts from an
+improperly initialized valuation -- the paper's arbitrary-start assumption,
+exercised at runtime) and *network partitions* (per-link cuts and heals,
+first-class in :class:`repro.runtime.network.Network`).
+
+All injectors here are probabilistic and compose with the existing
+:class:`~repro.faults.injector.Windowed` / :class:`~repro.faults.injector.
+Composite` machinery.  Timed revivals and heals are *scheduled on the
+runtime* (``restart_at`` / ``heal_at``), so a fault window may close while
+a restart scheduled inside it still fires afterwards -- crash-restart is
+one fault, not two.
+
+For bit-for-bit replayable churn inside Monte-Carlo campaigns use the
+operation-based :class:`repro.campaign.faults.DecidingFaults` with a
+:class:`repro.campaign.faults.ChurnRates` instead.
+"""
+
+from __future__ import annotations
+
+import random
+from collections.abc import Callable, Collection, Mapping
+from typing import TYPE_CHECKING, Any
+
+from repro.faults.injector import FaultInjector
+
+if TYPE_CHECKING:
+    from repro.runtime.process import ProcessRuntime
+    from repro.runtime.simulator import Simulator
+
+#: Builds the (improper) valuation a process restarts from.  ``None``
+#: restarts from the program's initial state.
+RestartVarsFn = Callable[["ProcessRuntime", random.Random], Mapping[str, Any]]
+
+
+def _live_pids(
+    simulator: "Simulator", pids: Collection[str] | None
+) -> list[str]:
+    return [
+        pid
+        for pid in sorted(simulator.processes)
+        if simulator.processes[pid].is_live and (pids is None or pid in pids)
+    ]
+
+
+def _crashed_count(simulator: "Simulator") -> int:
+    return sum(1 for p in simulator.processes.values() if not p.is_live)
+
+
+def default_max_crashed(n: int) -> int:
+    """Keep a strict majority of processes live (quorums stay winnable)."""
+    return (n - 1) // 2
+
+
+class CrashStop(FaultInjector):
+    """Each step, with probability ``rate``, crash-stop one live process.
+
+    The victim's volatile state and queued mail are lost and it never
+    restarts.  At most ``max_crashed`` processes are down simultaneously
+    (default: a strict minority, so the rest of the system can still make
+    progress once the recovery layer excludes the dead).
+    """
+
+    def __init__(
+        self,
+        rng: random.Random,
+        rate: float,
+        pids: Collection[str] | None = None,
+        max_crashed: int | None = None,
+    ):
+        self.rng = rng
+        self.rate = rate
+        self.pids = frozenset(pids) if pids is not None else None
+        self.max_crashed = max_crashed
+
+    def before_step(self, simulator: "Simulator", step_index: int) -> list[str]:
+        if self.rng.random() >= self.rate:
+            return []
+        cap = (
+            self.max_crashed
+            if self.max_crashed is not None
+            else default_max_crashed(len(simulator.processes))
+        )
+        if _crashed_count(simulator) >= cap:
+            return []
+        live = _live_pids(simulator, self.pids)
+        if not live:
+            return []
+        pid = self.rng.choice(live)
+        dropped = simulator.crash_process(pid)
+        return [f"crash-stop {pid} (mail lost: {dropped})"]
+
+
+class CrashRestart(FaultInjector):
+    """Each step, with probability ``rate``, crash one live process and
+    schedule its restart ``downtime`` steps later.
+
+    The restart re-enters from improper initialization: by default the
+    program's initial valuation (improper because the rest of the system
+    has moved on), or whatever ``restart_vars_fn`` returns -- e.g.
+    :func:`repro.tme.scenarios.scramble_tme_state` layered over the
+    initial state for an adversarial arbitrary start.
+    """
+
+    def __init__(
+        self,
+        rng: random.Random,
+        rate: float,
+        downtime: int = 40,
+        pids: Collection[str] | None = None,
+        max_crashed: int | None = None,
+        restart_vars_fn: RestartVarsFn | None = None,
+    ):
+        if downtime < 1:
+            raise ValueError("downtime must be >= 1 step")
+        self.rng = rng
+        self.rate = rate
+        self.downtime = downtime
+        self.pids = frozenset(pids) if pids is not None else None
+        self.max_crashed = max_crashed
+        self.restart_vars_fn = restart_vars_fn
+
+    def before_step(self, simulator: "Simulator", step_index: int) -> list[str]:
+        if self.rng.random() >= self.rate:
+            return []
+        cap = (
+            self.max_crashed
+            if self.max_crashed is not None
+            else default_max_crashed(len(simulator.processes))
+        )
+        if _crashed_count(simulator) >= cap:
+            return []
+        live = _live_pids(simulator, self.pids)
+        if not live:
+            return []
+        pid = self.rng.choice(live)
+        proc = simulator.processes[pid]
+        restart_vars: Mapping[str, Any] | None = None
+        if self.restart_vars_fn is not None:
+            restart_vars = dict(proc.program.initial_vars)
+            restart_vars.update(self.restart_vars_fn(proc, self.rng))
+        restart_at = step_index + self.downtime
+        dropped = simulator.crash_process(
+            pid, restart_at=restart_at, restart_vars=restart_vars
+        )
+        return [
+            f"crash {pid} (restart at {restart_at}, mail lost: {dropped})"
+        ]
+
+
+class PartitionFaults(FaultInjector):
+    """Random partitions and heals over process subsets.
+
+    Each step, with probability ``partition_rate`` and only when no link is
+    currently cut, a random minority side is split off (both directions of
+    every crossing link go down).  ``heal_after`` schedules the heal that
+    many steps later; when it is ``None`` the partition persists until an
+    explicit heal strikes with probability ``heal_rate``.
+    """
+
+    def __init__(
+        self,
+        rng: random.Random,
+        partition_rate: float,
+        heal_after: int | None = 60,
+        heal_rate: float = 0.0,
+    ):
+        if heal_after is not None and heal_after < 1:
+            raise ValueError("heal_after must be >= 1 step")
+        self.rng = rng
+        self.partition_rate = partition_rate
+        self.heal_after = heal_after
+        self.heal_rate = heal_rate
+
+    def before_step(self, simulator: "Simulator", step_index: int) -> list[str]:
+        struck: list[str] = []
+        network = simulator.network
+        if self.rng.random() < self.partition_rate and not network.down_links():
+            pids = sorted(simulator.processes)
+            max_side = default_max_crashed(len(pids))
+            if max_side >= 1:
+                size = self.rng.randrange(1, max_side + 1)
+                side = tuple(sorted(self.rng.sample(pids, size)))
+                heal_at = (
+                    step_index + self.heal_after
+                    if self.heal_after is not None
+                    else None
+                )
+                links = network.cut(side, heal_at=heal_at)
+                when = f"heal at {heal_at}" if heal_at is not None else "unhealed"
+                struck.append(
+                    f"partition {{{','.join(side)}}} "
+                    f"({len(links)} links, {when})"
+                )
+        if self.heal_rate and self.rng.random() < self.heal_rate:
+            healed = network.heal_all()
+            if healed:
+                struck.append(f"heal all ({len(healed)} links)")
+        return struck

@@ -1,0 +1,46 @@
+"""Self-healing recovery: failure detection, progress watchdog, escalation.
+
+The graybox wrapper of the paper is a *corrector*: it guarantees eventual
+convergence after any finite number of transient faults.  Under crash
+churn and partitions a production service additionally needs an *online*
+recovery layer that notices lost progress and intervenes.  This package
+provides one, built from three deterministic parts:
+
+* :class:`~repro.recovery.detector.HeartbeatDetector` -- a timeout-based
+  failure detector over an out-of-band heartbeat plane that respects the
+  runtime's crash states and link masks, with measured detection latency
+  against ground truth;
+* :class:`~repro.recovery.watchdog.ProgressWatchdog` -- notices a stalled
+  clean window (demand but no CS entries) and schedules escalation stages;
+* :mod:`~repro.recovery.exclusion` -- suspected-peer exclusion realized by
+  forging the protocol messages a dead peer would have sent (REPLY for the
+  RA family, REPLY+RELEASE for Lamport), so quorums degrade gracefully to
+  the live partition without touching any private variable directly.
+
+:class:`~repro.recovery.manager.RecoveryManager` composes them behind the
+standard :class:`~repro.faults.injector.FaultInjector` hook.  Everything is
+RNG-free and keyed only on the observed trajectory, so a trial that runs
+with recovery enabled replays bit-for-bit from its recorded scheduler and
+fault decisions alone.
+"""
+
+from repro.recovery.detector import HeartbeatDetector
+from repro.recovery.exclusion import exclusion_supported, forge_exclusion
+from repro.recovery.manager import (
+    RecoveryConfig,
+    RecoveryManager,
+    RecoveryMetrics,
+    default_stall_window,
+)
+from repro.recovery.watchdog import ProgressWatchdog
+
+__all__ = [
+    "HeartbeatDetector",
+    "ProgressWatchdog",
+    "RecoveryConfig",
+    "RecoveryManager",
+    "RecoveryMetrics",
+    "default_stall_window",
+    "exclusion_supported",
+    "forge_exclusion",
+]

@@ -1,0 +1,90 @@
+"""Timeout-based heartbeat failure detection.
+
+The detector models an out-of-band heartbeat plane: every
+``heartbeat_interval`` steps each live process emits a heartbeat to every
+peer, and the beat arrives iff the emitter is live and the link towards the
+observer is up.  An observer suspects a peer once it has heard nothing for
+more than ``heartbeat_timeout`` steps.  Nothing here mutates the simulator:
+the detector only *reads* lifecycle status and link masks, so it cannot
+perturb a trace.
+
+Ground truth is available in simulation (a peer is unreachable from an
+observer exactly when it is crashed or the link towards the observer is
+cut), so detection latency is measured per incident: the gap between the
+onset of unreachability and the step the observer first suspects.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:
+    from repro.runtime.simulator import Simulator
+
+Pair = tuple[str, str]  # (observer, subject)
+
+
+class HeartbeatDetector:
+    """Per-observer suspicion over the heartbeat plane."""
+
+    def __init__(self, heartbeat_interval: int, heartbeat_timeout: int):
+        if heartbeat_interval < 1:
+            raise ValueError("heartbeat_interval must be >= 1")
+        if heartbeat_timeout < heartbeat_interval:
+            raise ValueError("heartbeat_timeout must be >= heartbeat_interval")
+        self.interval = heartbeat_interval
+        self.timeout = heartbeat_timeout
+        self._last_heard: dict[Pair, int] = {}
+        self._suspected: set[Pair] = set()
+        #: Open incidents: (observer, subject) -> unreachability onset step.
+        self._incident_onset: dict[Pair, int] = {}
+        self.detection_latencies: list[int] = []
+        self.incidents = 0
+
+    def observe(self, simulator: "Simulator", step_index: int) -> None:
+        """Advance the heartbeat plane by one step."""
+        processes = simulator.processes
+        network = simulator.network
+        beat = step_index % self.interval == 0
+        for subject in network.pids:
+            subject_live = processes[subject].is_live
+            for observer in network.pids:
+                if observer == subject:
+                    continue
+                pair = (observer, subject)
+                if pair not in self._last_heard:
+                    # Grace: assume freshly heard at attach time.
+                    self._last_heard[pair] = step_index
+                reachable = subject_live and network.link_up(subject, observer)
+                if beat and reachable:
+                    self._last_heard[pair] = step_index
+                # Ground-truth incident bookkeeping.
+                if not reachable:
+                    self._incident_onset.setdefault(pair, step_index)
+                elif pair not in self._suspected:
+                    # Recovered before anyone noticed: close silently.
+                    self._incident_onset.pop(pair, None)
+                # Suspicion.
+                silent = step_index - self._last_heard[pair]
+                if silent > self.timeout:
+                    if pair not in self._suspected:
+                        self._suspected.add(pair)
+                        onset = self._incident_onset.get(pair)
+                        if onset is not None:
+                            self.incidents += 1
+                            self.detection_latencies.append(step_index - onset)
+                else:
+                    if pair in self._suspected:
+                        self._suspected.discard(pair)
+                        if reachable:
+                            self._incident_onset.pop(pair, None)
+
+    def suspects_of(self, observer: str) -> tuple[str, ...]:
+        """Peers ``observer`` currently suspects (sorted)."""
+        return tuple(
+            sorted(s for (o, s) in self._suspected if o == observer)
+        )
+
+    def is_suspected(self, observer: str, subject: str) -> bool:
+        """Does ``observer`` currently suspect ``subject``?"""
+        return (observer, subject) in self._suspected

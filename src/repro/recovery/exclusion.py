@@ -1,0 +1,100 @@
+"""Suspected-peer exclusion via forged protocol messages.
+
+To let a quorum degrade to the live partition, the recovery layer makes a
+stalled process *stop waiting* for a suspected peer.  It never writes the
+process's variables: it forges exactly the message(s) the suspect would
+have sent and feeds them through the process's own receive handlers --
+the same channel the wrapper's retransmitted requests use, so the repair
+stays inside the protocol's message semantics:
+
+* **RA family** (``RA_ME``, ``RACount_ME``): a forged REPLY from the
+  suspect carrying a timestamp above the waiter's request raises
+  ``j.REQ_k`` past ``REQ_j`` (and clears ``awaiting`` for the counting
+  variant);
+* **Lamport_ME**: a forged REPLY sets the grant bit and a forged RELEASE
+  removes the suspect's queue entry;
+* **TokenRing_ME**: no message can substitute for the token -- exclusion
+  is unsupported and the watchdog has to escalate to a reset (the token
+  ring stays the negative control under churn too).
+
+Delivery is synthetic-local (``execute_receive`` directly, not through a
+channel): the point of exclusion is precisely that the network towards the
+suspect may be partitioned away.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.clocks.timestamps import Timestamp
+from repro.runtime.messages import Message
+from repro.tme.interfaces import RELEASE, REPLY
+
+if TYPE_CHECKING:
+    from repro.runtime.simulator import Simulator
+
+#: Message kinds forged per base program to exclude one suspect.
+_EXCLUSION_KINDS: dict[str, tuple[str, ...]] = {
+    "RA_ME": (REPLY,),
+    "RACount_ME": (REPLY,),
+    "Lamport_ME": (REPLY, RELEASE),
+}
+
+
+def exclusion_supported(base_name: str) -> bool:
+    """Can this implementation exclude a peer by message forgery?"""
+    return base_name in _EXCLUSION_KINDS
+
+
+def _yield_stamp(simulator: "Simulator", waiter: str, suspect: str) -> Timestamp:
+    """A timestamp strictly above the waiter's current request, owned by
+    the suspect -- what the suspect's reply would have carried had it
+    yielded."""
+    variables = simulator.processes[waiter].variables
+    lc = variables.get("lc")
+    if not isinstance(lc, int) or lc < 0:
+        lc = 0
+    req = variables.get("req")
+    req_clock = req.clock if isinstance(req, Timestamp) else 0
+    return Timestamp(max(lc, req_clock) + 1, suspect)
+
+
+def forge_exclusion(
+    simulator: "Simulator", waiter: str, suspect: str, base_name: str
+) -> int:
+    """Deliver the forged message(s) excluding ``suspect`` at ``waiter``.
+
+    Returns the number of messages forged (0 when unsupported).  Any sends
+    the handlers produce are forwarded onto the network (none of the four
+    implementations reply to a REPLY or RELEASE, but a fifth might).
+    """
+    kinds = _EXCLUSION_KINDS.get(base_name)
+    if not kinds:
+        return 0
+    proc = simulator.processes[waiter]
+    network = simulator.network
+    forged = 0
+    for kind in kinds:
+        stamp = _yield_stamp(simulator, waiter, suspect)
+        message = Message(
+            uid=network.fresh_uid(),
+            kind=kind,
+            sender=suspect,
+            receiver=waiter,
+            payload=stamp,
+            send_event_uid=None,
+            sender_clock=stamp.clock,
+        )
+        effect = proc.execute_receive(message)
+        forged += 1
+        if effect is not None:
+            for send in effect.sends:
+                network.send(
+                    send.kind,
+                    waiter,
+                    send.receiver,
+                    send.payload,
+                    send_event_uid=None,
+                    sender_clock=None,
+                )
+    return forged

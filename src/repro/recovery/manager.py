@@ -1,0 +1,255 @@
+"""The recovery manager: detector + watchdog + staged interventions.
+
+:class:`RecoveryManager` is a :class:`~repro.faults.injector.FaultInjector`
+(anti-fault, really): it composes with the campaign's deciding/replaying
+injectors through the ordinary :class:`~repro.faults.injector.Composite`
+hook and acts before each step.  It is deliberately RNG-free -- every
+intervention is a deterministic function of the observed trajectory -- so
+recovery actions never need to be recorded for a trial to replay
+bit-for-bit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from repro.clocks.timestamps import Timestamp
+from repro.faults.injector import FaultInjector
+from repro.recovery.detector import HeartbeatDetector
+from repro.recovery.exclusion import exclusion_supported, forge_exclusion
+from repro.recovery.watchdog import (
+    STAGE_EXCLUDE,
+    STAGE_GLOBAL_RESET,
+    STAGE_LOCAL_RESET,
+    STAGE_RETRANSMIT,
+    ProgressWatchdog,
+    base_program_name,
+)
+from repro.tme.interfaces import REQUEST, adapter_for
+
+if TYPE_CHECKING:
+    from repro.runtime.simulator import Simulator
+
+#: Implementations whose stalled requests can be usefully retransmitted.
+_RETRANSMIT_BASES = frozenset({"RA_ME", "RACount_ME", "Lamport_ME"})
+
+
+def default_stall_window(n: int) -> int:
+    """Stall threshold: a clean window must fit O(n^2) serialized message
+    deliveries per CS entry (same scaling as the campaign monitor)."""
+    return max(40, 3 * n * n)
+
+
+@dataclass(frozen=True)
+class RecoveryConfig:
+    """Tuning knobs of the recovery subsystem (all in simulator steps)."""
+
+    heartbeat_interval: int = 5
+    heartbeat_timeout: int = 20
+    #: ``None`` -> :func:`default_stall_window` of the system size.
+    stall_window: int | None = None
+    #: Initial retransmission backoff; doubles per retransmission.
+    #: ``None`` -> ``max(10, stall_window // 4)``.
+    backoff_base: int | None = None
+    exclusion: bool = True
+    resets: bool = True
+
+
+@dataclass(frozen=True)
+class RecoveryMetrics:
+    """What the recovery layer observed and did during one run."""
+
+    detection_latencies: tuple[int, ...]
+    recovery_latencies: tuple[int, ...]
+    stage_counts: tuple[tuple[str, int], ...]
+    incidents: int
+    retransmissions: int
+    exclusions: int
+    local_resets: int
+    global_resets: int
+    entries_seen: int
+
+
+class RecoveryManager(FaultInjector):
+    """Watch, detect, and escalate.  See the package docstring."""
+
+    def __init__(self, config: RecoveryConfig | None = None):
+        self.config = config or RecoveryConfig()
+        self.detector: HeartbeatDetector | None = None
+        self.watchdog: ProgressWatchdog | None = None
+        self.retransmissions = 0
+        self.exclusions = 0
+        self.local_resets = 0
+        self.global_resets = 0
+
+    def _attach(self, simulator: "Simulator") -> None:
+        n = len(simulator.processes)
+        window = self.config.stall_window or default_stall_window(n)
+        backoff = self.config.backoff_base or max(10, window // 4)
+        self.detector = HeartbeatDetector(
+            self.config.heartbeat_interval, self.config.heartbeat_timeout
+        )
+        self.watchdog = ProgressWatchdog(window, backoff)
+
+    # -- the FaultInjector hook ---------------------------------------------
+
+    def before_step(self, simulator: "Simulator", step_index: int) -> list[str]:
+        if self.detector is None or self.watchdog is None:
+            self._attach(simulator)
+        assert self.detector is not None and self.watchdog is not None
+        self.detector.observe(simulator, step_index)
+        self.watchdog.observe(simulator, step_index)
+        actions: list[str] = []
+        for stage in self.watchdog.due_stages(step_index):
+            if stage == STAGE_RETRANSMIT:
+                description = self._retransmit(simulator)
+            elif stage == STAGE_EXCLUDE and self.config.exclusion:
+                description = self._exclude(simulator)
+            elif stage == STAGE_LOCAL_RESET and self.config.resets:
+                description = self._local_reset(simulator)
+            elif stage == STAGE_GLOBAL_RESET and self.config.resets:
+                description = self._global_reset(simulator)
+            else:
+                description = None
+            if description is not None:
+                self.watchdog.fired(stage, step_index)
+                actions.append(description)
+        return actions
+
+    # -- stages --------------------------------------------------------------
+
+    def _lspec(self, simulator: "Simulator", pid: str):
+        proc = simulator.processes[pid]
+        adapter = adapter_for(base_program_name(proc.program.name))
+        return adapter(proc.variables, pid, proc.peers)
+
+    def _retransmit(self, simulator: "Simulator") -> str | None:
+        """Re-send each stalled hungry process's request to every peer
+        whose copy has not yet risen above it (the wrapper's suspect set,
+        computed through the adapter)."""
+        assert self.watchdog is not None
+        sent = 0
+        waiters: list[str] = []
+        for pid in self.watchdog.hungry_live_pids(simulator):
+            proc = simulator.processes[pid]
+            if base_program_name(proc.program.name) not in _RETRANSMIT_BASES:
+                continue
+            lspec = self._lspec(simulator, pid)
+            req = lspec.req
+            targets = [
+                k
+                for k in sorted(lspec.req_of)
+                if not (
+                    isinstance(lspec.req_of[k], Timestamp)
+                    and req.lt(lspec.req_of[k])
+                )
+            ]
+            for k in targets:
+                simulator.network.send(
+                    REQUEST,
+                    pid,
+                    k,
+                    req,
+                    send_event_uid=None,
+                    sender_clock=lspec.lc,
+                )
+            if targets:
+                sent += len(targets)
+                waiters.append(pid)
+        if not sent:
+            return None
+        self.retransmissions += sent
+        return f"recover:retransmit {','.join(waiters)} ({sent} req)"
+
+    def _exclude(self, simulator: "Simulator") -> str | None:
+        """Exclude heartbeat-suspected peers at stalled waiters -- but only
+        where the waiter's reachable, unsuspected neighbourhood (itself
+        included) still forms a strict majority, so a minority partition
+        can never grant itself the CS."""
+        assert self.detector is not None and self.watchdog is not None
+        n = len(simulator.processes)
+        network = simulator.network
+        excluded: list[str] = []
+        for pid in self.watchdog.hungry_live_pids(simulator):
+            proc = simulator.processes[pid]
+            base = base_program_name(proc.program.name)
+            if not exclusion_supported(base):
+                continue
+            reachable = 1 + sum(
+                1
+                for k in proc.peers
+                if simulator.processes[k].is_live
+                and network.link_up(k, pid)
+                and network.link_up(pid, k)
+                and not self.detector.is_suspected(pid, k)
+            )
+            if 2 * reachable <= n:
+                continue
+            lspec = self._lspec(simulator, pid)
+            req = lspec.req
+            for k in self.detector.suspects_of(pid):
+                if k not in lspec.req_of:
+                    continue
+                copy = lspec.req_of[k]
+                if isinstance(copy, Timestamp) and req.lt(copy):
+                    continue  # already past our request: nothing to forge
+                forged = forge_exclusion(simulator, pid, k, base)
+                if forged:
+                    self.exclusions += 1
+                    excluded.append(f"{pid}-x-{k}")
+        if not excluded:
+            return None
+        return f"recover:exclude {','.join(excluded)}"
+
+    def _local_reset(self, simulator: "Simulator") -> str | None:
+        """Last resort, stage 1: reset the stalled hungry processes to
+        their initial valuation (the corrector handles the rest)."""
+        assert self.watchdog is not None
+        reset = []
+        for pid in self.watchdog.hungry_live_pids(simulator):
+            proc = simulator.processes[pid]
+            proc.improper_init(proc.program.initial_vars)
+            reset.append(pid)
+        if not reset:
+            return None
+        self.local_resets += len(reset)
+        return f"recover:local-reset {','.join(reset)}"
+
+    def _global_reset(self, simulator: "Simulator") -> str | None:
+        """Last resort, stage 2: re-initialize every live process and flush
+        all channels.  This is the only stage that helps the token ring
+        (it mints the ring's single token afresh)."""
+        flushed = simulator.network.flush_all()
+        reset = []
+        for pid in simulator.network.pids:
+            proc = simulator.processes[pid]
+            if proc.is_live:
+                proc.improper_init(proc.program.initial_vars)
+                reset.append(pid)
+        self.global_resets += 1
+        return f"recover:global-reset ({len(reset)} procs, {flushed} msgs flushed)"
+
+    # -- metrics -------------------------------------------------------------
+
+    def metrics(self) -> RecoveryMetrics:
+        """Immutable snapshot of everything measured so far."""
+        detector = self.detector
+        watchdog = self.watchdog
+        return RecoveryMetrics(
+            detection_latencies=tuple(
+                detector.detection_latencies if detector else ()
+            ),
+            recovery_latencies=tuple(
+                watchdog.recovery_latencies if watchdog else ()
+            ),
+            stage_counts=tuple(
+                sorted(watchdog.stage_counts.items()) if watchdog else ()
+            ),
+            incidents=detector.incidents if detector else 0,
+            retransmissions=self.retransmissions,
+            exclusions=self.exclusions,
+            local_resets=self.local_resets,
+            global_resets=self.global_resets,
+            entries_seen=watchdog.entries_seen if watchdog else 0,
+        )

@@ -1,0 +1,174 @@
+"""The progress watchdog: stall detection and escalation scheduling.
+
+The watchdog observes the system through the Lspec interface adapters
+(phase only -- it needs to know who is hungry and who is eating, nothing
+private).  A *stall* is a clean window with demand but no CS entry: some
+live process is hungry, yet no process has entered the CS for more than
+``stall_window`` steps.  Escalation is staged by stall duration:
+
+=========  ===============================================================
+``>= W``   request retransmission, repeated with exponential backoff
+``>= 2W``  suspected-peer exclusion (quorums degrade to the live majority)
+``>= 3W``  local reset of the stalled hungry processes
+``>= 4W``  global reset (all live processes + channel flush); the stall
+           clock restarts so the escalation ladder is climbed again
+=========  ===============================================================
+
+where ``W`` is the stall window.  Recovery latency is measured per stall
+episode: from the first escalation action to the next observed CS entry,
+attributed to the highest stage that fired.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.tme.interfaces import EATING, HUNGRY, adapter_for
+
+if TYPE_CHECKING:
+    from repro.runtime.simulator import Simulator
+
+STAGE_RETRANSMIT = "retransmit"
+STAGE_EXCLUDE = "exclude"
+STAGE_LOCAL_RESET = "local_reset"
+STAGE_GLOBAL_RESET = "global_reset"
+
+_STAGE_ORDER = (
+    STAGE_RETRANSMIT,
+    STAGE_EXCLUDE,
+    STAGE_LOCAL_RESET,
+    STAGE_GLOBAL_RESET,
+)
+
+
+def base_program_name(name: str) -> str:
+    """The implementation's name without the wrapper suffix
+    (``"RA_ME+W'(theta=3)"`` -> ``"RA_ME"``)."""
+    return name.split("+")[0]
+
+
+def lspec_phase(simulator: "Simulator", pid: str) -> str:
+    """The Lspec ``phase`` of one process, through its adapter."""
+    proc = simulator.processes[pid]
+    adapter = adapter_for(base_program_name(proc.program.name))
+    return adapter(proc.variables, pid, proc.peers).phase
+
+
+class ProgressWatchdog:
+    """Tracks demand, CS entries, stall duration, and episode metrics."""
+
+    def __init__(self, stall_window: int, backoff_base: int):
+        if stall_window < 1:
+            raise ValueError("stall_window must be >= 1")
+        if backoff_base < 1:
+            raise ValueError("backoff_base must be >= 1")
+        self.stall_window = stall_window
+        self.backoff_base = backoff_base
+        self._phases: dict[str, str] = {}
+        self._last_progress = 0
+        self.entries_seen = 0
+        # Stall-episode state.
+        self._episode_first_fire: int | None = None
+        self._episode_top_stage: str | None = None
+        self._next_retransmit_offset = stall_window
+        self._backoff = backoff_base
+        self._fired_this_episode: set[str] = set()
+        # Metrics.
+        self.recovery_latencies: list[int] = []
+        self.stage_recoveries: dict[str, list[int]] = {
+            s: [] for s in _STAGE_ORDER
+        }
+        self.stage_counts: dict[str, int] = {s: 0 for s in _STAGE_ORDER}
+
+    # -- observation --------------------------------------------------------
+
+    def observe(self, simulator: "Simulator", step_index: int) -> bool:
+        """Update phase tracking; returns whether a CS entry was observed."""
+        entry = False
+        hungry = False
+        for pid in simulator.network.pids:
+            proc = simulator.processes[pid]
+            if not proc.is_live:
+                self._phases.pop(pid, None)
+                continue
+            phase = lspec_phase(simulator, pid)
+            if phase == EATING and self._phases.get(pid) != EATING:
+                entry = True
+            if phase == HUNGRY:
+                hungry = True
+            self._phases[pid] = phase
+        if entry:
+            self.entries_seen += 1
+            self._last_progress = step_index
+            self._close_episode(step_index)
+        elif not hungry:
+            # No demand: a quiet system is not a stalled one.
+            self._last_progress = step_index
+        return entry
+
+    def stall_duration(self, step_index: int) -> int:
+        """Steps since the last CS entry (0 when there is no demand)."""
+        return step_index - self._last_progress
+
+    def hungry_live_pids(self, simulator: "Simulator") -> tuple[str, ...]:
+        """Live processes currently hungry (sorted)."""
+        return tuple(
+            pid
+            for pid in simulator.network.pids
+            if simulator.processes[pid].is_live
+            and self._phases.get(pid) == HUNGRY
+        )
+
+    # -- escalation schedule -------------------------------------------------
+
+    def due_stages(self, step_index: int) -> list[str]:
+        """Stages whose threshold the current stall has crossed and that
+        have not fired yet this episode (retransmission repeats on its
+        backoff schedule instead)."""
+        stall = self.stall_duration(step_index)
+        w = self.stall_window
+        due: list[str] = []
+        if stall >= self._next_retransmit_offset:
+            due.append(STAGE_RETRANSMIT)
+        for threshold, stage in (
+            (2 * w, STAGE_EXCLUDE),
+            (3 * w, STAGE_LOCAL_RESET),
+            (4 * w, STAGE_GLOBAL_RESET),
+        ):
+            if stall >= threshold and stage not in self._fired_this_episode:
+                due.append(stage)
+        return due
+
+    def fired(self, stage: str, step_index: int) -> None:
+        """Record that an escalation stage actually acted."""
+        self.stage_counts[stage] += 1
+        if self._episode_first_fire is None:
+            self._episode_first_fire = step_index
+        if self._episode_top_stage is None or _STAGE_ORDER.index(
+            stage
+        ) > _STAGE_ORDER.index(self._episode_top_stage):
+            self._episode_top_stage = stage
+        if stage == STAGE_RETRANSMIT:
+            self._next_retransmit_offset += self._backoff
+            self._backoff *= 2
+        else:
+            self._fired_this_episode.add(stage)
+        if stage == STAGE_GLOBAL_RESET:
+            # Restart the stall clock: the system was just re-initialized,
+            # give it a full window (and a fresh ladder) to make progress.
+            self._last_progress = step_index
+            self._next_retransmit_offset = self.stall_window
+            self._backoff = self.backoff_base
+            self._fired_this_episode.clear()
+
+    def _close_episode(self, step_index: int) -> None:
+        if self._episode_first_fire is not None:
+            latency = step_index - self._episode_first_fire
+            self.recovery_latencies.append(latency)
+            if self._episode_top_stage is not None:
+                self.stage_recoveries[self._episode_top_stage].append(latency)
+        self._episode_first_fire = None
+        self._episode_top_stage = None
+        self._next_retransmit_offset = self.stall_window
+        self._backoff = self.backoff_base
+        self._fired_this_episode.clear()

@@ -25,6 +25,8 @@ class FifoChannel:
         self._shared = False
         self.total_enqueued = 0
         self.total_delivered = 0
+        self.total_dropped = 0
+        self.total_corrupted = 0
 
     def _own(self) -> None:
         # Copy-on-write: after fork() both sides share one deque until the
@@ -88,6 +90,8 @@ class FifoChannel:
         self._shared = True
         clone.total_enqueued = self.total_enqueued
         clone.total_delivered = self.total_delivered
+        clone.total_dropped = self.total_dropped
+        clone.total_corrupted = self.total_corrupted
         return clone
 
     # -- fault surface ------------------------------------------------------
@@ -97,6 +101,7 @@ class FifoChannel:
         msg = self._queue[index]
         self._own()
         del self._queue[index]
+        self.total_dropped += 1
         return msg
 
     def duplicate_at(self, index: int, new_uid: int) -> Message:
@@ -120,6 +125,7 @@ class FifoChannel:
             raise ValueError("corruption must not move a message across channels")
         self._own()
         self._queue[index] = corrupted
+        self.total_corrupted += 1
         return corrupted
 
     def replace_contents(self, messages: Iterable[Message]) -> None:
@@ -136,6 +142,7 @@ class FifoChannel:
         n = len(self._queue)
         self._queue = deque()
         self._shared = False
+        self.total_dropped += n
         return n
 
     def __repr__(self) -> str:

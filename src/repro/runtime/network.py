@@ -30,6 +30,10 @@ class Network:
         }
         self._next_uid = 0
         self.sent_by_kind: dict[str, int] = {}
+        # Link masks: a link present in _down is cut.  The value is the
+        # simulator step index at which it heals automatically (None = stays
+        # down until heal_link/heal_all).
+        self._down: dict[tuple[str, str], int | None] = {}
 
     # -- identity allocation --------------------------------------------------
 
@@ -55,6 +59,79 @@ class Network:
         """Channels currently carrying at least one message."""
         return [c for c in self._channels.values() if not c.empty]
 
+    def deliverable_channels(self) -> list[FifoChannel]:
+        """Nonempty channels whose link is up (same order as
+        :meth:`nonempty_channels`, so schedules stay comparable)."""
+        down = self._down
+        return [
+            c
+            for c in self._channels.values()
+            if not c.empty and (c.src, c.dst) not in down
+        ]
+
+    # -- link masks (partitions) ----------------------------------------------
+
+    def link_up(self, src: str, dst: str) -> bool:
+        """Is the directional link ``src -> dst`` currently up?"""
+        return (src, dst) not in self._down
+
+    def cut_link(
+        self, src: str, dst: str, heal_at: int | None = None
+    ) -> None:
+        """Cut one directional link.  Queued messages stay queued (they are
+        in flight on the far side of the cut) but become undeliverable, and
+        new sends over the link are dropped, until the link heals."""
+        if (src, dst) not in self._channels:
+            raise KeyError(f"no channel {src}->{dst}")
+        self._down[(src, dst)] = heal_at
+
+    def heal_link(self, src: str, dst: str) -> bool:
+        """Heal one directional link; returns whether it was down."""
+        return self._down.pop((src, dst), "absent") != "absent"
+
+    def cut(
+        self, side: Iterable[str], heal_at: int | None = None
+    ) -> tuple[tuple[str, str], ...]:
+        """Partition fault: cut every link crossing between ``side`` and its
+        complement (both directions).  Returns the links cut, sorted."""
+        side_set = frozenset(side)
+        unknown = side_set - set(self.pids)
+        if unknown:
+            raise ValueError(f"unknown pids in partition side: {sorted(unknown)}")
+        links = tuple(
+            sorted(
+                (a, b)
+                for (a, b) in self._channels
+                if (a in side_set) != (b in side_set)
+            )
+        )
+        for link in links:
+            self._down[link] = heal_at
+        return links
+
+    def heal_all(self) -> tuple[tuple[str, str], ...]:
+        """Heal fault: bring every cut link back up; returns them sorted."""
+        healed = tuple(sorted(self._down))
+        self._down.clear()
+        return healed
+
+    def heal_due(self, step_index: int) -> tuple[tuple[str, str], ...]:
+        """Heal every link whose scheduled heal time has arrived."""
+        due = tuple(
+            sorted(
+                link
+                for link, heal_at in self._down.items()
+                if heal_at is not None and heal_at <= step_index
+            )
+        )
+        for link in due:
+            del self._down[link]
+        return due
+
+    def down_links(self) -> tuple[tuple[str, str], ...]:
+        """Currently cut links, sorted (used in global-state snapshots)."""
+        return tuple(sorted(self._down))
+
     def send(  # noqa: PLR0913 -- a message has this many fields
         self,
         kind: str,
@@ -73,8 +150,14 @@ class Network:
             send_event_uid=send_event_uid,
             sender_clock=sender_clock,
         )
-        self.channel(sender, receiver).enqueue(msg)
+        channel = self.channel(sender, receiver)
         self.sent_by_kind[kind] = self.sent_by_kind.get(kind, 0) + 1
+        if (sender, receiver) in self._down:
+            # The link is cut: the send happens (it counts as sent) but the
+            # message is lost on the wire.
+            channel.total_dropped += 1
+            return msg
+        channel.enqueue(msg)
         return msg
 
     def in_flight(self) -> int:
@@ -96,6 +179,7 @@ class Network:
         }
         clone._next_uid = self._next_uid
         clone.sent_by_kind = dict(self.sent_by_kind)
+        clone._down = dict(self._down)
         return clone
 
     def fork_channels(
@@ -114,6 +198,7 @@ class Network:
         clone._channels = channels
         clone._next_uid = self._next_uid
         clone.sent_by_kind = dict(self.sent_by_kind)
+        clone._down = dict(self._down)
         return clone
 
     def snapshot(self) -> tuple[tuple[tuple[str, str], tuple[Message, ...]], ...]:
@@ -126,6 +211,14 @@ class Network:
     def total_sent(self) -> int:
         """Messages sent since construction (all kinds)."""
         return sum(self.sent_by_kind.values())
+
+    def total_dropped(self) -> int:
+        """Messages lost so far, across all channels (faults + cut links)."""
+        return sum(c.total_dropped for c in self._channels.values())
+
+    def total_corrupted(self) -> int:
+        """Messages corrupted in place so far, across all channels."""
+        return sum(c.total_corrupted for c in self._channels.values())
 
     def __repr__(self) -> str:
         return (

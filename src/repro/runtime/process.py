@@ -21,6 +21,14 @@ from repro.dsl.guards import Effect, GuardedAction, LocalView
 from repro.dsl.program import ProcessProgram
 from repro.runtime.messages import Message
 
+#: Lifecycle states.  LIVE processes execute normally.  CRASHED processes
+#: have lost their volatile state and take no steps.  RECOVERING processes
+#: have restarted (from an improperly initialized valuation) but have not
+#: yet executed a step; they become LIVE on their first step.
+LIVE = "live"
+CRASHED = "crashed"
+RECOVERING = "recovering"
+
 
 class ProcessRuntime:
     """One process: identity + program + mutable local variables."""
@@ -41,6 +49,14 @@ class ProcessRuntime:
         self.event_seq = 0
         self.steps_taken = 0
         self._snapshot_keys: tuple[str, ...] | None = None
+        self.status = LIVE
+        self.restart_at: int | None = None
+        self.restart_vars: tuple[tuple[str, Any], ...] | None = None
+
+    @property
+    def is_live(self) -> bool:
+        """Can this process take steps?  (RECOVERING counts as yes.)"""
+        return self.status != CRASHED
 
     # -- views and execution ------------------------------------------------
 
@@ -106,6 +122,47 @@ class ProcessRuntime:
         """Improper initialization: replace the whole valuation."""
         self.variables = dict(variables)
 
+    def crash(
+        self,
+        restart_at: int | None = None,
+        restart_vars: Mapping[str, Any] | None = None,
+    ) -> None:
+        """Crash fault: volatile state is lost, no further steps are taken.
+
+        ``restart_at`` schedules a revival at that simulator step index
+        (``None`` = crash-stop, never restarts unless :meth:`restart` is
+        called explicitly).  ``restart_vars`` fixes the valuation the
+        process restarts from; recording it at crash time keeps
+        crash-restart trials bit-for-bit replayable.
+        """
+        self.status = CRASHED
+        self.variables = {}
+        self._snapshot_keys = None
+        self.restart_at = restart_at
+        self.restart_vars = (
+            tuple(sorted(restart_vars.items())) if restart_vars is not None else None
+        )
+
+    def restart(self) -> None:
+        """Restart after a crash: re-enter from improper initialization.
+
+        The restart valuation is the one recorded by :meth:`crash` (or the
+        program's initial state when none was recorded -- still "improper"
+        in the paper's sense because the rest of the system has moved on).
+        """
+        if self.status != CRASHED:
+            raise RuntimeError(f"{self.pid} is not crashed (status={self.status})")
+        base = (
+            dict(self.restart_vars)
+            if self.restart_vars is not None
+            else dict(self.program.initial_vars)
+        )
+        self.improper_init(base)
+        self._snapshot_keys = None
+        self.status = RECOVERING
+        self.restart_at = None
+        self.restart_vars = None
+
     # -- snapshots ------------------------------------------------------------
 
     def fork(self) -> "ProcessRuntime":
@@ -123,6 +180,9 @@ class ProcessRuntime:
         clone.event_seq = self.event_seq
         clone.steps_taken = self.steps_taken
         clone._snapshot_keys = self._snapshot_keys
+        clone.status = self.status
+        clone.restart_at = self.restart_at
+        clone.restart_vars = self.restart_vars
         return clone
 
     def snapshot(self) -> tuple[tuple[str, Any], ...]:
@@ -138,7 +198,12 @@ class ProcessRuntime:
         keys = self._snapshot_keys
         if keys is None or len(keys) != len(variables):
             keys = self._snapshot_keys = tuple(sorted(variables))
-        return tuple((k, variables[k]) for k in keys)
+        pairs = tuple((k, variables[k]) for k in keys)
+        if self.status != LIVE:
+            # Sentinel entry only when not live, so snapshots (and every
+            # digest derived from them) are unchanged for crash-free runs.
+            return (("__status__", self.status), *pairs)
+        return pairs
 
     def next_event_seq(self) -> int:
         """Allocate the next per-process event sequence number."""

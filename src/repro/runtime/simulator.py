@@ -22,7 +22,7 @@ from repro.clocks.timestamps import Timestamp
 from repro.dsl.guards import Effect
 from repro.dsl.program import ProcessProgram
 from repro.runtime.network import Network
-from repro.runtime.process import ProcessRuntime
+from repro.runtime.process import CRASHED, LIVE, RECOVERING, ProcessRuntime
 from repro.runtime.scheduler import (
     DeliverStep,
     InternalStep,
@@ -118,17 +118,23 @@ class Simulator:
             (key, tuple((m.kind, m.payload) for m in content))
             for key, content in self.network.snapshot()
         )
-        return GlobalState(processes, channels)
+        return GlobalState(processes, channels, self.network.down_links())
 
     # -- step enumeration -------------------------------------------------
 
     def candidate_steps(self) -> list[Step]:
         """Everything that could happen next: one deliver step per
-        non-empty channel plus every enabled internal action."""
+        non-empty channel whose link is up and whose receiver is not
+        crashed, plus every enabled internal action of a non-crashed
+        process."""
         steps: list[Step] = []
-        for chan in self.network.nonempty_channels():
-            steps.append(DeliverStep(chan.src, chan.dst))
-        for pid, proc in self.processes.items():
+        processes = self.processes
+        for chan in self.network.deliverable_channels():
+            if processes[chan.dst].is_live:
+                steps.append(DeliverStep(chan.src, chan.dst))
+        for pid, proc in processes.items():
+            if not proc.is_live:
+                continue
             for act in proc.enabled_internal_actions():
                 steps.append(InternalStep(pid, act.name))
         return steps
@@ -199,6 +205,8 @@ class Simulator:
         if not isinstance(pre_clock, int) or pre_clock < 0:
             pre_clock = 0
         effect = proc.execute_receive(message)
+        if proc.status == RECOVERING:
+            proc.status = LIVE
         sends: tuple[tuple[str, str], ...] = ()
         action_name = None
         if effect is not None:
@@ -238,6 +246,8 @@ class Simulator:
         if not isinstance(pre_clock, int) or pre_clock < 0:
             pre_clock = 0
         effect = proc.execute_internal(act)
+        if proc.status == RECOVERING:
+            proc.status = LIVE
         if self.record_trace:
             event_uid = self._record_event(
                 step.pid, step.action, None, pre_clock
@@ -270,11 +280,57 @@ class Simulator:
             self.step()
         return self.trace
 
+    def crash_process(
+        self,
+        pid: str,
+        restart_at: int | None = None,
+        restart_vars: Mapping[str, Any] | None = None,
+    ) -> int:
+        """Crash ``pid``: volatile state and queued incoming mail are lost.
+
+        Returns the number of in-flight messages dropped.  ``restart_at``
+        schedules an automatic revival (processed by :meth:`step`);
+        ``restart_vars`` pins the (improper) valuation it restarts from.
+        """
+        proc = self.processes[pid]
+        proc.crash(restart_at=restart_at, restart_vars=restart_vars)
+        dropped = 0
+        for src in self.network.pids:
+            if src != pid:
+                dropped += self.network.channel(src, pid).clear()
+        return dropped
+
+    def _lifecycle_events(self) -> list[str]:
+        """Timed revivals and heals that are due at the current step.
+
+        These live in the runtime (not in any fault injector) so a
+        ``Windowed`` fault window can close while restarts and heals
+        scheduled beyond it still fire -- and so replay reproduces them
+        without recording extra decisions.
+        """
+        events: list[str] = []
+        for link in self.network.heal_due(self.step_index):
+            events.append(f"heal:{link[0]}->{link[1]}")
+        for pid in sorted(self.processes):
+            proc = self.processes[pid]
+            if (
+                proc.status == CRASHED
+                and proc.restart_at is not None
+                and proc.restart_at <= self.step_index
+            ):
+                proc.restart()
+                events.append(f"restart:{pid}")
+        return events
+
     def step(self) -> StepRecord:
-        """Execute one step: fault hook, then one scheduled action."""
+        """Execute one step: fault hook, timed lifecycle events (heals /
+        restarts that are due), then one scheduled action."""
         faults: tuple[str, ...] = ()
         if self.fault_hook is not None:
             faults = tuple(self.fault_hook.before_step(self, self.step_index))
+        lifecycle = self._lifecycle_events()
+        if lifecycle:
+            faults = faults + tuple(lifecycle)
         candidates = self.candidate_steps()
         if not candidates:
             return self._stutter(faults)

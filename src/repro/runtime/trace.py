@@ -30,6 +30,9 @@ class GlobalState:
 
     processes: tuple[tuple[str, ProcessVars], ...]
     channels: tuple[tuple[ChannelKey, ChannelContent], ...]
+    #: Cut links (sorted).  Defaults to "all up" so partition-free snapshots
+    #: compare (and hash) exactly as before the fault class existed.
+    down: tuple[ChannelKey, ...] = ()
 
     def __hash__(self) -> int:
         # Memoised: snapshots are dedup keys in state-space exploration and
@@ -37,7 +40,7 @@ class GlobalState:
         try:
             return self._hash  # type: ignore[attr-defined]
         except AttributeError:
-            h = hash((self.processes, self.channels))
+            h = hash((self.processes, self.channels, self.down))
             object.__setattr__(self, "_hash", h)
             return h
 

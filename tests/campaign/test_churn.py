@@ -1,0 +1,233 @@
+"""Churn in campaigns: replay parity, fan-out, shrinking, artifacts."""
+
+import json
+import os
+
+import pytest
+
+from repro.campaign import (
+    CampaignSpec,
+    ChurnRates,
+    CrashProcess,
+    HealNet,
+    PartitionNet,
+    artifact,
+    replay_trial,
+    run_campaign,
+    run_trial,
+    shrink_trial,
+    summarize,
+)
+from repro.campaign.faults import FaultRates
+from repro.recovery import RecoveryConfig
+
+CHURN = CampaignSpec(
+    algorithm="ra",
+    n=4,
+    root_seed=21,
+    fault_start=10,
+    fault_stop=60,
+    confirm_window=120,
+    max_steps=900,
+    churn=ChurnRates(),
+    recovery=RecoveryConfig(),
+)
+
+
+def churn_decisions(result):
+    kinds = (CrashProcess, PartitionNet, HealNet)
+    return [
+        d
+        for d in result.decisions
+        if isinstance(getattr(d, "op", None), kinds)
+    ]
+
+
+def trial_with_churn(spec, start=0, stop=64):
+    """First trial id whose decision list actually crashed/partitioned."""
+    for trial_id in range(start, stop):
+        result = run_trial(spec, trial_id, keep_decisions="always")
+        if churn_decisions(result):
+            return trial_id, result
+    pytest.fail("no trial rolled a churn fault; raise the rates")
+
+
+class TestChurnDeterminism:
+    def test_replay_matches_free_run_bit_for_bit(self):
+        trial_id, free = trial_with_churn(CHURN)
+        scripted = replay_trial(CHURN, trial_id, list(free.decisions))
+        assert scripted.digest == free.digest
+        assert scripted.outcome == free.outcome
+
+    def test_churn_off_preserves_pre_churn_digests(self):
+        """``churn=None`` must not consume any extra RNG: digests equal
+        those of a spec that never heard of churn."""
+        import dataclasses
+
+        plain = dataclasses.replace(CHURN, churn=None, recovery=None)
+        legacy = CampaignSpec(
+            algorithm="ra",
+            n=4,
+            root_seed=21,
+            fault_start=10,
+            fault_stop=60,
+            confirm_window=120,
+            max_steps=900,
+        )
+        for trial_id in range(3):
+            assert (
+                run_trial(plain, trial_id).digest
+                == run_trial(legacy, trial_id).digest
+            )
+
+    @pytest.mark.skipif(
+        not hasattr(os, "fork"), reason="fork start method required"
+    )
+    def test_parallel_fanout_matches_serial(self):
+        serial = run_campaign(CHURN, 6, workers=1)
+        parallel = run_campaign(CHURN, 6, workers=3)
+        assert [r.digest for r in serial] == [r.digest for r in parallel]
+
+
+class TestChurnOps:
+    def test_ops_describe_themselves(self):
+        assert "crash" in CrashProcess("p1", 40, None).describe()
+        assert "partition" in PartitionNet(("p0",), 60).describe()
+        assert "heal" in HealNet().describe()
+
+    def test_decided_churn_is_minority_bounded(self):
+        seen = 0
+        for trial_id in range(24):
+            result = run_trial(CHURN, trial_id, keep_decisions="always")
+            for decision in churn_decisions(result):
+                op = decision.op
+                if isinstance(op, CrashProcess):
+                    seen += 1
+                if isinstance(op, PartitionNet):
+                    assert len(op.side) <= (CHURN.n - 1) // 2
+                    seen += 1
+        assert seen > 0
+
+    def test_masked_churn_op_is_skipped_not_fatal(self):
+        trial_id, free = trial_with_churn(CHURN)
+        kept = [d for d in free.decisions if not churn_decisions_only(d)]
+        result = replay_trial(CHURN, trial_id, kept)
+        assert result.digest  # replay completed
+
+    def test_scaled_rates_cap_probabilities(self):
+        scaled = ChurnRates(crash_restart=0.5, partition=0.5).scaled(10.0)
+        assert scaled.crash_restart == 0.95
+        assert scaled.partition == 0.95
+        assert scaled.downtime == ChurnRates().downtime  # durations fixed
+
+
+def churn_decisions_only(decision):
+    kinds = (CrashProcess, PartitionNet, HealNet)
+    return isinstance(getattr(decision, "op", None), kinds)
+
+
+class TestShrinkWithChurn:
+    def test_shrink_handles_churn_decisions(self):
+        """Delta-debugging a diverged churned trial produces a minimal
+        decision list that still replays, and the report surfaces any
+        masked-victim skips."""
+        import dataclasses
+
+        harsh = dataclasses.replace(
+            CHURN,
+            recovery=None,
+            rates=FaultRates().scaled(3.0),
+            churn=ChurnRates(crash_restart=0.2, partition=0.1),
+            confirm_window=60,
+            max_steps=220,
+        )
+        failing_id = None
+        for trial_id in range(40):
+            if not run_trial(harsh, trial_id).converged:
+                failing_id = trial_id
+                break
+        assert failing_id is not None, "no diverged trial found"
+        shrunk = shrink_trial(harsh, failing_id, max_probes=300)
+        assert not shrunk.final.converged
+        assert len(shrunk.minimal) <= len(shrunk.original)
+        rendered = shrunk.render(harsh)
+        assert "decisions" in rendered or shrunk.minimal
+
+
+class TestArtifact:
+    def test_artifact_carries_robustness_fields(self, tmp_path):
+        results = [run_trial(CHURN, i) for i in range(4)]
+        summary = summarize(results, 1.0, requeues=2)
+        payload = artifact(CHURN, results, summary)
+        text = json.dumps(payload)  # serializable end-to-end
+        assert "availability_mean" in text
+        assert payload["summary"]["requeues"] == 2
+        assert payload["spec"]["churn"]["downtime"] == 40
+        assert payload["spec"]["recovery"]["heartbeat_interval"] == 5
+        for trial in payload["trials"]:
+            assert "availability" in trial
+            assert "dropped" in trial
+            assert "corrupted" in trial
+
+    def test_summary_aggregates_latencies(self):
+        results = [run_trial(CHURN, i) for i in range(4)]
+        summary = summarize(results, 1.0)
+        assert summary.availability_mean is not None
+        assert 0.0 <= summary.availability_mean <= 1.0
+        assert summary.total_dropped >= 0
+        described = summary.describe()
+        assert "availability" in described
+
+
+class TestRunnerRequeue:
+    @pytest.mark.skipif(
+        not hasattr(os, "fork"), reason="fork start method required"
+    )
+    def test_flaky_worker_requeued_to_success(self, tmp_path):
+        """A trial whose worker dies once succeeds on the respawn."""
+        marker = tmp_path / "died-once"
+
+        def flaky(spec, trial_id):
+            if trial_id == 1 and not marker.exists():
+                marker.write_text("x")
+                os._exit(23)
+            return run_trial(spec, trial_id)
+
+        retry_stats: dict = {}
+        results = run_campaign(
+            CHURN,
+            3,
+            workers=2,
+            trial_fn=flaky,
+            retry_backoff=0.01,
+            retry_stats=retry_stats,
+        )
+        assert [r.trial_id for r in results] == [0, 1, 2]
+        assert results[1].outcome != "crashed"
+        assert results[1].digest == run_trial(CHURN, 1).digest
+        assert retry_stats["requeues"] == 1
+
+    @pytest.mark.skipif(
+        not hasattr(os, "fork"), reason="fork start method required"
+    )
+    def test_persistent_crash_still_contained(self):
+        def doomed(spec, trial_id):
+            if trial_id == 1:
+                os._exit(17)
+            return run_trial(spec, trial_id)
+
+        retry_stats: dict = {}
+        results = run_campaign(
+            CHURN,
+            3,
+            workers=2,
+            trial_fn=doomed,
+            max_trial_retries=1,
+            retry_backoff=0.01,
+            retry_stats=retry_stats,
+        )
+        assert results[1].outcome == "crashed"
+        assert "after 2 attempts" in results[1].detail
+        assert retry_stats["requeues"] == 1
+        assert results[0].outcome != "crashed"
+        assert results[2].outcome != "crashed"

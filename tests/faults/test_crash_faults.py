@@ -1,0 +1,140 @@
+"""Unit tests for the crash-restart and partition injectors."""
+
+import random
+
+import pytest
+
+from repro.faults import (
+    Composite,
+    CrashRestart,
+    CrashStop,
+    PartitionFaults,
+    Windowed,
+)
+from repro.faults.crash_faults import default_max_crashed
+from repro.tme import build_simulation
+from repro.tme.scenarios import scramble_tme_state
+
+
+def sim_ra(n=5, seed=0):
+    return build_simulation("ra", n=n, seed=seed)
+
+
+class TestCrashStop:
+    def test_strikes_and_caps_at_minority(self):
+        sim = sim_ra(n=5)
+        injector = CrashStop(random.Random(1), rate=1.0)
+        for i in range(20):
+            injector.before_step(sim, i)
+        crashed = [p for p in sim.processes.values() if not p.is_live]
+        assert len(crashed) == default_max_crashed(5) == 2
+
+    def test_respects_pid_filter(self):
+        sim = sim_ra(n=5)
+        injector = CrashStop(random.Random(1), rate=1.0, pids=["p3"])
+        injector.before_step(sim, 0)
+        assert not sim.processes["p3"].is_live
+        assert all(
+            sim.processes[p].is_live for p in sim.processes if p != "p3"
+        )
+
+    def test_zero_rate_never_strikes(self):
+        sim = sim_ra()
+        injector = CrashStop(random.Random(1), rate=0.0)
+        assert all(not injector.before_step(sim, i) for i in range(50))
+
+
+class TestCrashRestart:
+    def test_restart_fires_after_window_closes(self):
+        """A crash inside the fault window restarts after it: crash-restart
+        is one fault, with the revival scheduled on the runtime."""
+        sim = sim_ra(n=3, seed=2)
+        injector = Windowed(
+            CrashRestart(random.Random(3), rate=1.0, downtime=30), 5, 6
+        )
+        sim.fault_hook = injector
+        crashed_during_window = False
+        for _ in range(60):
+            sim.step()
+            if sim.step_index == 6:
+                crashed_during_window = any(
+                    not p.is_live for p in sim.processes.values()
+                )
+        assert crashed_during_window
+        assert all(p.is_live for p in sim.processes.values())
+
+    def test_restart_vars_fn_layers_over_initial(self):
+        sim = sim_ra(n=3)
+        injector = CrashRestart(
+            random.Random(1),
+            rate=1.0,
+            downtime=1,
+            restart_vars_fn=scramble_tme_state,
+        )
+        injector.before_step(sim, 0)
+        victim = next(p for p in sim.processes.values() if not p.is_live)
+        assert victim.restart_vars is not None
+        assert set(dict(victim.restart_vars)) == set(
+            victim.program.initial_vars
+        )
+
+    def test_downtime_validated(self):
+        with pytest.raises(ValueError):
+            CrashRestart(random.Random(0), rate=1.0, downtime=0)
+
+
+class TestPartitionFaults:
+    def test_cuts_minority_then_heals_on_schedule(self):
+        sim = sim_ra(n=5)
+        injector = PartitionFaults(
+            random.Random(7), partition_rate=1.0, heal_after=10
+        )
+        struck = injector.before_step(sim, 0)
+        assert struck and struck[0].startswith("partition")
+        down = sim.network.down_links()
+        assert down
+        side = struck[0].split("{")[1].split("}")[0].split(",")
+        assert 1 <= len(side) <= default_max_crashed(5)
+        assert sim.network.heal_due(10) == down
+
+    def test_never_stacks_partitions(self):
+        sim = sim_ra(n=5)
+        injector = PartitionFaults(
+            random.Random(7), partition_rate=1.0, heal_after=None
+        )
+        injector.before_step(sim, 0)
+        first = sim.network.down_links()
+        injector.before_step(sim, 1)
+        assert sim.network.down_links() == first
+
+    def test_heal_rate_restores_all(self):
+        sim = sim_ra(n=5)
+        injector = PartitionFaults(
+            random.Random(7), partition_rate=1.0, heal_after=None, heal_rate=1.0
+        )
+        # The same call rolls partition then heal: cut and restored in one.
+        struck = injector.before_step(sim, 0)
+        assert any(s.startswith("partition") for s in struck)
+        assert any(s.startswith("heal all") for s in struck)
+        assert sim.network.down_links() == ()
+
+    def test_composes_with_windowed_and_composite(self):
+        sim = sim_ra(n=5, seed=4)
+        hook = Windowed(
+            Composite(
+                [
+                    CrashRestart(random.Random(5), rate=0.5, downtime=20),
+                    PartitionFaults(
+                        random.Random(6), partition_rate=0.5, heal_after=20
+                    ),
+                ]
+            ),
+            2,
+            12,
+        )
+        sim.fault_hook = hook
+        trace = sim.run(200)
+        assert trace.fault_step_indices()
+        # Everything scheduled inside the window resolved afterwards.
+        assert all(p.is_live for p in sim.processes.values())
+        assert sim.network.down_links() == ()

@@ -1,0 +1,207 @@
+"""The self-healing recovery subsystem: detector, watchdog, exclusion."""
+
+from repro.recovery import (
+    HeartbeatDetector,
+    RecoveryConfig,
+    RecoveryManager,
+    default_stall_window,
+    exclusion_supported,
+    forge_exclusion,
+)
+from repro.recovery.watchdog import (
+    STAGE_EXCLUDE,
+    STAGE_GLOBAL_RESET,
+    STAGE_LOCAL_RESET,
+    STAGE_RETRANSMIT,
+    ProgressWatchdog,
+    lspec_phase,
+)
+from repro.tme import WrapperConfig, build_simulation
+from repro.tme.interfaces import EATING
+
+
+def wrapped(algorithm, n, seed=0, fault_hook=None):
+    return build_simulation(
+        algorithm,
+        n=n,
+        seed=seed,
+        wrapper=WrapperConfig(theta=4),
+        fault_hook=fault_hook,
+        record_states=False,
+    )
+
+
+class TestHeartbeatDetector:
+    def test_suspects_crashed_peer_with_bounded_latency(self):
+        sim = wrapped("ra", 3)
+        detector = HeartbeatDetector(heartbeat_interval=5, heartbeat_timeout=20)
+        sim.crash_process("p1")
+        for i in range(40):
+            detector.observe(sim, i)
+        assert detector.is_suspected("p0", "p1")
+        assert detector.is_suspected("p2", "p1")
+        assert not detector.is_suspected("p0", "p2")
+        assert detector.incidents == 2
+        # Silence exceeds the timeout within one extra heartbeat interval.
+        assert all(20 < lat <= 26 for lat in detector.detection_latencies)
+
+    def test_suspects_partitioned_link_direction(self):
+        sim = wrapped("ra", 3)
+        detector = HeartbeatDetector(heartbeat_interval=5, heartbeat_timeout=20)
+        sim.network.cut_link("p1", "p0")  # p0 stops hearing p1
+        for i in range(40):
+            detector.observe(sim, i)
+        assert detector.is_suspected("p0", "p1")
+        assert not detector.is_suspected("p1", "p0")  # reverse link is up
+
+    def test_unsuspects_after_restart(self):
+        sim = wrapped("ra", 3)
+        detector = HeartbeatDetector(heartbeat_interval=5, heartbeat_timeout=20)
+        sim.crash_process("p1")
+        for i in range(40):
+            detector.observe(sim, i)
+        assert detector.is_suspected("p0", "p1")
+        sim.processes["p1"].restart()
+        for i in range(40, 80):
+            detector.observe(sim, i)
+        assert not detector.is_suspected("p0", "p1")
+        assert detector.suspects_of("p0") == ()
+
+
+class TestProgressWatchdog:
+    def test_escalation_ladder_order(self):
+        sim = wrapped("ra", 3)
+        watchdog = ProgressWatchdog(stall_window=10, backoff_base=5)
+        # Make every process hungry so the stall clock runs.
+        for i in range(200):
+            watchdog.observe(sim, i)
+            if not watchdog.hungry_live_pids(sim):
+                sim.step()  # drive until demand exists, then freeze
+                continue
+            due = watchdog.due_stages(i)
+            for stage in due:
+                watchdog.fired(stage, i)
+            if STAGE_GLOBAL_RESET in due:
+                break
+        order = [s for s, c in sorted(
+            watchdog.stage_counts.items()
+        ) if c]
+        assert set(order) == {
+            STAGE_RETRANSMIT,
+            STAGE_EXCLUDE,
+            STAGE_LOCAL_RESET,
+            STAGE_GLOBAL_RESET,
+        }
+
+    def test_default_stall_window_scales(self):
+        assert default_stall_window(3) == 40
+        assert default_stall_window(8) == 192
+
+
+class TestExclusion:
+    def test_support_matrix(self):
+        assert exclusion_supported("RA_ME")
+        assert exclusion_supported("RACount_ME")
+        assert exclusion_supported("Lamport_ME")
+        assert not exclusion_supported("TokenRing_ME")
+
+    def test_forged_reply_raises_req_copy(self):
+        sim = wrapped("ra", 3)
+        # Drive until p0 holds a pending request (phase hungry).
+        for _ in range(400):
+            sim.step()
+            variables = sim.processes["p0"].variables
+            if variables.get("phase") == "h":
+                break
+        else:
+            raise AssertionError("p0 never went hungry")
+        from repro.tme.interfaces import adapter_for
+
+        proc = sim.processes["p0"]
+        req = proc.variables["req"]
+        forged = forge_exclusion(sim, "p0", "p2", "RA_ME")
+        assert forged == 1
+        lspec = adapter_for("RA_ME")(proc.variables, "p0", proc.peers)
+        assert req.lt(lspec.req_of["p2"])  # p2 no longer blocks the grant
+
+
+class TestManager:
+    def test_majority_partition_keeps_serving(self):
+        """The acceptance scenario: an *unhealed* partition strands a
+        minority; heartbeat suspicion plus watchdog exclusion lets the
+        majority keep entering the CS, while the minority never does."""
+        manager = RecoveryManager(
+            RecoveryConfig(stall_window=60, backoff_base=15)
+        )
+        sim = wrapped("ra", 5, seed=3, fault_hook=manager)
+        sim.run(60)  # healthy warm-up
+        sim.network.cut(["p3", "p4"])  # never healed
+        majority_entries = 0
+        minority_entries = 0
+        partition_step = sim.step_index
+        for _ in range(1600):
+            sim.step()
+            for pid in ("p0", "p1", "p2"):
+                if lspec_phase(sim, pid) == EATING:
+                    majority_entries += 1
+            for pid in ("p3", "p4"):
+                if lspec_phase(sim, pid) == EATING:
+                    minority_entries += 1
+        assert sim.step_index - partition_step == 1600
+        assert manager.exclusions > 0
+        assert majority_entries > 0
+        assert minority_entries == 0  # the majority guard held
+        metrics = manager.metrics()
+        assert metrics.detection_latencies  # suspicion was measured
+        assert dict(metrics.stage_counts)["exclude"] >= 1
+
+    def test_global_reset_remints_token(self):
+        """Exclusion cannot substitute for the ring's token; the global
+        reset re-initializes every live process, which mints it afresh."""
+        manager = RecoveryManager(RecoveryConfig())
+        sim = wrapped("token", 3, seed=1, fault_hook=manager)
+        for proc in sim.processes.values():  # lose the token entirely
+            proc.improper_init({**proc.program.initial_vars, "tokens": 0})
+        description = manager._global_reset(sim)
+        assert "global-reset" in description
+        tokens = sum(p.variables["tokens"] for p in sim.processes.values())
+        assert tokens == 1
+
+    def test_tokenless_ring_recovers_via_resets(self):
+        manager = RecoveryManager(
+            RecoveryConfig(stall_window=40, backoff_base=10)
+        )
+        sim = wrapped("token", 3, seed=2, fault_hook=manager)
+        for proc in sim.processes.values():
+            proc.improper_init({**proc.program.initial_vars, "tokens": 0})
+        entries = 0
+        for _ in range(800):
+            sim.step()
+            entries += sum(
+                1
+                for pid in sim.processes
+                if lspec_phase(sim, pid) == EATING
+            )
+        assert manager.local_resets + manager.global_resets >= 1
+        assert entries > 0  # service restored
+
+    def test_manager_is_deterministic(self):
+        def run_once():
+            manager = RecoveryManager(
+                RecoveryConfig(stall_window=60, backoff_base=15)
+            )
+            sim = wrapped("ra", 4, seed=5, fault_hook=manager)
+            sim.crash_process("p1", restart_at=120)
+            sim.network.cut(["p2"], heal_at=200)
+            trace = sim.run(500)
+            return (
+                tuple(
+                    f
+                    for record in trace.steps
+                    for f in record.faults
+                    if f.startswith("recover:")
+                ),
+                manager.metrics(),
+            )
+
+        assert run_once() == run_once()
