@@ -57,7 +57,50 @@ CAMPAIGN_CASE = ("campaign_ra_n4", "ra", 4, 24, 2025)
 EXACT_FIELDS = ("states", "orbit_reductions", "trials", "converged", "digest")
 
 #: Throughput per-entry fields: bounded regression when present.
-THROUGHPUT_FIELDS = ("states_per_sec", "trials_per_sec")
+THROUGHPUT_FIELDS = ("states_per_sec", "trials_per_sec", "canon_per_sec")
+
+
+def run_canon_case(repeats: int) -> dict[str, dict]:
+    """Raw packed-canonicalization throughput over the RA n=3 surface.
+
+    Exploration throughput can mask a canonicalizer regression behind
+    expansion cost, so this case times the canonicalizer alone: two
+    passes over the exact reachable set (pass one cold, pass two served
+    by the orbit cache) through a fresh
+    :class:`~repro.explore.packed.PackedGlobalCanonicalizer` per run.
+    """
+    import time
+
+    from repro.explore import GlobalSimulatorSpace, explore
+    from repro.tme import ClientConfig, tme_programs
+
+    programs = tme_programs(
+        "ra", 3, ClientConfig(think_delay=1, eat_delay=1)
+    )
+    states = list(
+        explore(
+            GlobalSimulatorSpace(programs), max_depth=6, max_states=20_000
+        ).visited
+    )
+    best = None
+    canon = None
+    for _ in range(repeats):
+        space = GlobalSimulatorSpace(programs, symmetry="full")
+        canon = space.packed_canon
+        started = time.perf_counter()
+        for state in states:
+            canon.canonicalize(state)
+        for state in states:
+            canon.canonicalize(state)
+        rate = (2 * len(states)) / (time.perf_counter() - started)
+        best = rate if best is None else max(best, rate)
+    return {
+        "canon_ra_n3": {
+            "states": len(states),
+            "canon_per_sec": round(best, 1),
+            "cache_hit_rate": round(canon.stats.hit_rate, 3),
+        }
+    }
 
 
 def run_campaign_case(repeats: int) -> dict[str, dict]:
@@ -184,6 +227,7 @@ def main(argv: list[str] | None = None) -> int:
     args = parser.parse_args(argv)
 
     current = run_cases(args.repeats)
+    current.update(run_canon_case(args.repeats))
     current.update(run_campaign_case(args.repeats))
     report = {"cases": current, "tolerance": args.tolerance}
 
@@ -205,11 +249,18 @@ def main(argv: list[str] | None = None) -> int:
 
     for name, cur in current.items():
         base = baseline.get(name, {})
-        if "states" in cur:
+        if "states_per_sec" in cur:
             print(
                 f"  {name}: {cur['states']} states, "
                 f"{cur['states_per_sec']:.0f} states/s "
                 f"(baseline {base.get('states_per_sec', 0):.0f})"
+            )
+        elif "canon_per_sec" in cur:
+            print(
+                f"  {name}: {cur['states']} states, "
+                f"{cur['canon_per_sec']:.0f} canon/s, "
+                f"{cur['cache_hit_rate']:.0%} cache hits "
+                f"(baseline {base.get('canon_per_sec', 0):.0f})"
             )
         else:
             print(

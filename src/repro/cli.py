@@ -37,6 +37,7 @@ from __future__ import annotations
 
 import argparse
 from collections.abc import Callable, Sequence
+from pathlib import Path
 
 EXPERIMENTS: dict[str, tuple[str, str]] = {
     "E2": ("experiment_stabilization", "Theorem 8: W stabilizes RA/Lamport"),
@@ -150,6 +151,21 @@ def build_parser() -> argparse.ArgumentParser:
             "group for ra/ra-count/lamport, ring rotations for token, "
             "peer permutations with --local (default: off, exact space)"
         ),
+    )
+    explore.add_argument(
+        "--profile",
+        action="store_true",
+        help=(
+            "break the run's wall-clock into engine phases "
+            "(expand/canonicalize/store/dedup)"
+        ),
+    )
+    explore.add_argument(
+        "--json",
+        type=Path,
+        metavar="PATH",
+        default=None,
+        help="also write the stats (and profile, if any) as JSON",
     )
 
     campaign = sub.add_parser(
@@ -420,6 +436,7 @@ def _cmd_explore(args: argparse.Namespace) -> int:
             max_states=args.max_states,
             max_seconds=args.max_seconds,
             symmetry=args.symmetry,
+            profile=args.profile,
         )
         surface = f"local space of {args.local}"
     else:
@@ -436,6 +453,7 @@ def _cmd_explore(args: argparse.Namespace) -> int:
             max_seconds=args.max_seconds,
             workers=args.workers,
             symmetry=symmetry,
+            profile=args.profile,
         )
         surface = "global space"
     print(
@@ -443,6 +461,22 @@ def _cmd_explore(args: argparse.Namespace) -> int:
         f"{result.states} distinct states"
     )
     print(result.stats.describe())
+    if result.stats.profile is not None:
+        print(result.stats.profile.describe())
+    if args.json is not None:
+        import dataclasses
+        import json
+
+        payload = {
+            "algorithm": args.algorithm,
+            "n": args.n,
+            "surface": surface,
+            "symmetry": bool(args.symmetry),
+            "states": result.states,
+            "stats": dataclasses.asdict(result.stats),
+        }
+        args.json.write_text(json.dumps(payload, indent=2) + "\n")
+        print(f"wrote {args.json}")
     return 0
 
 

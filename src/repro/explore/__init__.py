@@ -26,7 +26,12 @@ from repro.explore.engine import (
     TRUNCATED_BY_TIME,
     Exploration,
     ExplorationStats,
+    PhaseProfile,
     explore,
+)
+from repro.explore.packed import (
+    CachedCanonicalizer,
+    PackedGlobalCanonicalizer,
 )
 from repro.explore.spaces import (
     FULL_SYMMETRY,
@@ -43,6 +48,7 @@ from repro.explore.store import (
     PlainStateStore,
     StateCodec,
     make_visited_store,
+    order_key,
 )
 
 __all__ = [
@@ -52,6 +58,7 @@ __all__ = [
     "RING_SYMMETRY",
     "TRUNCATED_BY_STATES",
     "TRUNCATED_BY_TIME",
+    "CachedCanonicalizer",
     "Exploration",
     "ExplorationStats",
     "GlobalSimulatorSpace",
@@ -59,6 +66,8 @@ __all__ = [
     "InternedStateStore",
     "Interner",
     "LocalProcessSpace",
+    "PackedGlobalCanonicalizer",
+    "PhaseProfile",
     "PlainStateStore",
     "StateCodec",
     "StateSpace",
@@ -69,6 +78,7 @@ __all__ = [
     "full_symmetry",
     "make_visited_store",
     "orbit_of",
+    "order_key",
     "peer_symmetry",
     "rename_global_state",
     "rename_local_snapshot",

@@ -39,6 +39,7 @@ from itertools import permutations
 from typing import Any, Mapping
 
 from repro.clocks.timestamps import Timestamp
+from repro.explore.store import order_key
 from repro.runtime.trace import GlobalState
 
 #: A pid renaming: old pid -> new pid (bijective on the pid set).
@@ -105,32 +106,12 @@ def peer_symmetry(
 # ---------------------------------------------------------------------------
 
 
-def _order_key(value: Any) -> tuple:
-    """A total order over the heterogeneous values snapshots carry.
-
-    Used both to re-sort naturally-sorted containers after renaming and
-    to pick the least orbit member; it must not depend on any per-run
-    state (interning order, object ids) so canonical representatives
-    agree across runs and across pool workers.
-    """
-    if value is None:
-        return (0,)
-    if isinstance(value, bool):
-        return (1, int(value))
-    if isinstance(value, int):
-        return (2, value)
-    if isinstance(value, str):
-        return (3, value)
-    if isinstance(value, Timestamp):
-        return (4, value.clock, value.pid)
-    if isinstance(value, tuple):
-        return (5, len(value)) + tuple(_order_key(v) for v in value)
-    if isinstance(value, frozenset):
-        # Sorted element keys: iteration order of a frozenset of strings
-        # varies with hash randomization, so it must never leak into the
-        # canonical order.
-        return (6, len(value)) + tuple(sorted(_order_key(v) for v in value))
-    return (7, type(value).__name__, repr(value))
+# The total order over heterogeneous snapshot values: owned by
+# repro.explore.store (its branch tags are the codec's tag table, one
+# source of truth for both the packed encoding and the canonical
+# order).  Kept under the historical private name -- this module is the
+# order's primary consumer.
+_order_key = order_key
 
 
 def _is_sorted(values: tuple) -> bool:

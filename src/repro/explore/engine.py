@@ -40,6 +40,73 @@ TRUNCATED_BY_TIME = "time_budget"
 
 
 @dataclass(frozen=True)
+class PhaseProfile:
+    """Wall-clock breakdown of one exploration's inner loop.
+
+    Phases (seconds, non-overlapping):
+
+    ``expand``
+        Generating successors (simulator forking, effect application).
+    ``canonicalize``
+        Symmetry canonicalization of roots and successors (0.0 when the
+        space defines no symmetry).
+    ``store``
+        Visited-set insertions that stored a fresh state (encode +
+        intern + dict insert).
+    ``dedup``
+        Visited-set probes that hit an already-stored state.
+
+    ``overhead_seconds`` is the run's elapsed time minus the four
+    phases: frontier bookkeeping, bound checks, timer cost.
+    """
+
+    expand_seconds: float
+    canonicalize_seconds: float
+    store_seconds: float
+    dedup_seconds: float
+    elapsed_seconds: float
+
+    @property
+    def overhead_seconds(self) -> float:
+        return max(
+            0.0,
+            self.elapsed_seconds
+            - self.expand_seconds
+            - self.canonicalize_seconds
+            - self.store_seconds
+            - self.dedup_seconds,
+        )
+
+    def as_dict(self) -> dict[str, float]:
+        return {
+            "expand_seconds": round(self.expand_seconds, 6),
+            "canonicalize_seconds": round(self.canonicalize_seconds, 6),
+            "store_seconds": round(self.store_seconds, 6),
+            "dedup_seconds": round(self.dedup_seconds, 6),
+            "overhead_seconds": round(self.overhead_seconds, 6),
+            "elapsed_seconds": round(self.elapsed_seconds, 6),
+        }
+
+    def describe(self) -> str:
+        """Multi-line human-readable phase table."""
+        total = self.elapsed_seconds or 1.0
+        rows = [
+            ("expand", self.expand_seconds),
+            ("canonicalize", self.canonicalize_seconds),
+            ("store", self.store_seconds),
+            ("dedup", self.dedup_seconds),
+            ("overhead", self.overhead_seconds),
+        ]
+        lines = ["phase breakdown:"]
+        for name, seconds in rows:
+            lines.append(
+                f"  {name:<13} {seconds:8.3f}s  {seconds / total:6.1%}"
+            )
+        lines.append(f"  {'total':<13} {self.elapsed_seconds:8.3f}s")
+        return "\n".join(lines)
+
+
+@dataclass(frozen=True)
 class ExplorationStats:
     """Instrumentation of one exploration run.
 
@@ -67,11 +134,19 @@ class ExplorationStats:
     ``orbit_reductions``
         Examined keys (roots and successors, duplicates included) that
         symmetry canonicalization rewrote to a different orbit
-        representative; 0 when the space defines no ``canonical_key``.
+        representative; 0 when the space defines no symmetry.
     ``bytes_per_state``
         Mean packed payload bytes per visited state in the interned
         store; 0.0 when the space defines no ``codec`` (plain-set
         storage of the original keys).
+    ``canon_cache_hits`` / ``canon_cache_misses``
+        Orbit-representative cache activity (packed canonicalization
+        only): a hit means an examined key's canonical form was served
+        from the blob-keyed cache without touching the permutation
+        group.
+    ``profile``
+        Per-phase wall-clock breakdown (only when the exploration ran
+        with ``profile=True``).
     """
 
     strategy: str
@@ -88,6 +163,9 @@ class ExplorationStats:
     workers: int = 1
     orbit_reductions: int = 0
     bytes_per_state: float = 0.0
+    canon_cache_hits: int = 0
+    canon_cache_misses: int = 0
+    profile: PhaseProfile | None = None
 
     @property
     def states_per_second(self) -> float:
@@ -102,6 +180,14 @@ class ExplorationStats:
         if self.transitions == 0:
             return 0.0
         return self.dedup_hits / self.transitions
+
+    @property
+    def canon_cache_hit_rate(self) -> float:
+        """Fraction of canonicalizations served from the orbit cache."""
+        lookups = self.canon_cache_hits + self.canon_cache_misses
+        if lookups == 0:
+            return 0.0
+        return self.canon_cache_hits / lookups
 
     def describe(self) -> str:
         """One-line human-readable summary."""
@@ -118,6 +204,8 @@ class ExplorationStats:
         )
         if self.orbit_reductions:
             text += f", {self.orbit_reductions} orbit rewrites"
+        if self.canon_cache_hits or self.canon_cache_misses:
+            text += f", canon cache {self.canon_cache_hit_rate:.0%}"
         if self.bytes_per_state:
             text += f", {self.bytes_per_state:.0f} B/state"
         if self.truncated:
@@ -174,6 +262,10 @@ class Exploration:
         return key in self._visited
 
 
+#: Sentinel for exhausted successor iterators (profiled iteration).
+_DONE = object()
+
+
 def explore(
     space: StateSpace,
     *,
@@ -183,6 +275,7 @@ def explore(
     max_seconds: float | None = None,
     workers: int = 1,
     on_visit: Callable[[Hashable, int], None] | None = None,
+    profile: bool = False,
 ) -> Exploration:
     """Explore ``space`` from its roots under the given strategy and bounds.
 
@@ -190,7 +283,17 @@ def explore(
     visit order (roots first).  ``workers > 1`` requests process-pool
     expansion (BFS only; the space must implement ``successors_of_key`` --
     see :mod:`repro.explore.parallel`); it falls back to in-process
-    expansion when the platform cannot fork.
+    expansion when the platform cannot fork.  ``profile=True`` attaches a
+    :class:`PhaseProfile` wall-clock breakdown (expand / canonicalize /
+    store / dedup) to the result's stats (in-process exploration only).
+
+    Symmetric spaces canonicalize on the fast path when they expose a
+    ``packed_canon`` (see :mod:`repro.explore.packed`): successors are
+    encoded once into packed token streams, orbit representatives come
+    from a blob-keyed cache or an incremental patch of the parent's
+    candidate vectors, and the canonical *blob* enters the visited store
+    directly -- the legacy ``canonical_key`` object path is kept for
+    spaces without one.
     """
     if strategy not in (BFS, DFS):
         raise ValueError(f"unknown frontier strategy {strategy!r}")
@@ -216,6 +319,12 @@ def explore(
     started = time.perf_counter()
     canon = getattr(space, "canonical_key", None)
     visited = make_visited_store(getattr(space, "codec", None))
+    packed = getattr(space, "packed_canon", None)
+    if packed is not None and not hasattr(visited, "add_packed"):
+        packed = None  # packed canon requires the interned store
+    delta_of = getattr(space, "delta_of", None) if packed else None
+    cache_hits0 = packed.stats.hits if packed is not None else 0
+    cache_misses0 = packed.stats.misses if packed is not None else 0
     frontier: deque[tuple[Any, int]] = deque()
     truncated = False
     truncation_cause: str | None = None
@@ -225,25 +334,47 @@ def explore(
     transitions = 0
     dedup_hits = 0
     orbit_reductions = 0
+    clock = time.perf_counter if profile else None
+    expand_s = canon_s = store_s = dedup_s = 0.0
 
     for root in space.roots():
         key = space.key(root)
-        if canon is not None:
-            canonical = canon(key)
-            if canonical is not key:
+        if packed is not None:
+            if clock:
+                t0 = clock()
+            cblob, rewritten = packed.canonicalize(key)
+            if clock:
+                canon_s += clock() - t0
+            if rewritten:
                 orbit_reductions += 1
-            key = canonical
-        if max_states is not None and len(visited) >= max_states:
-            if key in visited:
+            if max_states is not None and len(visited) >= max_states:
+                if visited.contains_packed(cblob):
+                    continue
+                truncated = True
+                truncation_cause = TRUNCATED_BY_STATES
+                break
+            _ident, fresh = visited.add_packed(cblob)
+            if not fresh:
                 continue
-            truncated = True
-            truncation_cause = TRUNCATED_BY_STATES
-            break
-        _ident, fresh = visited.add(key)
-        if not fresh:
-            continue
-        if on_visit is not None:
-            on_visit(key, 0)
+            if on_visit is not None:
+                on_visit(packed.decode(cblob) if rewritten else key, 0)
+        else:
+            if canon is not None:
+                canonical = canon(key)
+                if canonical is not key:
+                    orbit_reductions += 1
+                key = canonical
+            if max_states is not None and len(visited) >= max_states:
+                if key in visited:
+                    continue
+                truncated = True
+                truncation_cause = TRUNCATED_BY_STATES
+                break
+            _ident, fresh = visited.add(key)
+            if not fresh:
+                continue
+            if on_visit is not None:
+                on_visit(key, 0)
         frontier.append((root, 0))
 
     peak_frontier = len(frontier)
@@ -262,34 +393,91 @@ def explore(
             depth_limited = True
             continue
         expansions += 1
-        for succ in space.successors(node):
+        parent_key = space.key(node) if packed is not None else None
+        succs = iter(space.successors(node))
+        while True:
+            if clock:
+                t0 = clock()
+            succ = next(succs, _DONE)
+            if clock:
+                expand_s += clock() - t0
+            if succ is _DONE:
+                break
             transitions += 1
             key = space.key(succ)
-            if canon is not None:
-                canonical = canon(key)
-                if canonical is not key:
+            if packed is not None:
+                delta = delta_of(succ) if delta_of is not None else None
+                if clock:
+                    t0 = clock()
+                cblob, rewritten = packed.canonicalize(
+                    key, parent_key, delta
+                )
+                if clock:
+                    canon_s += clock() - t0
+                if rewritten:
                     orbit_reductions += 1
-                key = canonical
-            if max_states is not None and len(visited) >= max_states:
-                if key in visited:
+                if max_states is not None and len(visited) >= max_states:
+                    if visited.contains_packed(cblob):
+                        dedup_hits += 1
+                        continue
+                    truncated = True
+                    truncation_cause = TRUNCATED_BY_STATES
+                    frontier.clear()
+                    break
+                if clock:
+                    t0 = clock()
+                _ident, fresh = visited.add_packed(cblob)
+                if clock:
+                    if fresh:
+                        store_s += clock() - t0
+                    else:
+                        dedup_s += clock() - t0
+                if not fresh:
                     dedup_hits += 1
                     continue
-                truncated = True
-                truncation_cause = TRUNCATED_BY_STATES
-                frontier.clear()
-                break
-            _ident, fresh = visited.add(key)
-            if not fresh:
-                dedup_hits += 1
-                continue
-            if on_visit is not None:
-                on_visit(key, depth + 1)
+                if on_visit is not None:
+                    on_visit(
+                        packed.decode(cblob) if rewritten else key,
+                        depth + 1,
+                    )
+            else:
+                if canon is not None:
+                    if clock:
+                        t0 = clock()
+                    canonical = canon(key)
+                    if clock:
+                        canon_s += clock() - t0
+                    if canonical is not key:
+                        orbit_reductions += 1
+                    key = canonical
+                if max_states is not None and len(visited) >= max_states:
+                    if key in visited:
+                        dedup_hits += 1
+                        continue
+                    truncated = True
+                    truncation_cause = TRUNCATED_BY_STATES
+                    frontier.clear()
+                    break
+                if clock:
+                    t0 = clock()
+                _ident, fresh = visited.add(key)
+                if clock:
+                    if fresh:
+                        store_s += clock() - t0
+                    else:
+                        dedup_s += clock() - t0
+                if not fresh:
+                    dedup_hits += 1
+                    continue
+                if on_visit is not None:
+                    on_visit(key, depth + 1)
             # The frontier keeps the first-seen orbit member: ``succ``
             # is reachable by construction, while the canonical
             # representative may be a renaming never actually executed.
             frontier.append((succ, depth + 1))
         peak_frontier = max(peak_frontier, len(frontier))
 
+    elapsed = time.perf_counter() - started
     stats = ExplorationStats(
         strategy=strategy,
         states=len(visited),
@@ -299,11 +487,30 @@ def explore(
         depth_reached=depth_reached,
         depth_limited=depth_limited,
         peak_frontier=peak_frontier,
-        elapsed_seconds=time.perf_counter() - started,
+        elapsed_seconds=elapsed,
         truncated=truncated,
         truncation_cause=truncation_cause,
         workers=1,
         orbit_reductions=orbit_reductions,
         bytes_per_state=visited.bytes_per_state,
+        canon_cache_hits=(
+            packed.stats.hits - cache_hits0 if packed is not None else 0
+        ),
+        canon_cache_misses=(
+            packed.stats.misses - cache_misses0
+            if packed is not None
+            else 0
+        ),
+        profile=(
+            PhaseProfile(
+                expand_seconds=expand_s,
+                canonicalize_seconds=canon_s,
+                store_seconds=store_s,
+                dedup_seconds=dedup_s,
+                elapsed_seconds=elapsed,
+            )
+            if profile
+            else None
+        ),
     )
     return visited.into_exploration(stats)

@@ -10,7 +10,9 @@ guarded-command programs -- is inherited by the workers through ``fork``.
 Workers also carry the space's symmetry canonicalization: each successor
 crosses the pipe as a ``(canonical, first_seen)`` pair, so the *n!-fold
 orbit folding* runs on the pool while the parent only deduplicates
-canonical keys in quotient space.  ``first_seen`` (``None`` when the
+canonical keys in quotient space.  Spaces that expose a ``packed_canon``
+(see :mod:`repro.explore.packed`) canonicalize on packed tokens with a
+per-worker orbit cache, the same fast path the in-process engine uses.  ``first_seen`` (``None`` when the
 successor already is canonical) is what enters the next frontier -- the
 same first-seen-orbit-member policy as the in-process engine, so serial
 and parallel symmetric runs visit identical canonical sets.
@@ -42,11 +44,24 @@ _ExpandResult = tuple[list[tuple[Hashable, Hashable | None]], int]
 
 def _expand_one(key: Hashable) -> _ExpandResult:
     assert _WORKER_SPACE is not None, "worker used outside a pool"
-    canon = getattr(_WORKER_SPACE, "canonical_key", None)
     succs = _WORKER_SPACE.successors_of_key(key)  # type: ignore[attr-defined]
+    packed = getattr(_WORKER_SPACE, "packed_canon", None)
+    if packed is not None:
+        # The fast path: each worker's canonicalizer (inherited at fork,
+        # warmed per-process) reports rewrites by value, which stays
+        # correct across its orbit cache.  Canonical *objects* cross the
+        # pipe -- packed blobs are meaningless outside their interner.
+        pairs = []
+        rewrites = 0
+        for succ in succs:
+            canonical, rewritten = packed.canonical_state(succ)
+            pairs.append((canonical, succ if rewritten else None))
+            rewrites += rewritten
+        return pairs, rewrites
+    canon = getattr(_WORKER_SPACE, "canonical_key", None)
     if canon is None:
         return [(succ, None) for succ in succs], 0
-    pairs: list[tuple[Hashable, Hashable | None]] = []
+    pairs = []
     rewrites = 0
     for succ in succs:
         canonical = canon(succ)
@@ -91,6 +106,7 @@ def explore_parallel(
             "would clobber).  Run the nested exploration with workers=1."
         )
     started = time.perf_counter()
+    packed = getattr(space, "packed_canon", None)
     canon = getattr(space, "canonical_key", None)
     visited = make_visited_store(getattr(space, "codec", None))
     truncated = False
@@ -106,7 +122,10 @@ def explore_parallel(
     for root in space.roots():
         key = space.key(root)
         frontier_key = key
-        if canon is not None:
+        if packed is not None:
+            key, rewritten = packed.canonical_state(key)
+            orbit_reductions += rewritten
+        elif canon is not None:
             canonical = canon(key)
             if canonical is not key:
                 orbit_reductions += 1

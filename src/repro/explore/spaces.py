@@ -97,13 +97,26 @@ class TransitionSystemSpace:
 
 
 class _GlobalNode:
-    """A live simulator paired with its (already materialised) snapshot."""
+    """A live simulator paired with its (already materialised) snapshot.
 
-    __slots__ = ("sim", "state")
+    ``delta`` is the touched-component record of the step that produced
+    this node from its parent -- ``(changed_pid | None, touched channel
+    keys)`` -- or ``None`` for roots.  The packed canonicalizer patches
+    parent candidate vectors with exactly these components instead of
+    rebuilding them (see :mod:`repro.explore.packed`).
+    """
 
-    def __init__(self, sim: "Simulator", state: "GlobalState"):
+    __slots__ = ("sim", "state", "delta")
+
+    def __init__(
+        self,
+        sim: "Simulator",
+        state: "GlobalState",
+        delta: tuple[str | None, tuple[tuple[str, str], ...]] | None = None,
+    ):
         self.sim = sim
         self.state = state
+        self.delta = delta
 
 
 class GlobalSimulatorSpace:
@@ -149,6 +162,7 @@ class GlobalSimulatorSpace:
             full_symmetry,
             ring_rotations,
         )
+        from repro.explore.packed import PackedGlobalCanonicalizer
         from repro.explore.store import GlobalStateCodec
 
         self.programs = dict(programs)
@@ -168,8 +182,14 @@ class GlobalSimulatorSpace:
             )
         if self.symmetry_group:
             group = self.symmetry_group
+            # Reference path (kept as the spec and for callers that want
+            # the object-level map) ...
             self.canonical_key = (
                 lambda state: canonical_global(state, group)
+            )
+            # ... and the packed-token fast path the engine prefers.
+            self.packed_canon = PackedGlobalCanonicalizer(
+                self.codec, pids, group
             )
         # pid -> position in GlobalState.processes, channel -> position in
         # GlobalState.channels; fixed for the whole space, filled lazily
@@ -345,11 +365,11 @@ class GlobalSimulatorSpace:
                 for send in effect.sends:
                     bnet.send(send.kind, dst, send.receiver, send.payload)
             branch = self._shell(sim, dst, bproc, bnet)
+            changed = dst if effect is not None else None
             yield _GlobalNode(
                 branch,
-                self._delta_state(
-                    parent, branch, dst if effect is not None else None, touched
-                ),
+                self._delta_state(parent, branch, changed, touched),
+                delta=(changed, tuple(touched)),
             )
         for pid, proc in sim.processes.items():
             # One view serves every action of this process: guards and
@@ -372,11 +392,20 @@ class GlobalSimulatorSpace:
                     bnet = network
                 branch = self._shell(sim, pid, bproc, bnet)
                 yield _GlobalNode(
-                    branch, self._delta_state(parent, branch, pid, touched)
+                    branch,
+                    self._delta_state(parent, branch, pid, touched),
+                    delta=(pid, tuple(touched)),
                 )
 
     def key(self, node: _GlobalNode) -> "GlobalState":
         return node.state
+
+    def delta_of(
+        self, node: _GlobalNode
+    ) -> tuple[str | None, tuple[tuple[str, str], ...]] | None:
+        """The touched-component record of the step that produced
+        ``node`` (``None`` for roots / unknown provenance)."""
+        return node.delta
 
     # -- key-based expansion (process-pool workers) -----------------------
 
@@ -436,6 +465,7 @@ class LocalProcessSpace:
         symmetry: bool = False,
     ):
         from repro.explore.canon import canonical_local, peer_symmetry
+        from repro.explore.packed import CachedCanonicalizer
         from repro.explore.store import StateCodec
 
         self.program = program
@@ -451,6 +481,11 @@ class LocalProcessSpace:
             group = self.symmetry_group
             self.canonical_key = (
                 lambda snapshot: canonical_local(snapshot, group)
+            )
+            # Orbit cache over the reference map: duplicate successors
+            # (the majority of examined edges) canonicalize once.
+            self.packed_canon = CachedCanonicalizer(
+                self.codec, group, canonical_local
             )
 
     def roots(self) -> Iterator[tuple]:

@@ -13,14 +13,21 @@ from a multi-kilobyte object graph to tens of bytes.
 
 :class:`StateCodec` is value-shape agnostic (ints, bools, strings,
 ``None``, :class:`~repro.clocks.timestamps.Timestamp`, nested tuples,
-plus an interned fallback for anything else hashable), so the same codec
-packs global snapshots and per-process local snapshots.  Decoding
-reconstructs the original key exactly; spaces expose it as
+frozensets, plus an interned fallback for anything else hashable), so
+the same codec packs global snapshots and per-process local snapshots.
+Decoding reconstructs the original key exactly; spaces expose it as
 ``encode_key``/``decode_key`` and the engine picks it up automatically.
+
+The module also owns :func:`order_key`, the history-independent total
+order over snapshot values that symmetry canonicalization minimizes:
+its branch tags *are* the codec tags, so the packed encoding and the
+canonical order can never drift apart (see
+:mod:`repro.explore.packed`).
 """
 
 from __future__ import annotations
 
+import re
 from array import array
 from collections.abc import Hashable, Iterator
 from typing import Any
@@ -28,19 +35,83 @@ from typing import Any
 from repro.clocks.timestamps import Timestamp
 from repro.runtime.trace import GlobalState
 
-_TAG_NONE = 0
-_TAG_FALSE = 1
-_TAG_TRUE = 2
-_TAG_INT = 3
-_TAG_STR = 4
-_TAG_TS = 5
-_TAG_TUPLE = 6
-_TAG_OTHER = 7
+#: The value-type tag table.  This is the *single source of truth* for the
+#: total order over the heterogeneous values snapshots carry: the codec
+#: writes these tags into packed token streams, and
+#: :func:`order_key` (re-exported as ``canon._order_key``) derives the
+#: canonicalization order from the very same numbers, so a tag-wise
+#: lexicographic comparison of two packed streams agrees with the
+#: object-tree order wherever the stream tokens are order-faithful.
+TAG_NONE = 0
+TAG_FALSE = 1
+TAG_TRUE = 2
+TAG_INT = 3
+TAG_STR = 4
+TAG_TS = 5
+TAG_TUPLE = 6
+TAG_FSET = 7
+TAG_OTHER = 8
+
+# Internal aliases (the module predates the public table).
+_TAG_NONE = TAG_NONE
+_TAG_FALSE = TAG_FALSE
+_TAG_TRUE = TAG_TRUE
+_TAG_INT = TAG_INT
+_TAG_STR = TAG_STR
+_TAG_TS = TAG_TS
+_TAG_TUPLE = TAG_TUPLE
+_TAG_FSET = TAG_FSET
+_TAG_OTHER = TAG_OTHER
 
 #: array typecode for packed token streams: signed 64-bit, so clocks,
 #: timers, and payload integers fit without escaping.
 _TYPECODE = "q"
 _INT64_MIN, _INT64_MAX = -(2**63), 2**63 - 1
+
+#: CPython's default ``object.__repr__`` embeds the object's memory
+#: address, which varies run to run; mask it so the :func:`order_key`
+#: fallback never leaks per-run state into a canonical order.
+_ADDR_RE = re.compile(r"0x[0-9a-fA-F]+")
+
+
+def _stable_repr(value: Any) -> str:
+    return _ADDR_RE.sub("0x0", repr(value))
+
+
+def order_key(value: Any) -> tuple:
+    """A history-independent total order over snapshot values.
+
+    Branch tags come from the tag table above, so the order is *derived
+    from the codec encoding* rather than maintained in parallel with it:
+    ``None < False < True < ints < strs < timestamps < tuples <
+    frozensets < everything else``.  It must not depend on any per-run
+    state (interning order, object ids, hash seeds) so canonical orbit
+    representatives agree across runs and across pool workers; the
+    fallback therefore masks memory addresses out of ``repr`` (two
+    distinct same-type objects whose reprs are both address-based
+    compare equal, which keeps the order total and run-stable at the
+    cost of an arbitrary-but-fixed tie).
+    """
+    if value is None:
+        return (TAG_NONE,)
+    if isinstance(value, bool):
+        return (TAG_TRUE,) if value else (TAG_FALSE,)
+    if isinstance(value, int):
+        return (TAG_INT, value)
+    if isinstance(value, str):
+        return (TAG_STR, value)
+    if isinstance(value, Timestamp):
+        return (TAG_TS, value.clock, value.pid)
+    if isinstance(value, tuple):
+        return (TAG_TUPLE, len(value)) + tuple(order_key(v) for v in value)
+    if isinstance(value, frozenset):
+        # Sorted element keys: iteration order of a frozenset of strings
+        # varies with hash randomization, so it must never leak into the
+        # canonical order.
+        return (TAG_FSET, len(value)) + tuple(
+            sorted(order_key(v) for v in value)
+        )
+    return (TAG_OTHER, type(value).__name__, _stable_repr(value))
 
 
 class Interner:
@@ -104,6 +175,14 @@ class StateCodec:
             out.append(len(value))
             for item in value:
                 self._flatten(item, out)
+        elif isinstance(value, frozenset):
+            # Flattened in canonical (order_key) element order, so equal
+            # sets encode identically regardless of hash randomization
+            # and pid members stay visible to packed-token renaming.
+            out.append(_TAG_FSET)
+            out.append(len(value))
+            for item in sorted(value, key=order_key):
+                self._flatten(item, out)
         else:
             out.append(_TAG_OTHER)
             out.append(self.others.intern(value))
@@ -152,6 +231,14 @@ class StateCodec:
                 item, index = self._read(tokens, index)
                 items.append(item)
             return tuple(items), index
+        if tag == _TAG_FSET:
+            length = tokens[index]
+            index += 1
+            items = []
+            for _ in range(length):
+                item, index = self._read(tokens, index)
+                items.append(item)
+            return frozenset(items), index
         if tag == _TAG_OTHER:
             return self.others.value(tokens[index]), index + 1
         raise ValueError(f"unknown tag {tag} in packed state")
@@ -171,7 +258,16 @@ class GlobalStateCodec(StateCodec):
 
     __slots__ = ()
 
-    def encode(self, state: GlobalState) -> bytes:  # type: ignore[override]
+    def encode_tokens(self, state: GlobalState) -> list[int]:
+        """The packed token stream of ``state`` as a plain int list.
+
+        Layout: ``[P, (pid_sid, vars_oid) * P, C, (src_sid, dst_sid,
+        content_oid) * C]`` where ``sid`` indexes :attr:`strings` and
+        ``oid`` indexes :attr:`others`.  This is the substrate the
+        packed canonicalizer permutes (see
+        :mod:`repro.explore.packed`); ``encode`` is the same stream
+        serialized to bytes.
+        """
         strings = self.strings.intern
         others = self.others.intern
         tokens = [len(state.processes)]
@@ -183,7 +279,10 @@ class GlobalStateCodec(StateCodec):
             tokens.append(strings(src))
             tokens.append(strings(dst))
             tokens.append(others(content))
-        return array(_TYPECODE, tokens).tobytes()
+        return tokens
+
+    def encode(self, state: GlobalState) -> bytes:  # type: ignore[override]
+        return array(_TYPECODE, self.encode_tokens(state)).tobytes()
 
     def decode(self, blob: bytes) -> GlobalState:  # type: ignore[override]
         tokens = array(_TYPECODE)
@@ -245,6 +344,10 @@ class InternedStateStore:
 
     def __contains__(self, key: Hashable) -> bool:
         return self.codec.encode(key) in self._ids
+
+    def contains_packed(self, blob: bytes) -> bool:
+        """Membership by already-packed blob (no re-encoding)."""
+        return blob in self._ids
 
     def __len__(self) -> int:
         return len(self._ids)

@@ -63,6 +63,7 @@ def explore_global(
     max_seconds: float | None = None,
     workers: int = 1,
     symmetry: str | bool | None = None,
+    profile: bool = False,
 ) -> ExplorationResult:
     """All distinct global states reachable from proper initialization in at
     most ``max_depth`` steps (whitebox verification surface).
@@ -73,7 +74,8 @@ def explore_global(
     (``"full"`` or ``"ring"``) counts one representative per
     process-permutation orbit instead of every renamed copy; see
     :mod:`repro.explore.canon` for which group is sound for which
-    algorithm.
+    algorithm.  ``profile=True`` attaches the engine's per-phase timing
+    breakdown to ``stats.profile``.
     """
     result = explore(
         GlobalSimulatorSpace(programs, symmetry=symmetry),
@@ -81,6 +83,7 @@ def explore_global(
         max_states=max_states,
         max_seconds=max_seconds,
         workers=workers,
+        profile=profile,
     )
     return ExplorationResult(
         "global",
@@ -113,11 +116,13 @@ def explore_local(
     max_states: int = 200_000,
     max_seconds: float | None = None,
     symmetry: bool = False,
+    profile: bool = False,
 ) -> ExplorationResult:
     """All distinct *local* states of one process reachable within
     ``max_depth`` of its own steps, under any receivable message from the
     bounded alphabet (graybox per-process verification surface).
-    ``symmetry=True`` quotients under permutations of the peers."""
+    ``symmetry=True`` quotients under permutations of the peers;
+    ``profile=True`` attaches per-phase timing to ``stats.profile``."""
     peers = tuple(p for p in all_pids if p != pid)
     space = LocalProcessSpace(
         program,
@@ -132,6 +137,7 @@ def explore_local(
         max_depth=max_depth,
         max_states=max_states,
         max_seconds=max_seconds,
+        profile=profile,
     )
     return ExplorationResult(
         "local",

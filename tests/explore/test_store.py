@@ -43,7 +43,9 @@ class TestStateCodec:
             (),
             ("phase", "t"),
             (("lc", 2), ("req", Timestamp(1, "p0")), ("flags", (True, None))),
-            frozenset(["p0", "p1"]),  # falls back to interning
+            frozenset(["p0", "p1"]),  # first-class: sorted-element tokens
+            frozenset([Timestamp(1, "p0"), Timestamp(1, "p1")]),
+            frozenset(),
         ],
     )
     def test_round_trip(self, value):
@@ -161,3 +163,44 @@ class TestMakeVisitedStore:
         assert "a" in store
         assert len(store) == 1
         assert store.bytes_per_state == 0.0
+
+
+class TestOrderKeySource:
+    """The canonical order is owned by the codec's tag table."""
+
+    def test_canon_order_is_the_store_order(self):
+        from repro.explore import order_key
+        from repro.explore.canon import _order_key
+
+        assert _order_key is order_key
+
+    def test_tags_are_the_codec_tags(self):
+        from repro.explore import order_key
+        from repro.explore.store import (
+            TAG_FSET,
+            TAG_INT,
+            TAG_NONE,
+            TAG_STR,
+            TAG_TS,
+            TAG_TUPLE,
+        )
+
+        assert order_key(None)[0] == TAG_NONE
+        assert order_key(7)[0] == TAG_INT
+        assert order_key("p0")[0] == TAG_STR
+        assert order_key(Timestamp(1, "p0"))[0] == TAG_TS
+        assert order_key(("a",))[0] == TAG_TUPLE
+        assert order_key(frozenset())[0] == TAG_FSET
+
+    def test_fallback_is_run_stable(self):
+        # Two distinct same-type objects with address-based reprs must
+        # compare equal (arbitrary-but-fixed tie), never by id()/repr
+        # addresses that differ between runs.
+        from repro.explore import order_key
+
+        class Opaque:
+            pass
+
+        a, b = Opaque(), Opaque()
+        assert "0x" in repr(a)  # default repr is address-based
+        assert order_key(a) == order_key(b)
