@@ -103,6 +103,60 @@ def run_canon_case(repeats: int) -> dict[str, dict]:
     }
 
 
+def run_parallel_scaling_case(repeats: int) -> dict[str, dict]:
+    """Sharded-exploration scaling: serial vs 4 shards on symmetric RA n=4.
+
+    The deterministic fields (state count and content digest, taken from
+    the *sharded* run) gate the engine's bit-identical parity with the
+    serial visited set; the serial throughput gates like every other
+    case.  The 4-worker throughput and speedup are recorded for the
+    scaling table but not gated: ``cpus`` records how much hardware
+    parallelism the runner actually had, and a 1-core runner
+    legitimately shows speedup < 1 (sharding buys memory partitioning,
+    not wall-clock, without cores to run on).
+    """
+    import time
+
+    from repro.explore import GlobalSimulatorSpace, explore
+    from repro.tme import ClientConfig, tme_programs
+
+    programs = tme_programs(
+        "ra", 4, ClientConfig(think_delay=1, eat_delay=1)
+    )
+
+    def best_run(workers: int):
+        best = best_rate = None
+        for _ in range(repeats):
+            started = time.perf_counter()
+            run = explore(
+                GlobalSimulatorSpace(programs, symmetry="full"),
+                max_depth=10,
+                workers=workers,
+            )
+            rate = run.states / (time.perf_counter() - started)
+            if best_rate is None or rate > best_rate:
+                best, best_rate = run, rate
+        return best, best_rate
+
+    serial, serial_rate = best_run(1)
+    par4, par4_rate = best_run(4)
+    try:
+        cpus = len(os.sched_getaffinity(0))
+    except AttributeError:
+        cpus = os.cpu_count() or 1
+    return {
+        "parallel_scaling": {
+            "states": par4.states,
+            "digest": par4.content_digest(),
+            "serial_match": par4.content_digest() == serial.content_digest(),
+            "states_per_sec": round(serial_rate, 1),
+            "par4_states_per_sec": round(par4_rate, 1),
+            "speedup": round(par4_rate / serial_rate, 2),
+            "cpus": cpus,
+        }
+    }
+
+
 def run_campaign_case(repeats: int) -> dict[str, dict]:
     import hashlib
     import time
@@ -228,6 +282,7 @@ def main(argv: list[str] | None = None) -> int:
 
     current = run_cases(args.repeats)
     current.update(run_canon_case(args.repeats))
+    current.update(run_parallel_scaling_case(args.repeats))
     current.update(run_campaign_case(args.repeats))
     report = {"cases": current, "tolerance": args.tolerance}
 
@@ -249,7 +304,14 @@ def main(argv: list[str] | None = None) -> int:
 
     for name, cur in current.items():
         base = baseline.get(name, {})
-        if "states_per_sec" in cur:
+        if "speedup" in cur:
+            print(
+                f"  {name}: {cur['states']} states, serial "
+                f"{cur['states_per_sec']:.0f} states/s, x4 shards "
+                f"{cur['par4_states_per_sec']:.0f} states/s "
+                f"(speedup {cur['speedup']:.2f} on {cur['cpus']} cpus)"
+            )
+        elif "states_per_sec" in cur:
             print(
                 f"  {name}: {cur['states']} states, "
                 f"{cur['states_per_sec']:.0f} states/s "

@@ -8,7 +8,7 @@ Python:
     standard fault campaign) and print the full verification bundle.
 
 ``experiment``
-    Regenerate one of the EXPERIMENTS.md tables (E2-E17) at a chosen
+    Regenerate one of the EXPERIMENTS.md tables (E2-E18) at a chosen
     repetition count.
 
 ``figure1``
@@ -54,6 +54,7 @@ EXPERIMENTS: dict[str, tuple[str, str]] = {
     "E14": ("experiment_refinement", "basic vs refined wrapper"),
     "E16": ("experiment_campaign", "Monte-Carlo convergence-latency campaign"),
     "E17": ("experiment_churn", "crash-restart/partition churn with recovery"),
+    "E18": ("experiment_parallel", "sharded exploration scaling and resume"),
 }
 
 
@@ -150,6 +151,27 @@ def build_parser() -> argparse.ArgumentParser:
             "deduplicate process-permutation orbits: the full symmetric "
             "group for ra/ra-count/lamport, ring rotations for token, "
             "peer permutations with --local (default: off, exact space)"
+        ),
+    )
+    explore.add_argument(
+        "--store-dir",
+        "--checkpoint",
+        dest="store_dir",
+        type=Path,
+        metavar="DIR",
+        default=None,
+        help=(
+            "spill visited states to append-only journals in DIR and "
+            "checkpoint every BFS level (out-of-core exploration; "
+            "global space only)"
+        ),
+    )
+    explore.add_argument(
+        "--resume",
+        action="store_true",
+        help=(
+            "continue a killed run from the last committed level in "
+            "--store-dir instead of starting over"
         ),
     )
     explore.add_argument(
@@ -419,12 +441,18 @@ def _cmd_explore(args: argparse.Namespace) -> int:
     from repro.tme import ClientConfig, tme_programs
     from repro.verification import explore_global, explore_local
 
+    if args.resume and args.store_dir is None:
+        print("--resume needs --store-dir (the journals to resume from)")
+        return 2
     programs = tme_programs(
         args.algorithm, args.n, ClientConfig(think_delay=1, eat_delay=1)
     )
     if args.local is not None:
         if args.local not in programs:
             print(f"unknown pid {args.local!r}; have {sorted(programs)}")
+            return 2
+        if args.store_dir is not None or args.resume:
+            print("--store-dir/--resume apply to the global space only")
             return 2
         result = explore_local(
             programs[args.local],
@@ -454,12 +482,19 @@ def _cmd_explore(args: argparse.Namespace) -> int:
             workers=args.workers,
             symmetry=symmetry,
             profile=args.profile,
+            store_dir=(
+                None if args.store_dir is None else str(args.store_dir)
+            ),
+            resume=args.resume,
+            digest=True,
         )
         surface = "global space"
     print(
         f"{args.algorithm} n={args.n}: {surface}, "
         f"{result.states} distinct states"
     )
+    if result.content_digest is not None:
+        print(f"content digest: {result.content_digest}")
     print(result.stats.describe())
     if result.stats.profile is not None:
         print(result.stats.profile.describe())
@@ -473,6 +508,7 @@ def _cmd_explore(args: argparse.Namespace) -> int:
             "surface": surface,
             "symmetry": bool(args.symmetry),
             "states": result.states,
+            "content_digest": result.content_digest,
             "stats": dataclasses.asdict(result.stats),
         }
         args.json.write_text(json.dumps(payload, indent=2) + "\n")

@@ -144,6 +144,20 @@ class ExplorationStats:
         only): a hit means an examined key's canonical form was served
         from the blob-keyed cache without touching the permutation
         group.
+    ``shard_states``
+        Per-shard visited counts of a sharded run (empty for serial
+        runs) -- the shard-balance view of the hash partition.
+    ``batches``
+        Proposal batches that crossed inter-process queues.
+    ``reexpansions``
+        States re-expanded by a checkpoint resume: the last committed
+        frontier level is expanded again because expansions are never
+        journalled (they are deterministic from the durable members).
+    ``spill_bytes``
+        Bytes appended to on-disk shard journals (0 without a
+        ``store_dir``).
+    ``resumed_states``
+        States seeded from replayed checkpoint journals.
     ``profile``
         Per-phase wall-clock breakdown (only when the exploration ran
         with ``profile=True``).
@@ -165,6 +179,11 @@ class ExplorationStats:
     bytes_per_state: float = 0.0
     canon_cache_hits: int = 0
     canon_cache_misses: int = 0
+    shard_states: tuple[int, ...] = ()
+    batches: int = 0
+    reexpansions: int = 0
+    spill_bytes: int = 0
+    resumed_states: int = 0
     profile: PhaseProfile | None = None
 
     @property
@@ -206,6 +225,15 @@ class ExplorationStats:
             text += f", {self.orbit_reductions} orbit rewrites"
         if self.canon_cache_hits or self.canon_cache_misses:
             text += f", canon cache {self.canon_cache_hit_rate:.0%}"
+        if self.shard_states:
+            lo, hi = min(self.shard_states), max(self.shard_states)
+            text += f", shards {lo}-{hi}"
+        if self.reexpansions:
+            text += f", {self.reexpansions} re-expansions"
+        if self.spill_bytes:
+            text += f", {self.spill_bytes / 1024:.0f} KiB spilled"
+        if self.resumed_states:
+            text += f", {self.resumed_states} resumed"
         if self.bytes_per_state:
             text += f", {self.bytes_per_state:.0f} B/state"
         if self.truncated:
@@ -261,6 +289,36 @@ class Exploration:
             return key in self._store
         return key in self._visited
 
+    def content_digest(self) -> str:
+        """Order-independent 128-bit digest of the visited set.
+
+        Serial, sharded, and checkpoint-resumed explorations of the
+        same bounded space produce the same hex string (the XOR of
+        per-state wire digests plus the cardinality -- see
+        :mod:`repro.explore.wire`), so it serves as the re-validation
+        anchor for a run: equal digest, equal visited set.
+        """
+        if self._store is not None and hasattr(
+            self._store, "content_digest"
+        ):
+            return self._store.content_digest()
+        from repro.explore.wire import (
+            WireCodec,
+            content_digest,
+            wire_digest,
+        )
+
+        codec = WireCodec()
+        xor = 0
+        count = 0
+        keys = self._store.keys() if self._store is not None else self._visited
+        for key in keys:
+            xor ^= int.from_bytes(
+                wire_digest(codec.encode(key)), "little"
+            )
+            count += 1
+        return content_digest(xor, count)
+
 
 #: Sentinel for exhausted successor iterators (profiled iteration).
 _DONE = object()
@@ -276,16 +334,26 @@ def explore(
     workers: int = 1,
     on_visit: Callable[[Hashable, int], None] | None = None,
     profile: bool = False,
+    store_dir: str | None = None,
+    resume: bool = False,
 ) -> Exploration:
     """Explore ``space`` from its roots under the given strategy and bounds.
 
     ``on_visit(key, depth)`` is called exactly once per distinct state, in
-    visit order (roots first).  ``workers > 1`` requests process-pool
-    expansion (BFS only; the space must implement ``successors_of_key`` --
-    see :mod:`repro.explore.parallel`); it falls back to in-process
-    expansion when the platform cannot fork.  ``profile=True`` attaches a
-    :class:`PhaseProfile` wall-clock breakdown (expand / canonicalize /
-    store / dedup) to the result's stats (in-process exploration only).
+    visit order (roots first).  ``workers > 1`` requests the sharded
+    pipelined engine (BFS only; the space must implement
+    ``successors_of_key`` -- see :mod:`repro.explore.parallel`); it falls
+    back to in-process expansion when the platform cannot fork or an
+    ``on_visit`` callback needs serial in-order visits.  ``profile=True``
+    attaches a :class:`PhaseProfile` wall-clock breakdown (expand /
+    canonicalize / store / dedup) to the result's stats (in-process
+    exploration only).
+
+    ``store_dir`` backs the sharded engine with out-of-core spill and
+    crash-durable journals (and forces the sharded path even at
+    ``workers=1``); ``resume=True`` replays the directory's journals
+    first, so a killed exploration continues to the identical visited
+    set and :meth:`Exploration.content_digest`.
 
     Symmetric spaces canonicalize on the fast path when they expose a
     ``packed_canon`` (see :mod:`repro.explore.packed`): successors are
@@ -297,21 +365,33 @@ def explore(
     """
     if strategy not in (BFS, DFS):
         raise ValueError(f"unknown frontier strategy {strategy!r}")
-    if workers > 1:
+    if resume and store_dir is None:
+        raise ValueError("resume=True requires store_dir")
+    if workers > 1 or store_dir is not None:
         from repro.explore.parallel import explore_parallel
 
         if strategy != BFS:
             raise ValueError("parallel expansion supports only BFS")
         result = explore_parallel(
             space,
-            workers=workers,
+            workers=max(1, workers),
             max_depth=max_depth,
             max_states=max_states,
             max_seconds=max_seconds,
             on_visit=on_visit,
+            store_dir=store_dir,
+            resume=resume,
         )
         if result is not None:
             return result
+        if store_dir is not None:
+            # Durability was explicitly requested: never silently
+            # degrade to the journal-less in-process engine.
+            raise RuntimeError(
+                "checkpointed exploration is unsupported here (the "
+                "space lacks successors_of_key, the platform cannot "
+                "fork, or an on_visit callback was given)"
+            )
         # fall through: platform cannot fork -- explore in-process
 
     from repro.explore.store import make_visited_store

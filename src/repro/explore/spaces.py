@@ -428,6 +428,12 @@ class GlobalSimulatorSpace:
         self._canonicalize(sim)
         return sim
 
+    def node_of_key(self, state: "GlobalState") -> _GlobalNode:
+        """A live node positioned at ``state``, expandable with
+        :meth:`successors` -- the delta-carrying fast path shard workers
+        use instead of the record-keeping :meth:`successors_of_key`."""
+        return _GlobalNode(self.restore(state), state)
+
     def successors_of_key(self, state: "GlobalState") -> list["GlobalState"]:
         """Successor snapshots of a snapshot (picklable in and out)."""
         sim = self.restore(state)

@@ -54,6 +54,7 @@ class ExplorationResult:
     frontier_truncated: bool
     depth_reached: int
     stats: ExplorationStats | None = None
+    content_digest: str | None = None
 
 
 def explore_global(
@@ -64,18 +65,27 @@ def explore_global(
     workers: int = 1,
     symmetry: str | bool | None = None,
     profile: bool = False,
+    store_dir: str | None = None,
+    resume: bool = False,
+    digest: bool = False,
 ) -> ExplorationResult:
     """All distinct global states reachable from proper initialization in at
     most ``max_depth`` steps (whitebox verification surface).
 
-    ``workers > 1`` expands frontier states on a process pool (same visit
-    set, wall-clock divided across cores); ``max_seconds`` adds a
-    wall-time budget on top of the depth and state bounds.  ``symmetry``
-    (``"full"`` or ``"ring"``) counts one representative per
-    process-permutation orbit instead of every renamed copy; see
-    :mod:`repro.explore.canon` for which group is sound for which
-    algorithm.  ``profile=True`` attaches the engine's per-phase timing
-    breakdown to ``stats.profile``.
+    ``workers > 1`` shards the frontier across forked worker processes
+    (bit-identical visit set, wall-clock divided across cores);
+    ``max_seconds`` adds a wall-time budget on top of the depth and
+    state bounds.  ``symmetry`` (``"full"`` or ``"ring"``) counts one
+    representative per process-permutation orbit instead of every
+    renamed copy; see :mod:`repro.explore.canon` for which group is
+    sound for which algorithm.  ``store_dir`` spills visited states to
+    an on-disk journal (out-of-core exploration) and checkpoints every
+    BFS level; ``resume=True`` continues a killed run from its last
+    committed level instead of starting over.  ``profile=True``
+    attaches the engine's per-phase timing breakdown to
+    ``stats.profile``; ``digest=True`` adds the order-independent
+    content digest of the visited set (always present for
+    checkpointed/sharded runs, where it is precomputed).
     """
     result = explore(
         GlobalSimulatorSpace(programs, symmetry=symmetry),
@@ -84,6 +94,8 @@ def explore_global(
         max_seconds=max_seconds,
         workers=workers,
         profile=profile,
+        store_dir=store_dir,
+        resume=resume,
     )
     return ExplorationResult(
         "global",
@@ -91,6 +103,11 @@ def explore_global(
         result.stats.truncated,
         result.stats.depth_reached,
         stats=result.stats,
+        content_digest=(
+            result.content_digest()
+            if digest or store_dir is not None or workers > 1
+            else None
+        ),
     )
 
 
