@@ -961,3 +961,101 @@ def experiment_parallel(
         assert run.content_digest == serial.content_digest
         rows.append(row)
     return rows
+
+
+# ---------------------------------------------------------------------------
+# E19 -- the live service: throughput and tail latency, chaos on vs off
+# ---------------------------------------------------------------------------
+
+
+def experiment_service(
+    n: int = 3,
+    theta: int = 8,
+    clients: int = 30,
+    duration_s: float = 3.0,
+) -> list[Row]:
+    """E19: the deployed-implementation claim, measured.
+
+    Section 1 motivates graybox stabilization with *deployed*
+    implementations -- components that already run and cannot be
+    redesigned.  This experiment runs the same wrapped programs the
+    simulator verifies as a real asyncio cluster on localhost sockets
+    (:mod:`repro.service`) under concurrent lock clients, once clean and
+    once with a chaos partition cutting one node for the middle third of
+    the run.  Checked claims: the online monitor sees zero ME1/ME3
+    violations either way; offline revalidation of the persisted trace
+    reproduces the online verdict bit-for-bit; and the chaos run's
+    latency tail (the stall) is the outage, not a safety violation.
+    """
+    import asyncio
+    import tempfile
+    from pathlib import Path
+
+    from repro.service import (
+        ChaosConfig,
+        ClusterConfig,
+        LoadgenConfig,
+        LocalCluster,
+        run_loadgen,
+    )
+    from repro.service.monitor import revalidate_trace
+
+    async def variant(label: str, chaos: ChaosConfig | None, trace: str) -> Row:
+        cluster = LocalCluster(
+            ClusterConfig(n=n, theta=theta, trace_path=trace), chaos=chaos
+        )
+        await cluster.start()
+        result = await run_loadgen(
+            LoadgenConfig(
+                ports=tuple(cluster.client_ports()),
+                clients=clients,
+                duration_s=duration_s,
+                acquire_timeout_s=duration_s * 4,
+                think_s=0.002,
+            )
+        )
+        report = await cluster.stop()
+        offline = revalidate_trace(trace)
+        matches = (
+            offline.me1 == report.me1
+            and offline.me3 == report.me3
+            and offline.trace_length == report.trace_length
+        )
+        latency = result.latency_summary()
+        return {
+            "variant": label,
+            "clients": clients,
+            "grants": result.grants,
+            "grants_per_s": round(result.throughput, 1),
+            "p50_ms": round(latency.p50, 2),
+            "p95_ms": round(latency.p95, 2),
+            "max_ms": round(latency.maximum, 1),
+            "me1": len(report.me1),
+            "me3": len(report.me3),
+            "offline_match": matches,
+        }
+
+    tick_s = 0.05
+    third_ticks = max(1, int(duration_s / 3 / tick_s))
+    chaos = ChaosConfig(
+        tick_s=tick_s,
+        cut_at_tick=third_ticks,
+        outage_ticks=third_ticks,
+        victim="p0",
+    )
+
+    async def run_all() -> list[Row]:
+        with tempfile.TemporaryDirectory() as tmp:
+            rows = [
+                await variant(
+                    "clean", None, str(Path(tmp) / "clean.jsonl")
+                ),
+                await variant(
+                    "chaos (p0 cut mid-run)",
+                    chaos,
+                    str(Path(tmp) / "chaos.jsonl"),
+                ),
+            ]
+        return rows
+
+    return asyncio.run(run_all())

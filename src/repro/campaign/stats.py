@@ -11,6 +11,7 @@ with digests.
 
 from __future__ import annotations
 
+import hashlib
 import json
 from collections.abc import Sequence
 from dataclasses import asdict, dataclass
@@ -250,3 +251,54 @@ def artifact(
 def write_artifact(path: str | Path, payload: dict) -> None:
     """Write a campaign artifact as pretty-printed JSON."""
     Path(path).write_text(json.dumps(payload, indent=2) + "\n")
+
+
+# ---------------------------------------------------------------------------
+# Artifact stamping (schema version + content hash)
+# ---------------------------------------------------------------------------
+#
+# Artifacts that downstream steps *consume* (the CI service smoke asserts on
+# the loadgen artifact) carry a schema version and a content hash, so a
+# consumer can tell a truncated or hand-edited file from a genuine one and
+# fail loudly on a schema it does not understand.
+
+#: Field names the stamp occupies in a stamped artifact.
+STAMP_SCHEMA_FIELD = "schema_version"
+STAMP_HASH_FIELD = "content_hash"
+
+
+def artifact_content_hash(payload: dict) -> str:
+    """SHA-256 over the canonical JSON of the payload minus the hash field."""
+    body = {k: v for k, v in payload.items() if k != STAMP_HASH_FIELD}
+    canonical = json.dumps(body, sort_keys=True, separators=(",", ":"))
+    return "sha256:" + hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+def stamp_artifact(payload: dict, schema_version: int) -> dict:
+    """A copy of ``payload`` carrying its schema version and content hash."""
+    stamped = dict(payload)
+    stamped[STAMP_SCHEMA_FIELD] = schema_version
+    stamped[STAMP_HASH_FIELD] = artifact_content_hash(stamped)
+    return stamped
+
+
+def verify_stamp(payload: dict, expected_schema: int | None = None) -> None:
+    """Validate a stamped artifact; raises ``ValueError`` on any mismatch."""
+    if STAMP_SCHEMA_FIELD not in payload:
+        raise ValueError("artifact has no schema_version stamp")
+    if expected_schema is not None:
+        found = payload[STAMP_SCHEMA_FIELD]
+        if found != expected_schema:
+            raise ValueError(
+                f"artifact schema_version {found!r} != expected "
+                f"{expected_schema}"
+            )
+    recorded = payload.get(STAMP_HASH_FIELD)
+    if not recorded:
+        raise ValueError("artifact has no content_hash stamp")
+    actual = artifact_content_hash(payload)
+    if actual != recorded:
+        raise ValueError(
+            f"artifact content hash mismatch: recorded {recorded}, "
+            f"recomputed {actual}"
+        )

@@ -55,6 +55,7 @@ EXPERIMENTS: dict[str, tuple[str, str]] = {
     "E16": ("experiment_campaign", "Monte-Carlo convergence-latency campaign"),
     "E17": ("experiment_churn", "crash-restart/partition churn with recovery"),
     "E18": ("experiment_parallel", "sharded exploration scaling and resume"),
+    "E19": ("experiment_service", "live lock service under load and chaos"),
 }
 
 
@@ -361,6 +362,140 @@ def build_parser() -> argparse.ArgumentParser:
     )
     lint.add_argument("--seed", type=int, default=0)
 
+    serve = sub.add_parser(
+        "serve",
+        help="run the live lock service: a wrapped TME cluster on "
+        "localhost sockets (see repro.service)",
+    )
+    serve.add_argument(
+        "--algorithm",
+        default="ra",
+        choices=["ra", "ra-count", "lamport", "token"],
+    )
+    serve.add_argument("--n", type=int, default=3, help="number of nodes")
+    serve.add_argument(
+        "--theta", type=int, default=8, help="wrapper W' timeout"
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument(
+        "--port",
+        type=int,
+        default=7400,
+        help="base port; node i listens on port+i (0 = ephemeral)",
+    )
+    serve.add_argument(
+        "--duration",
+        type=float,
+        default=None,
+        help="seconds to serve before shutting down (default: forever)",
+    )
+    serve.add_argument(
+        "--trace",
+        metavar="PATH",
+        default=None,
+        help="persist the live event trace (JSONL) here",
+    )
+    serve.add_argument(
+        "--verdict-json",
+        metavar="PATH",
+        default=None,
+        help="write the stamped monitor verdict artifact here on exit",
+    )
+    serve.add_argument(
+        "--recovery",
+        action=argparse.BooleanOptionalAction,
+        default=True,
+        help="attach the self-healing recovery subsystem",
+    )
+    serve.add_argument(
+        "--chaos-cut-at",
+        type=float,
+        metavar="SECONDS",
+        default=None,
+        help="deterministic chaos: cut one node away at this time",
+    )
+    serve.add_argument(
+        "--chaos-outage",
+        type=float,
+        metavar="SECONDS",
+        default=1.0,
+        help="how long a deterministic cut lasts before healing",
+    )
+    serve.add_argument(
+        "--chaos-victim",
+        metavar="PID",
+        default=None,
+        help="node the deterministic cut isolates (default: p0)",
+    )
+    serve.add_argument(
+        "--chaos-probability",
+        type=float,
+        default=0.0,
+        help="random chaos monkey: per-tick cut probability (seeded)",
+    )
+    serve.add_argument(
+        "--chaos-seed", type=int, default=0, help="chaos monkey RNG seed"
+    )
+
+    loadgen = sub.add_parser(
+        "loadgen",
+        help="drive lock clients against a running service and measure "
+        "grant throughput and latency",
+    )
+    loadgen.add_argument("--host", default="127.0.0.1")
+    loadgen.add_argument(
+        "--ports",
+        type=int,
+        nargs="+",
+        required=True,
+        metavar="PORT",
+        help="node ports to spread clients over",
+    )
+    loadgen.add_argument("--clients", type=int, default=50)
+    loadgen.add_argument(
+        "--duration",
+        type=float,
+        default=None,
+        help="wall-time bound in seconds",
+    )
+    loadgen.add_argument(
+        "--ops",
+        type=int,
+        default=None,
+        help="acquire/release cycles per client",
+    )
+    loadgen.add_argument(
+        "--hold",
+        type=float,
+        default=0.0,
+        help="seconds a client holds the lock",
+    )
+    loadgen.add_argument(
+        "--think",
+        type=float,
+        default=0.0,
+        help="seconds a client thinks between cycles",
+    )
+    loadgen.add_argument(
+        "--acquire-timeout",
+        type=float,
+        default=5.0,
+        help="seconds before a stalled acquire counts as a timeout",
+    )
+    loadgen.add_argument(
+        "--json",
+        metavar="PATH",
+        default=None,
+        help="write the stamped loadgen artifact here",
+    )
+    loadgen.add_argument(
+        "--require-grants",
+        type=int,
+        default=None,
+        metavar="N",
+        help="exit nonzero unless at least N grants landed (CI gate)",
+    )
+
     listing = sub.add_parser("list", help="list available experiments")
     del listing
     return parser
@@ -660,6 +795,105 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     return report.exit_code(strict=args.strict)
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+    import json
+
+    from repro.service import ChaosConfig, ClusterConfig, LocalCluster
+
+    chaos = None
+    if args.chaos_cut_at is not None or args.chaos_probability > 0:
+        tick_s = 0.05
+        chaos = ChaosConfig(
+            tick_s=tick_s,
+            cut_at_tick=(
+                max(1, round(args.chaos_cut_at / tick_s))
+                if args.chaos_cut_at is not None
+                else None
+            ),
+            outage_ticks=max(1, round(args.chaos_outage / tick_s)),
+            victim=args.chaos_victim,
+            cut_probability=args.chaos_probability,
+            seed=args.chaos_seed,
+        )
+    cluster = LocalCluster(
+        ClusterConfig(
+            algorithm=args.algorithm,
+            n=args.n,
+            theta=args.theta,
+            host=args.host,
+            base_port=args.port,
+            recovery=args.recovery,
+            trace_path=args.trace,
+        ),
+        chaos=chaos,
+    )
+
+    async def serve() -> int:
+        addresses = await cluster.start()
+        ports = ",".join(
+            str(addresses[pid][1]) for pid in sorted(addresses)
+        )
+        print(f"serving {args.algorithm} n={args.n} on ports {ports}", flush=True)
+        try:
+            if args.duration is not None:
+                await asyncio.sleep(args.duration)
+            else:
+                while True:
+                    await asyncio.sleep(3600)
+        except (KeyboardInterrupt, asyncio.CancelledError):
+            pass
+        report = await cluster.stop()
+        print(f"verdict: {report.summary()}")
+        print(f"grants served: {cluster.total_grants()}")
+        if args.verdict_json is not None:
+            payload = cluster.verdict_artifact(report)
+            Path(args.verdict_json).write_text(
+                json.dumps(payload, indent=2) + "\n"
+            )
+            print(f"verdict artifact written to {args.verdict_json}")
+        return 0 if not report.me1 and not report.me3 else 1
+
+    try:
+        return asyncio.run(serve())
+    except KeyboardInterrupt:
+        return 0
+
+
+def _cmd_loadgen(args: argparse.Namespace) -> int:
+    import asyncio
+    import json
+
+    from repro.service import LoadgenConfig, run_loadgen
+
+    if args.duration is None and args.ops is None:
+        print("loadgen: set --duration and/or --ops")
+        return 2
+    config = LoadgenConfig(
+        ports=tuple(args.ports),
+        host=args.host,
+        clients=args.clients,
+        duration_s=args.duration,
+        ops_per_client=args.ops,
+        hold_s=args.hold,
+        think_s=args.think,
+        acquire_timeout_s=args.acquire_timeout,
+    )
+    result = asyncio.run(run_loadgen(config))
+    print(result.describe())
+    if args.json is not None:
+        Path(args.json).write_text(
+            json.dumps(result.artifact(), indent=2) + "\n"
+        )
+        print(f"loadgen artifact written to {args.json}")
+    if args.require_grants is not None and result.grants < args.require_grants:
+        print(
+            f"FAIL: {result.grants} grants < required {args.require_grants}"
+        )
+        return 1
+    return 0
+
+
 def _cmd_list() -> int:
     for exp_id in sorted(EXPERIMENTS, key=lambda e: int(e[1:])):
         _fn, title = EXPERIMENTS[exp_id]
@@ -680,6 +914,10 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _cmd_explore(args)
     if args.command == "campaign":
         return _cmd_campaign(args)
+    if args.command == "serve":
+        return _cmd_serve(args)
+    if args.command == "loadgen":
+        return _cmd_loadgen(args)
     if args.command == "lint":
         return _cmd_lint(args)
     if args.command == "list":

@@ -15,9 +15,11 @@ from repro.runtime.scheduler import (
 )
 from repro.runtime.simulator import FaultHook, Simulator
 from repro.runtime.trace import GlobalState, StepRecord, Trace
+from repro.runtime.transport import ChannelTransport, Transport
 
 __all__ = [
     "AdversarialScheduler",
+    "ChannelTransport",
     "DeliverStep",
     "FaultHook",
     "FifoChannel",
@@ -25,6 +27,7 @@ __all__ = [
     "InternalStep",
     "Message",
     "Network",
+    "Transport",
     "ProcessRuntime",
     "RandomScheduler",
     "RoundRobinScheduler",

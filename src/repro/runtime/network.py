@@ -16,7 +16,14 @@ from repro.runtime.messages import Message
 
 
 class Network:
-    """All channels among a fixed set of process ids."""
+    """All channels among a fixed set of process ids.
+
+    This is the simulator's implementation of the
+    :class:`~repro.runtime.transport.ChannelTransport` contract (and
+    thereby of the medium-independent
+    :class:`~repro.runtime.transport.Transport` send/deliver contract the
+    live socket transport shares -- see :mod:`repro.service.transport`).
+    """
 
     def __init__(self, pids: Iterable[str]):
         self.pids = tuple(sorted(pids))

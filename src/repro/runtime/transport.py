@@ -1,0 +1,152 @@
+"""The transport contract: what it means to "be the network".
+
+Historically :class:`~repro.runtime.network.Network` was the only way
+messages moved, and everything that needed to send, cut, or heal links
+typed against it directly.  The live service (:mod:`repro.service`) runs
+the very same :class:`~repro.dsl.program.ProcessProgram`\\ s over real TCP
+sockets, so the contract is now explicit: anything that implements
+:class:`Transport` can carry the protocols, the wrapper's corrections,
+and the recovery subsystem's interventions.
+
+Two protocols, two consumers:
+
+:class:`Transport`
+    The *send/deliver contract* shared by every medium -- sending typed
+    messages between named processes, per-link up/down masks (the
+    partition fault surface doubles as the live chaos layer), and the
+    aggregate accounting the experiments read.  Implemented by the
+    simulator :class:`~repro.runtime.network.Network`, by the per-node
+    :class:`~repro.service.transport.SocketTransport`, and by the
+    cluster-wide :class:`~repro.service.transport.ClusterNetwork` facade
+    that the recovery manager and the chaos layer act through.
+
+:class:`ChannelTransport`
+    The *scheduler-facing surface* on top: explicit FIFO channel objects
+    whose queued messages the simulator's scheduler enumerates as
+    candidate deliver steps, and whose contents fault injectors mutate
+    in place.  Only the simulator :class:`~repro.runtime.network.Network`
+    implements it -- a socket transport has no queue to enumerate; its
+    in-flight messages live in the kernel, which is exactly the point of
+    running outside the simulator.
+
+Both are :func:`typing.runtime_checkable` ``Protocol``\\ s, so conformance
+is structural (no inheritance required) and asserted in the test suite
+rather than enforced by a base class: the simulator ``Network`` is
+unchanged by this refactor.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator
+from typing import Any, Protocol, runtime_checkable
+
+from repro.runtime.channel import FifoChannel
+from repro.runtime.messages import Message
+
+
+@runtime_checkable
+class Transport(Protocol):
+    """The medium-independent send/deliver contract (see module docstring)."""
+
+    pids: tuple[str, ...]
+
+    # -- identity allocation --------------------------------------------------
+
+    def fresh_uid(self) -> int:
+        """Allocate a unique physical message id."""
+        ...
+
+    # -- sending --------------------------------------------------------------
+
+    def send(  # noqa: PLR0913 -- a message has this many fields
+        self,
+        kind: str,
+        sender: str,
+        receiver: str,
+        payload: Any,
+        send_event_uid: int | None = None,
+        sender_clock: int | None = None,
+    ) -> Message:
+        """Send one message; over a down link the send counts but the
+        message is lost on the wire."""
+        ...
+
+    # -- link masks (the partition-fault / chaos surface) ---------------------
+
+    def link_up(self, src: str, dst: str) -> bool:
+        """Is the directional link ``src -> dst`` currently up?"""
+        ...
+
+    def cut_link(self, src: str, dst: str, heal_at: int | None = None) -> None:
+        """Cut one directional link (``heal_at``: step/tick index at which
+        it heals automatically; ``None`` = until healed explicitly)."""
+        ...
+
+    def heal_link(self, src: str, dst: str) -> bool:
+        """Heal one directional link; returns whether it was down."""
+        ...
+
+    def cut(
+        self, side: Iterable[str], heal_at: int | None = None
+    ) -> tuple[tuple[str, str], ...]:
+        """Partition fault: cut every link crossing between ``side`` and
+        its complement (both directions).  Returns the links cut, sorted."""
+        ...
+
+    def heal_all(self) -> tuple[tuple[str, str], ...]:
+        """Bring every cut link back up; returns them sorted."""
+        ...
+
+    def heal_due(self, step_index: int) -> tuple[tuple[str, str], ...]:
+        """Heal every link whose scheduled heal time has arrived."""
+        ...
+
+    def down_links(self) -> tuple[tuple[str, str], ...]:
+        """Currently cut links, sorted."""
+        ...
+
+    # -- accounting -----------------------------------------------------------
+
+    def total_sent(self) -> int:
+        """Messages sent since construction (all kinds)."""
+        ...
+
+    def total_dropped(self) -> int:
+        """Messages lost so far (faults + cut links)."""
+        ...
+
+    def flush_all(self) -> int:
+        """Drop every in-flight message the transport still holds;
+        returns the number lost (0 where in-flight messages live in the
+        kernel rather than in inspectable queues)."""
+        ...
+
+
+@runtime_checkable
+class ChannelTransport(Transport, Protocol):
+    """The scheduler-facing surface: enumerable FIFO channels.
+
+    The simulator's scheduler turns every non-empty, up channel into a
+    candidate deliver step, and the fault injectors mutate queue contents
+    in place -- both need the channels as first-class objects.
+    """
+
+    def channel(self, src: str, dst: str) -> FifoChannel:
+        """The directional channel from ``src`` to ``dst``."""
+        ...
+
+    def channels(self) -> Iterator[FifoChannel]:
+        """Iterate over every channel."""
+        ...
+
+    def nonempty_channels(self) -> list[FifoChannel]:
+        """Channels currently carrying at least one message."""
+        ...
+
+    def deliverable_channels(self) -> list[FifoChannel]:
+        """Nonempty channels whose link is up."""
+        ...
+
+    def in_flight(self) -> int:
+        """Total messages queued across all channels."""
+        ...

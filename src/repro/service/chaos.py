@@ -1,0 +1,147 @@
+"""Chaos for the live cluster: link cuts and heals at runtime.
+
+The fault surface is the one the simulator campaigns already use -- the
+per-link cut/heal masks of the :class:`~repro.runtime.transport.Transport`
+contract -- applied to the :class:`~repro.service.transport.ClusterNetwork`
+while real traffic flows.  Two modes, composable:
+
+* a **scheduled outage** (deterministic): cut one node away from the rest
+  at a fixed chaos tick and heal after a fixed number of ticks -- what the
+  CI smoke uses to assert stall-then-recover behaviour;
+* a **random monkey** (seeded): with some probability per tick, pick a
+  victim node and cut it off for a random number of ticks.
+
+All decisions are functions of the tick counter and an explicitly seeded
+``random.Random`` -- never of the wall clock -- so a chaos schedule is
+reproducible from ``(seed, tick count)`` alone.  Monotonic loop time is
+used only to *pace* the ticks.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import random
+from collections.abc import Callable
+from dataclasses import dataclass
+
+from repro.service.transport import ClusterNetwork
+
+#: Called with (kind, detail) for every chaos action, e.g.
+#: ("chaos", "cut:p1 for 12 ticks").
+ChaosReporter = Callable[[str, str], None]
+
+
+@dataclass(frozen=True)
+class ChaosConfig:
+    """What the chaos layer does, and when."""
+
+    tick_s: float = 0.05
+    #: Deterministic outage: cut ``victim`` at ``cut_at_tick`` and heal
+    #: ``outage_ticks`` later.  ``cut_at_tick=None`` disables it.
+    cut_at_tick: int | None = None
+    outage_ticks: int = 10
+    victim: str | None = None
+    #: Random monkey: per-tick cut probability while nothing is cut.
+    #: 0 disables it.
+    cut_probability: float = 0.0
+    min_outage_ticks: int = 4
+    max_outage_ticks: int = 20
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.tick_s <= 0:
+            raise ValueError("tick_s must be positive")
+        if not 0 <= self.cut_probability <= 1:
+            raise ValueError("cut_probability must be in [0, 1]")
+        if self.min_outage_ticks > self.max_outage_ticks:
+            raise ValueError("min_outage_ticks > max_outage_ticks")
+
+    @property
+    def enabled(self) -> bool:
+        return self.cut_at_tick is not None or self.cut_probability > 0
+
+
+class ChaosMonkey:
+    """Drives the configured cuts and heals over a ClusterNetwork."""
+
+    def __init__(
+        self,
+        network: ClusterNetwork,
+        config: ChaosConfig,
+        report: ChaosReporter,
+    ):
+        self.network = network
+        self.config = config
+        self._report = report
+        self._rng = random.Random(config.seed)
+        self.tick_count = 0
+        self.cuts = 0
+        self.heals = 0
+        self._running = False
+        self._task: asyncio.Task | None = None
+
+    # -- one tick (pure of wall time; unit-testable synchronously) ------------
+
+    def _cut(self, victim: str, outage_ticks: int) -> None:
+        heal_at = self.tick_count + outage_ticks
+        links = self.network.cut([victim], heal_at=heal_at)
+        self.cuts += 1
+        self._report(
+            "chaos",
+            f"cut:{victim} ({len(links)} links, {outage_ticks} ticks)",
+        )
+
+    def tick(self) -> None:
+        """Advance the chaos clock one tick and act."""
+        self.tick_count += 1
+        healed = self.network.heal_due(self.tick_count)
+        if healed:
+            self.heals += 1
+            pairs = ",".join(f"{a}->{b}" for a, b in healed)
+            self._report("chaos", f"heal:{pairs}")
+        cfg = self.config
+        if cfg.cut_at_tick is not None and self.tick_count == cfg.cut_at_tick:
+            victim = cfg.victim or self.network.pids[0]
+            self._cut(victim, cfg.outage_ticks)
+            return
+        if (
+            cfg.cut_probability > 0
+            and not self.network.down_links()
+            and self._rng.random() < cfg.cut_probability
+        ):
+            victim = self._rng.choice(self.network.pids)
+            outage = self._rng.randint(
+                cfg.min_outage_ticks, cfg.max_outage_ticks
+            )
+            self._cut(victim, outage)
+
+    # -- pacing ---------------------------------------------------------------
+
+    async def run(self) -> None:
+        self._running = True
+        while self._running:
+            await asyncio.sleep(self.config.tick_s)
+            self.tick()
+
+    def start(self) -> asyncio.Task:
+        if self._task is not None and not self._task.done():
+            raise RuntimeError("chaos already running")
+        self._task = asyncio.get_running_loop().create_task(
+            self.run(), name="chaos"
+        )
+        return self._task
+
+    async def stop(self, heal: bool = True) -> None:
+        """Stop ticking; by default heal whatever is still cut."""
+        self._running = False
+        if self._task is not None:
+            self._task.cancel()
+            try:
+                await self._task
+            except asyncio.CancelledError:
+                pass
+            self._task = None
+        if heal and self.network.down_links():
+            healed = self.network.heal_all()
+            pairs = ",".join(f"{a}->{b}" for a, b in healed)
+            self._report("chaos", f"heal:{pairs}")

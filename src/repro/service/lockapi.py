@@ -1,0 +1,285 @@
+"""The client-facing lock API: acquire/release multiplexed onto TME.
+
+The paper's Client Spec (Section 3.2) constrains the *environment* of a
+mutual exclusion program: request only while thinking, release eventually.
+In the simulator the environment is modelled by the client tick actions;
+in the live service the environment is real software -- the callers of
+this API -- and the frontend implements the Client Spec on their behalf:
+
+* a client's ``acquire`` arms the node's Request-CS guard by zeroing
+  ``think_timer`` (the node then issues a protocol request on its own);
+* when the node's phase reaches EATING, the frontend grants the lock to
+  the head of its pending queue;
+* the holder's ``release`` zeroes ``eat_timer``, enabling Release-CS (the
+  protocol's release/reply messages follow from the program, untouched);
+* a holder that disconnects is auto-released, so eating stays transient
+  (CS Spec) even under misbehaving clients.
+
+One node serves many concurrent clients: they serialize on the node's
+single CS slot, and nodes serialize cluster-wide through the wrapped
+protocol itself.  The frontend never touches protocol variables -- only
+the two client workload timers, which belong to the environment by
+construction.
+
+Wire protocol (frames, see :mod:`repro.service.wire`):
+
+========================== =============================================
+``{"t": "acquire", "id"}`` client asks for the lock
+``{"t": "grant", "id"}``   server: the lock is yours
+``{"t": "release", "id"}`` client gives the lock back
+``{"t": "released", "id"}``server: release completed (phase left CS)
+========================== =============================================
+"""
+
+from __future__ import annotations
+
+import asyncio
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.service.node import ServiceNode
+from repro.service.wire import WireError, encode_frame, read_frame
+from repro.tme.interfaces import EATING, THINKING
+
+
+@dataclass
+class _Waiter:
+    """One outstanding acquire: which connection, which request id."""
+
+    writer: asyncio.StreamWriter
+    req_id: int
+    conn_key: int
+    gone: bool = False
+
+
+@dataclass
+class _Holder:
+    """The current lock holder (if any) and its release progress."""
+
+    writer: asyncio.StreamWriter
+    req_id: int
+    release_requested: bool = False
+    gone: bool = False
+
+
+@dataclass
+class FrontendStats:
+    """Counters the loadgen and the CI smoke assert on."""
+
+    acquires: int = 0
+    grants: int = 0
+    releases: int = 0
+    orphan_releases: int = 0
+    queue_peak: int = 0
+
+    def as_dict(self) -> dict[str, int]:
+        return {
+            "acquires": self.acquires,
+            "grants": self.grants,
+            "releases": self.releases,
+            "orphan_releases": self.orphan_releases,
+            "queue_peak": self.queue_peak,
+        }
+
+
+@dataclass
+class LockFrontend:
+    """Per-node lock frontend (see module docstring)."""
+
+    node: ServiceNode
+    _pending: deque[_Waiter] = field(default_factory=deque)
+    _holder: _Holder | None = None
+    _conn_waiters: dict[int, list[_Waiter]] = field(default_factory=dict)
+    stats: FrontendStats = field(default_factory=FrontendStats)
+
+    # -- connection handling (the transport's client_handler) -----------------
+
+    async def handle_client(
+        self,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+        first_frame: dict[str, Any],
+    ) -> None:
+        """Serve one client connection until it closes."""
+        conn_key = id(writer)
+        self._conn_waiters[conn_key] = []
+        frame: dict[str, Any] | None = first_frame
+        try:
+            while frame is not None:
+                self._handle_frame(conn_key, writer, frame)
+                try:
+                    frame = await read_frame(reader)
+                except WireError:
+                    break
+        finally:
+            self._on_disconnect(conn_key, writer)
+            writer.close()
+
+    def _handle_frame(
+        self,
+        conn_key: int,
+        writer: asyncio.StreamWriter,
+        frame: dict[str, Any],
+    ) -> None:
+        kind = frame.get("t")
+        req_id = int(frame.get("id", 0))
+        if kind == "acquire":
+            waiter = _Waiter(writer, req_id, conn_key)
+            self._pending.append(waiter)
+            self._conn_waiters[conn_key].append(waiter)
+            self.stats.acquires += 1
+            self.stats.queue_peak = max(
+                self.stats.queue_peak, len(self._pending)
+            )
+        elif kind == "release":
+            holder = self._holder
+            if (
+                holder is not None
+                and holder.writer is writer
+                and holder.req_id == req_id
+                and not holder.release_requested
+            ):
+                holder.release_requested = True
+                self.node.runtime.variables["eat_timer"] = 0
+                self.stats.releases += 1
+        # Unknown frames are client garbage; ignore (the connection stays).
+        self.node.kick()
+
+    def _on_disconnect(
+        self, conn_key: int, writer: asyncio.StreamWriter
+    ) -> None:
+        for waiter in self._conn_waiters.pop(conn_key, []):
+            waiter.gone = True
+        holder = self._holder
+        if holder is not None and holder.writer is writer:
+            holder.gone = True
+        self.node.kick()
+
+    # -- the node's settle hook -----------------------------------------------
+
+    def _send(self, writer: asyncio.StreamWriter, obj: dict[str, Any]) -> None:
+        try:
+            writer.write(encode_frame(obj))
+        except (ConnectionError, RuntimeError, OSError):
+            pass  # the disconnect path cleans up
+
+    def _grant_next(self) -> bool:
+        while self._pending:
+            waiter = self._pending.popleft()
+            live_waiters = self._conn_waiters.get(waiter.conn_key)
+            if live_waiters is not None and waiter in live_waiters:
+                live_waiters.remove(waiter)
+            if waiter.gone:
+                continue
+            self._holder = _Holder(waiter.writer, waiter.req_id)
+            self.stats.grants += 1
+            self._send(waiter.writer, {"t": "grant", "id": waiter.req_id})
+            return True
+        return False
+
+    def poll(self) -> bool:
+        """Advance the frontend against the node's current phase; returns
+        whether it changed node state (wired to ``node.on_settle``)."""
+        runtime = self.node.runtime
+        variables = runtime.variables
+        phase = variables.get("phase")
+        changed = False
+        holder = self._holder
+        if holder is not None:
+            if holder.release_requested and phase != EATING:
+                # Release-CS executed: the cycle is complete.
+                if not holder.gone:
+                    self._send(
+                        holder.writer, {"t": "released", "id": holder.req_id}
+                    )
+                self._holder = None
+                holder = None
+                changed = True
+            elif holder.gone and not holder.release_requested:
+                # Orphaned holder: release on its behalf (CS Spec).
+                holder.release_requested = True
+                variables["eat_timer"] = 0
+                self.stats.orphan_releases += 1
+                changed = True
+        if holder is None and phase == EATING:
+            if self._grant_next():
+                changed = True
+            elif variables.get("eat_timer", 0) != 0:
+                # Entered the CS with nobody waiting (every queued client
+                # disconnected): give it straight back.
+                variables["eat_timer"] = 0
+                self.stats.orphan_releases += 1
+                changed = True
+        if (
+            self._holder is None
+            and phase == THINKING
+            and any(not w.gone for w in self._pending)
+            and variables.get("think_timer", 1) != 0
+        ):
+            # Demand exists: arm the Request-CS guard.
+            variables["think_timer"] = 0
+            changed = True
+        return changed
+
+
+# ---------------------------------------------------------------------------
+# Client side
+# ---------------------------------------------------------------------------
+
+
+class LockError(ConnectionError):
+    """The server went away mid-operation."""
+
+
+class LockClient:
+    """One lock-API connection (one logical client of the service).
+
+    The per-connection protocol is sequential -- acquire, hold, release --
+    so responses are read in order; a client wanting overlapping requests
+    opens more connections (which is what the load generator does).
+    """
+
+    def __init__(self) -> None:
+        self._reader: asyncio.StreamReader | None = None
+        self._writer: asyncio.StreamWriter | None = None
+        self._next_id = 0
+
+    async def connect(self, host: str, port: int) -> None:
+        self._reader, self._writer = await asyncio.open_connection(host, port)
+
+    async def close(self) -> None:
+        if self._writer is not None:
+            self._writer.close()
+            try:
+                await self._writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+            self._writer = None
+            self._reader = None
+
+    async def _expect(self, kind: str, req_id: int) -> None:
+        assert self._reader is not None
+        while True:
+            frame = await read_frame(self._reader)
+            if frame is None:
+                raise LockError(f"server closed while awaiting {kind}")
+            if frame.get("t") == kind and int(frame.get("id", -1)) == req_id:
+                return
+
+    async def acquire(self) -> int:
+        """Request the lock and wait for the grant; returns the request id."""
+        if self._writer is None:
+            raise LockError("not connected")
+        self._next_id += 1
+        req_id = self._next_id
+        self._writer.write(encode_frame({"t": "acquire", "id": req_id}))
+        await self._expect("grant", req_id)
+        return req_id
+
+    async def release(self, req_id: int) -> None:
+        """Give the lock back and wait for the release to complete."""
+        if self._writer is None:
+            raise LockError("not connected")
+        self._writer.write(encode_frame({"t": "release", "id": req_id}))
+        await self._expect("released", req_id)

@@ -1,0 +1,223 @@
+"""One live node: a ProcessRuntime driven by an asyncio event loop.
+
+The simulator advances a process when its scheduler picks one of the
+process's enabled steps; a live node advances itself.  :class:`ServiceNode`
+runs the *same* :class:`~repro.runtime.process.ProcessRuntime` (protocol +
+wrapper, composed exactly as in the simulator) with the event loop as the
+scheduler:
+
+* **Deliveries are immediate.**  Frames arriving from the transport are
+  queued on the node's inbox and drained as soon as the loop wakes; the
+  kernel's socket buffers play the role of the simulator's channels, and
+  arrival order is whatever the wire produced (the asynchronous model
+  assumes nothing more).
+
+* **Protocol actions are eager.**  Enabled internal actions of the
+  implementation (``ra:request``, ``ra:grant``, ...) run until none is
+  enabled -- a node never sits on an enabled grant.
+
+* **Wrapper actions are paced.**  In the simulator, W' counts its theta
+  timeout in interleaved scheduler steps; at CPU speed that would be a
+  retransmit storm.  Here each ``W:``-prefixed action (tick or correct)
+  runs at most once per ``wrapper_tick_s`` of monotonic loop time, making
+  ``theta * wrapper_tick_s`` the real-time correction period.
+
+* **Client tick actions do not run at all.**  The TME client
+  (``client:think-tick`` / ``client:eat-tick``) models the *environment*;
+  in the live service the environment is real -- the lock API
+  (:mod:`repro.service.lockapi`) implements the Client Spec by setting the
+  timers directly when callers acquire and release.
+
+Every executed step reports through the ``emit`` callback so the cluster
+can stamp a totally ordered event trace for the online monitor.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from collections.abc import Callable
+
+from repro.dsl.guards import Effect, GuardedAction
+from repro.runtime.messages import Message
+from repro.runtime.process import LIVE, RECOVERING, ProcessRuntime
+from repro.service.transport import SocketTransport
+
+#: Real-time length of one wrapper scheduler step (see module docstring).
+DEFAULT_WRAPPER_TICK_S = 0.005
+
+#: Idle wait between loop wake-ups when nothing is pending.
+_IDLE_WAIT_S = 0.05
+
+#: Called after each executed step with the action (or handler) name.
+EmitFn = Callable[[str], None]
+
+
+class ServiceNode:
+    """One process of the live cluster (see module docstring)."""
+
+    def __init__(
+        self,
+        runtime: ProcessRuntime,
+        transport: SocketTransport,
+        emit: EmitFn,
+        wrapper_tick_s: float = DEFAULT_WRAPPER_TICK_S,
+    ):
+        self.pid = runtime.pid
+        self.runtime = runtime
+        self.transport = transport
+        self._emit = emit
+        self.wrapper_tick_s = wrapper_tick_s
+        self._inbox: asyncio.Queue[Message] = asyncio.Queue()
+        self._wake = asyncio.Event()
+        self._running = False
+        self._task: asyncio.Task | None = None
+        self.steps_executed = 0
+        #: Called (with no arguments) whenever the loop settles, i.e. after
+        #: every batch of steps; the lock frontend hooks in here.  Returns
+        #: whether it changed state (so the loop re-evaluates guards).
+        self.on_settle: Callable[[], bool] | None = None
+
+    # -- transport-facing -----------------------------------------------------
+
+    def deliver(self, message: Message) -> None:
+        """Inbox a message from the wire (the transport's deliver hook)."""
+        self._inbox.put_nowait(message)
+        self._wake.set()
+
+    def kick(self) -> None:
+        """Wake the loop after out-of-band state changes (lock frontend
+        timer writes, recovery interventions)."""
+        self._wake.set()
+
+    def drain_inbox(self) -> int:
+        """Drop all queued, undelivered messages (the cluster registers
+        this as the transport's flush hook for global resets)."""
+        dropped = 0
+        while True:
+            try:
+                self._inbox.get_nowait()
+            except asyncio.QueueEmpty:
+                return dropped
+            dropped += 1
+
+    # -- stepping -------------------------------------------------------------
+
+    def _apply_sends(self, effect: Effect) -> None:
+        clock = self.runtime.variables.get("lc")
+        sender_clock = clock if isinstance(clock, int) and clock >= 0 else None
+        for send in effect.sends:
+            self.transport.send(
+                send.kind,
+                self.pid,
+                send.receiver,
+                send.payload,
+                sender_clock=sender_clock,
+            )
+
+    def _finish_step(self, label: str, effect: Effect | None) -> None:
+        if self.runtime.status == RECOVERING:
+            self.runtime.status = LIVE
+        self.steps_executed += 1
+        if effect is not None:
+            self._apply_sends(effect)
+        self._emit(label)
+
+    def _deliver_one(self, message: Message) -> None:
+        effect = self.runtime.execute_receive(message)
+        handler = self.runtime.program.receive_action_for(message.kind)
+        label = handler.name if handler else f"recv:{message.kind}"
+        self._finish_step(label, effect)
+
+    def _execute_internal(self, action: GuardedAction) -> None:
+        effect = self.runtime.execute_internal(action)
+        self._finish_step(action.name, effect)
+
+    def _next_protocol_action(self) -> GuardedAction | None:
+        """One enabled internal action that is neither client-environment
+        nor wrapper (those are handled by the lock API and by pacing)."""
+        for action in self.runtime.enabled_internal_actions():
+            if action.name.startswith(("client:", "W:")):
+                continue
+            return action
+        return None
+
+    def _next_wrapper_action(self) -> GuardedAction | None:
+        for action in self.runtime.enabled_internal_actions():
+            if action.name.startswith("W:"):
+                return action
+        return None
+
+    def step_batch(self, wrapper_due: bool) -> bool:
+        """Drain the inbox and run eager actions until quiescent; run at
+        most one wrapper action when the pacing tick is due.  Returns
+        whether anything executed."""
+        ran = False
+        progressed = True
+        while progressed:
+            progressed = False
+            if not self.runtime.is_live:
+                self.drain_inbox()
+                break
+            while True:
+                try:
+                    message = self._inbox.get_nowait()
+                except asyncio.QueueEmpty:
+                    break
+                self._deliver_one(message)
+                progressed = True
+            action = self._next_protocol_action()
+            if action is not None:
+                self._execute_internal(action)
+                progressed = True
+            if wrapper_due:
+                wrapper_action = self._next_wrapper_action()
+                if wrapper_action is not None:
+                    self._execute_internal(wrapper_action)
+                    progressed = True
+                    wrapper_due = False
+            if self.on_settle is not None and self.on_settle():
+                progressed = True
+            ran = ran or progressed
+        return ran
+
+    # -- the loop -------------------------------------------------------------
+
+    async def run(self) -> None:
+        """Drive the node until :meth:`stop` (the cluster's node task)."""
+        self._running = True
+        loop = asyncio.get_running_loop()
+        next_wrapper = loop.time() + self.wrapper_tick_s
+        while self._running:
+            now = loop.time()
+            wrapper_due = now >= next_wrapper
+            if wrapper_due:
+                next_wrapper = now + self.wrapper_tick_s
+            self.step_batch(wrapper_due)
+            # Sleep until woken (inbox arrival / kick) or the next wrapper
+            # tick, whichever comes first.
+            timeout = min(max(next_wrapper - loop.time(), 0.0), _IDLE_WAIT_S)
+            try:
+                await asyncio.wait_for(self._wake.wait(), timeout=timeout)
+            except asyncio.TimeoutError:
+                pass
+            self._wake.clear()
+
+    def start(self) -> asyncio.Task:
+        """Spawn the node loop as a task on the running event loop."""
+        if self._task is not None and not self._task.done():
+            raise RuntimeError(f"node {self.pid} already running")
+        self._task = asyncio.get_running_loop().create_task(
+            self.run(), name=f"node:{self.pid}"
+        )
+        return self._task
+
+    async def stop(self) -> None:
+        """Stop the loop and wait for the task to unwind."""
+        self._running = False
+        self._wake.set()
+        if self._task is not None:
+            await self._task
+            self._task = None
+
+    def __repr__(self) -> str:
+        return f"ServiceNode({self.pid}, steps={self.steps_executed})"

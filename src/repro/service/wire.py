@@ -1,0 +1,170 @@
+"""Length-prefixed frames and the service's value codec.
+
+Everything that crosses a socket in :mod:`repro.service` -- protocol
+messages between nodes, lock-API requests from clients, monitor records
+persisted to disk -- is one *frame*: a 4-byte big-endian length prefix
+followed by that many bytes of UTF-8 JSON.
+
+JSON alone cannot carry the protocol's payloads (a Ricart-Agrawala
+REQUEST is a :class:`~repro.clocks.timestamps.Timestamp`; snapshots hold
+tuples and frozensets), so values are *tagged*: containers and domain
+types encode as single-key objects (``{"%ts": [clock, pid]}``,
+``{"%tup": [...]}``, ``{"%fset": [...]}``, ``{"%map": [[k, v], ...]}``)
+and decode back to the identical Python value.  The codec is total over
+the state values the TME programs use; anything else raises rather than
+silently degrading (a corrupted frame is the *fault model's* job, not
+the codec's).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import struct
+from typing import Any
+
+from repro.clocks.timestamps import Timestamp
+from repro.runtime.messages import Message
+
+#: Frame length prefix: 4 bytes, big endian.
+_LEN = struct.Struct(">I")
+
+#: Upper bound on a single frame body; a larger prefix means a corrupt or
+#: hostile stream and the connection is dropped.
+MAX_FRAME_BYTES = 1 << 20
+
+_TAG_TS = "%ts"
+_TAG_TUPLE = "%tup"
+_TAG_FSET = "%fset"
+_TAG_MAP = "%map"
+_TAGS = (_TAG_TS, _TAG_TUPLE, _TAG_FSET, _TAG_MAP)
+
+
+class WireError(ValueError):
+    """A frame or value that cannot be (de)serialized."""
+
+
+# ---------------------------------------------------------------------------
+# Value tagging
+# ---------------------------------------------------------------------------
+
+
+def pack_value(value: Any) -> Any:
+    """Encode one Python value as tagged, JSON-serializable data."""
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    if isinstance(value, Timestamp):
+        return {_TAG_TS: [value.clock, value.pid]}
+    if isinstance(value, tuple):
+        return {_TAG_TUPLE: [pack_value(v) for v in value]}
+    if isinstance(value, list):
+        return [pack_value(v) for v in value]
+    if isinstance(value, frozenset):
+        # Sorted by packed JSON text: deterministic without requiring the
+        # members to be mutually orderable in Python.
+        packed = [pack_value(v) for v in value]
+        return {_TAG_FSET: sorted(packed, key=lambda p: json.dumps(p))}
+    if isinstance(value, dict):
+        items = [[pack_value(k), pack_value(v)] for k, v in value.items()]
+        if all(isinstance(k, str) and not k.startswith("%") for k in value):
+            return {str(k): pack_value(v) for k, v in value.items()}
+        return {_TAG_MAP: items}
+    raise WireError(f"cannot encode {type(value).__name__}: {value!r}")
+
+
+def unpack_value(data: Any) -> Any:
+    """Decode tagged data back to the original Python value."""
+    if data is None or isinstance(data, (bool, int, float, str)):
+        return data
+    if isinstance(data, list):
+        return [unpack_value(v) for v in data]
+    if isinstance(data, dict):
+        if len(data) == 1:
+            (tag, body), = data.items()
+            if tag == _TAG_TS:
+                clock, pid = body
+                return Timestamp(int(clock), str(pid))
+            if tag == _TAG_TUPLE:
+                return tuple(unpack_value(v) for v in body)
+            if tag == _TAG_FSET:
+                return frozenset(unpack_value(v) for v in body)
+            if tag == _TAG_MAP:
+                return {unpack_value(k): unpack_value(v) for k, v in body}
+        if any(k in _TAGS for k in data):
+            raise WireError(f"malformed tagged value: {data!r}")
+        return {k: unpack_value(v) for k, v in data.items()}
+    raise WireError(f"cannot decode {data!r}")
+
+
+# ---------------------------------------------------------------------------
+# Framing
+# ---------------------------------------------------------------------------
+
+
+def encode_frame(obj: dict[str, Any]) -> bytes:
+    """One wire frame: length prefix + compact JSON body."""
+    body = json.dumps(obj, separators=(",", ":")).encode("utf-8")
+    if len(body) > MAX_FRAME_BYTES:
+        raise WireError(f"frame too large: {len(body)} bytes")
+    return _LEN.pack(len(body)) + body
+
+
+def decode_body(body: bytes) -> dict[str, Any]:
+    """Parse one frame body (without the prefix)."""
+    obj = json.loads(body.decode("utf-8"))
+    if not isinstance(obj, dict):
+        raise WireError(f"frame body must be an object, got {type(obj).__name__}")
+    return obj
+
+
+async def read_frame(reader: asyncio.StreamReader) -> dict[str, Any] | None:
+    """Read one frame; ``None`` on a clean EOF at a frame boundary."""
+    try:
+        prefix = await reader.readexactly(_LEN.size)
+    except (asyncio.IncompleteReadError, ConnectionResetError):
+        return None
+    (length,) = _LEN.unpack(prefix)
+    if length > MAX_FRAME_BYTES:
+        raise WireError(f"frame length {length} exceeds {MAX_FRAME_BYTES}")
+    try:
+        body = await reader.readexactly(length)
+    except (asyncio.IncompleteReadError, ConnectionResetError):
+        return None
+    return decode_body(body)
+
+
+# ---------------------------------------------------------------------------
+# Protocol messages on the wire
+# ---------------------------------------------------------------------------
+
+
+def message_frame(message: Message) -> dict[str, Any]:
+    """Encode a protocol :class:`Message` as a frame object."""
+    return {
+        "t": "msg",
+        "uid": message.uid,
+        "kind": message.kind,
+        "src": message.sender,
+        "dst": message.receiver,
+        "payload": pack_value(message.payload),
+        "clock": message.sender_clock,
+    }
+
+
+def frame_message(frame: dict[str, Any]) -> Message:
+    """Decode a ``msg`` frame back into a :class:`Message`.
+
+    ``send_event_uid`` is always ``None`` on the wire: happened-before
+    event uids are simulator-local identities and do not travel.
+    """
+    return Message(
+        uid=int(frame["uid"]),
+        kind=str(frame["kind"]),
+        sender=str(frame["src"]),
+        receiver=str(frame["dst"]),
+        payload=unpack_value(frame["payload"]),
+        send_event_uid=None,
+        sender_clock=(
+            int(frame["clock"]) if frame.get("clock") is not None else None
+        ),
+    )

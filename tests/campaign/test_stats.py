@@ -104,3 +104,40 @@ class TestArtifact:
         assert len(loaded["trials"]) == 3
         assert all(t["digest"] for t in loaded["trials"])
         assert loaded["summary"]["convergence_rate"] == 1.0
+
+
+class TestArtifactStamp:
+    def test_stamp_then_verify(self):
+        from repro.campaign.stats import stamp_artifact, verify_stamp
+
+        stamped = stamp_artifact({"kind": "loadgen", "grants": 42}, 1)
+        assert stamped["schema_version"] == 1
+        assert stamped["content_hash"].startswith("sha256:")
+        verify_stamp(stamped, expected_schema=1)
+
+    def test_stamp_survives_json_round_trip(self):
+        from repro.campaign.stats import stamp_artifact, verify_stamp
+
+        stamped = stamp_artifact({"nested": {"a": [1, 2]}, "x": 1.5}, 3)
+        verify_stamp(json.loads(json.dumps(stamped)), expected_schema=3)
+
+    def test_tamper_detected(self):
+        from repro.campaign.stats import stamp_artifact, verify_stamp
+
+        stamped = stamp_artifact({"grants": 42}, 1)
+        stamped["grants"] = 9000
+        with pytest.raises(ValueError, match="hash mismatch"):
+            verify_stamp(stamped)
+
+    def test_schema_mismatch_detected(self):
+        from repro.campaign.stats import stamp_artifact, verify_stamp
+
+        stamped = stamp_artifact({"grants": 1}, 1)
+        with pytest.raises(ValueError, match="schema_version"):
+            verify_stamp(stamped, expected_schema=2)
+
+    def test_unstamped_rejected(self):
+        from repro.campaign.stats import verify_stamp
+
+        with pytest.raises(ValueError):
+            verify_stamp({"grants": 1})

@@ -1,0 +1,92 @@
+"""ChaosMonkey tick logic (synchronous; no event loop, no wall time)."""
+
+import pytest
+
+from repro.service.chaos import ChaosConfig, ChaosMonkey
+from repro.service.transport import ClusterNetwork, SocketTransport
+
+PIDS = ("p0", "p1", "p2")
+
+
+def make_monkey(config):
+    transports = {
+        pid: SocketTransport(pid, PIDS, deliver=lambda m: None)
+        for pid in PIDS
+    }
+    network = ClusterNetwork(transports)
+    reports = []
+    monkey = ChaosMonkey(network, config, lambda k, d: reports.append((k, d)))
+    return monkey, network, reports
+
+
+class TestChaosConfig:
+    def test_disabled_by_default(self):
+        assert not ChaosConfig().enabled
+
+    def test_enabled_by_schedule_or_probability(self):
+        assert ChaosConfig(cut_at_tick=5).enabled
+        assert ChaosConfig(cut_probability=0.1).enabled
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ChaosConfig(tick_s=0)
+        with pytest.raises(ValueError):
+            ChaosConfig(cut_probability=1.5)
+        with pytest.raises(ValueError):
+            ChaosConfig(min_outage_ticks=9, max_outage_ticks=2)
+
+
+class TestScheduledOutage:
+    def test_cut_then_heal_on_schedule(self):
+        monkey, network, reports = make_monkey(
+            ChaosConfig(cut_at_tick=3, outage_ticks=2, victim="p1")
+        )
+        for _ in range(2):
+            monkey.tick()
+        assert network.down_links() == ()
+        monkey.tick()  # tick 3: the cut
+        down = network.down_links()
+        assert down and all("p1" in link for link in down)
+        monkey.tick()  # tick 4: still down
+        assert network.down_links() == down
+        monkey.tick()  # tick 5: heal_due fires
+        assert network.down_links() == ()
+        assert monkey.cuts == 1
+        assert monkey.heals == 1
+        kinds = [d.split(":")[0] for _, d in reports]
+        assert kinds == ["cut", "heal"]
+
+    def test_victim_defaults_to_first_pid(self):
+        monkey, network, _ = make_monkey(
+            ChaosConfig(cut_at_tick=1, outage_ticks=5)
+        )
+        monkey.tick()
+        assert all("p0" in link for link in network.down_links())
+
+
+class TestRandomMonkey:
+    def test_seeded_schedule_is_reproducible(self):
+        def run(seed):
+            monkey, network, reports = make_monkey(
+                ChaosConfig(cut_probability=0.3, seed=seed)
+            )
+            for _ in range(50):
+                monkey.tick()
+            return [d for _, d in reports]
+
+        assert run(7) == run(7)
+        assert run(7) != run(8)
+
+    def test_never_cuts_while_something_is_down(self):
+        monkey, network, _ = make_monkey(
+            ChaosConfig(
+                cut_probability=1.0,
+                min_outage_ticks=5,
+                max_outage_ticks=5,
+            )
+        )
+        for _ in range(20):
+            monkey.tick()
+            assert len(network.down_links()) <= 2 * (len(PIDS) - 1)
+        # Cuts only ever start after the previous outage healed.
+        assert monkey.cuts <= monkey.heals + 1

@@ -1,0 +1,158 @@
+"""Wire codec: tagged values, framing, and message round-trips."""
+
+import asyncio
+import json
+
+import pytest
+
+from repro.clocks.timestamps import Timestamp
+from repro.runtime.messages import Message
+from repro.service.wire import (
+    MAX_FRAME_BYTES,
+    WireError,
+    decode_body,
+    encode_frame,
+    frame_message,
+    message_frame,
+    pack_value,
+    read_frame,
+    unpack_value,
+)
+
+
+def roundtrip(value):
+    return unpack_value(json.loads(json.dumps(pack_value(value))))
+
+
+class TestValueCodec:
+    def test_scalars_pass_through(self):
+        for value in (None, True, False, 0, -7, 2.5, "hi", "%odd"):
+            assert roundtrip(value) == value
+
+    def test_timestamp(self):
+        ts = Timestamp(41, "p2")
+        back = roundtrip(ts)
+        assert back == ts
+        assert isinstance(back, Timestamp)
+
+    def test_tuple_survives_as_tuple(self):
+        value = (1, "a", (2, 3))
+        back = roundtrip(value)
+        assert back == value
+        assert isinstance(back, tuple)
+        assert isinstance(back[2], tuple)
+
+    def test_frozenset_deterministic_and_lossless(self):
+        value = frozenset({("p1", 3), ("p0", 1)})
+        assert roundtrip(value) == value
+        # Packing is order independent (sorted by packed JSON).
+        a = json.dumps(pack_value(frozenset([1, 2, 3])))
+        b = json.dumps(pack_value(frozenset([3, 1, 2])))
+        assert a == b
+
+    def test_str_keyed_dict_stays_plain(self):
+        value = {"phase": "h", "lc": 4}
+        packed = pack_value(value)
+        assert packed == {"phase": "h", "lc": 4}
+        assert roundtrip(value) == value
+
+    def test_nonstr_keys_use_map_tag(self):
+        value = {("p0", "p1"): True, 7: "x"}
+        packed = pack_value(value)
+        assert set(packed) == {"%map"}
+        assert roundtrip(value) == value
+
+    def test_timestamp_keyed_dict(self):
+        value = {Timestamp(3, "p0"): "req"}
+        back = roundtrip(value)
+        assert back == value
+        assert isinstance(next(iter(back)), Timestamp)
+
+    def test_unencodable_raises(self):
+        with pytest.raises(WireError):
+            pack_value(object())
+
+    def test_malformed_tag_raises(self):
+        with pytest.raises(WireError):
+            unpack_value({"%tup": [], "extra": 1})
+
+
+class TestFraming:
+    def test_frame_roundtrip_across_chunk_boundaries(self):
+        frames = [
+            {"t": "msg", "n": i, "body": "x" * (i * 7)} for i in range(5)
+        ]
+        blob = b"".join(encode_frame(f) for f in frames)
+
+        async def read_all():
+            reader = asyncio.StreamReader()
+            # Feed in awkward chunks so length prefixes straddle reads.
+            for i in range(0, len(blob), 3):
+                reader.feed_data(blob[i : i + 3])
+            reader.feed_eof()
+            out = []
+            while (frame := await read_frame(reader)) is not None:
+                out.append(frame)
+            return out
+
+        assert asyncio.run(read_all()) == frames
+
+    def test_eof_mid_frame_is_none(self):
+        async def read_one():
+            reader = asyncio.StreamReader()
+            reader.feed_data(encode_frame({"t": "msg"})[:3])
+            reader.feed_eof()
+            return await read_frame(reader)
+
+        assert asyncio.run(read_one()) is None
+
+    def test_oversized_length_prefix_raises(self):
+        async def read_one():
+            reader = asyncio.StreamReader()
+            reader.feed_data(
+                (MAX_FRAME_BYTES + 1).to_bytes(4, "big") + b"x"
+            )
+            return await read_frame(reader)
+
+        with pytest.raises(WireError):
+            asyncio.run(read_one())
+
+    def test_oversized_body_rejected_on_encode(self):
+        with pytest.raises(WireError):
+            encode_frame({"x": "y" * (MAX_FRAME_BYTES + 1)})
+
+    def test_non_object_body_rejected(self):
+        with pytest.raises(WireError):
+            decode_body(b"[1,2]")
+
+
+class TestMessageFrames:
+    def test_roundtrip_strips_send_event_uid(self):
+        message = Message(
+            uid=9,
+            kind="request",
+            sender="p0",
+            receiver="p2",
+            payload=Timestamp(5, "p0"),
+            send_event_uid=123,
+            sender_clock=5,
+        )
+        back = frame_message(
+            decode_body(encode_frame(message_frame(message))[4:])
+        )
+        assert back.uid == 9
+        assert back.kind == "request"
+        assert back.sender == "p0"
+        assert back.receiver == "p2"
+        assert back.payload == Timestamp(5, "p0")
+        assert back.sender_clock == 5
+        # Event uids are simulator-local; they never cross the wire.
+        assert back.send_event_uid is None
+
+    def test_clockless_message(self):
+        message = Message(
+            uid=1, kind="release", sender="p1", receiver="p0", payload=None
+        )
+        back = frame_message(message_frame(message))
+        assert back.sender_clock is None
+        assert back.payload is None
