@@ -325,11 +325,27 @@ def build_parser() -> argparse.ArgumentParser:
     lint.add_argument(
         "targets",
         nargs="*",
-        default=["tme"],
+        default=[],
         metavar="TARGET",
         help="'tme' / src/repro/tme for the built-in catalog, or "
         "module[:attr] / path/to/file.py exposing programs "
-        "(default: tme)",
+        "(default: tme when no --package/--all is given)",
+    )
+    lint.add_argument(
+        "--package",
+        action="append",
+        default=[],
+        metavar="PKG",
+        dest="packages",
+        help="run the asyncio pass (races, blocking calls, determinism, "
+        "replay safety, fork hygiene) over a package: a dotted name "
+        "like repro.service or a directory of .py files; repeatable",
+    )
+    lint.add_argument(
+        "--all",
+        action="store_true",
+        help="shorthand for --package over every concurrent layer: "
+        "repro.service, repro.campaign, repro.explore, repro.recovery",
     )
     lint.add_argument(
         "--strict",
@@ -352,7 +368,9 @@ def build_parser() -> argparse.ArgumentParser:
         "--dynamic",
         action="store_true",
         help="also run the instrumented simulations and check "
-        "observed access sets against the static inference",
+        "observed access sets against the static inference; with "
+        "--package repro.service, boots an instrumented live cluster "
+        "and checks observed writes/concurrency the same way",
     )
     lint.add_argument(
         "--steps",
@@ -773,8 +791,11 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
 
 
 def _cmd_lint(args: argparse.Namespace) -> int:
-    from repro.lint import run_lint
+    from repro.lint import DEFAULT_PACKAGES, run_lint
 
+    packages = list(args.packages)
+    if args.all:
+        packages.extend(p for p in DEFAULT_PACKAGES if p not in packages)
     try:
         report = run_lint(
             args.targets,
@@ -783,6 +804,7 @@ def _cmd_lint(args: argparse.Namespace) -> int:
             dynamic=args.dynamic,
             steps=args.steps,
             seed=args.seed,
+            packages=packages,
         )
     except ValueError as exc:
         print(f"lint: {exc}")

@@ -19,9 +19,23 @@ bound an access set it says *unknown* and the proof fails loudly), and
 cross-checks the inference *dynamically* by running instrumented
 simulations whose observed access sets must stay inside the static ones.
 
+A second pass, :mod:`repro.lint.aio` (``--package``/``--all``), applies
+the same contract-first treatment to the *concurrent* layers that never
+flow through a ``ProcessProgram``: asyncio shared-state races across
+await points, blocking calls reachable from coroutines, ambient
+nondeterminism, nondeterminism leaking into recorded traces, and live
+resources crossing the fork boundary -- with its own instrumented
+cluster run as the dynamic cross-check.
+
 Entry point: ``python -m repro lint [target ...]`` or :func:`run_lint`.
 """
 
+from repro.lint.aio import (
+    DEFAULT_PACKAGES,
+    PACKAGE_RULES,
+    PackageLintResult,
+    lint_package,
+)
 from repro.lint.dynamic import (
     ActionObservation,
     RecordingView,
@@ -48,10 +62,13 @@ __all__ = [
     "AccessSets",
     "ActionAnalysis",
     "ActionObservation",
+    "DEFAULT_PACKAGES",
     "Engine",
     "Finding",
     "InterferenceProof",
     "LintReport",
+    "PACKAGE_RULES",
+    "PackageLintResult",
     "RecordingView",
     "Rule",
     "Severity",
@@ -61,6 +78,7 @@ __all__ = [
     "cross_check",
     "default_rules",
     "instrument_program",
+    "lint_package",
     "register_rule",
     "run_lint",
     "tme_catalog",

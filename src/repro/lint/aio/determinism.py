@@ -1,0 +1,225 @@
+"""Determinism and replay-safety rules for whole-module lint.
+
+Promotes the service-layer determinism audit that previously lived as a
+private AST walker in ``tests/service/test_audit.py`` into first-class
+catalogue rules, and adds a taint pass for replay escapes:
+
+* **DET-WALLCLOCK** -- ``time.time``/``time.time_ns`` and any
+  ``datetime.now/today/utcnow``: a persisted trace must re-validate to
+  the same verdict on any machine at any time, so wall clock never feeds
+  protocol code.  The *monotonic* clock stays legal -- pacing IO and
+  measuring latency is fine -- until it leaks into recorded state, which
+  is REPLAY-ESCAPE's job to catch.
+* **DET-GLOBALRNG** -- module-level ``random.<fn>()`` draws: the shared
+  global RNG is invisible to the campaign's hierarchical seed derivation.
+* **DET-UNSEEDED** -- ``random.Random()`` with no seed argument.
+* **REPLAY-ESCAPE** -- a nondeterministic value (monotonic/wall clock
+  read, global-RNG draw, unseeded RNG, iteration order of a set) flowing
+  into recorded trace or decision state (``.event(...)``, ``.mark(...)``,
+  ``.on_event(...)``, ``.record(...)`` sinks) without passing through
+  ``repro.campaign.record``'s recorder, which is the one blessed channel
+  for capturing decisions (and is itself exempt).  Taint is tracked
+  per-function through local assignments and f-strings/arithmetic.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.lint.aio.model import FuncModel, ModuleModel
+from repro.lint.findings import Finding, Severity
+from repro.lint.inference import dotted_chain
+
+_WALLCLOCK = {("time", "time"), ("time", "time_ns")}
+_DATETIME_TAILS = {"now", "today", "utcnow"}
+_MONOTONIC = {
+    ("time", "monotonic"),
+    ("time", "monotonic_ns"),
+    ("time", "perf_counter"),
+    ("time", "perf_counter_ns"),
+}
+_SINK_ATTRS = {"event", "mark", "on_event", "record"}
+#: the blessed recorder: repro.campaign.record may touch sinks freely
+_RECORDER_SUFFIX = "campaign.record"
+
+
+def _enclosing_function(module: ModuleModel, line: int) -> str:
+    best = ""
+    best_start = -1
+    for fn in module.functions.values():
+        end = getattr(fn.node, "end_lineno", fn.line) or fn.line
+        if fn.line <= line <= end and fn.line > best_start:
+            best, best_start = fn.qualname, fn.line
+    return best
+
+
+def _call_kind(
+    module: ModuleModel, node: ast.Call
+) -> tuple[str, str] | None:
+    """Classify one call: (rule, description) for the DET catalogue."""
+    chain = module.resolve_chain(dotted_chain(node.func))
+    if not chain or "()" in chain:
+        return None
+    if tuple(chain[-2:]) in _WALLCLOCK and chain[0] == "time":
+        return "DET-WALLCLOCK", f"wall clock {'.'.join(chain)}()"
+    if (
+        len(chain) >= 2
+        and chain[-1] in _DATETIME_TAILS
+        and chain[-2] == "datetime"
+    ):
+        return "DET-WALLCLOCK", f"wall clock {'.'.join(chain)}()"
+    if chain[0] == "random" and len(chain) == 2:
+        if chain[1] in ("Random", "SystemRandom"):
+            if chain[1] == "Random" and not node.args and not node.keywords:
+                return "DET-UNSEEDED", "unseeded random.Random()"
+            return None
+        return "DET-GLOBALRNG", f"global RNG {'.'.join(chain)}()"
+    return None
+
+
+def det_findings(module: ModuleModel) -> list[Finding]:
+    """DET-WALLCLOCK / DET-GLOBALRNG / DET-UNSEEDED over one whole module."""
+    findings: list[Finding] = []
+    for node in ast.walk(module.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        kind = _call_kind(module, node)
+        if kind is None:
+            continue
+        rule, what = kind
+        findings.append(
+            Finding(
+                path=module.path,
+                line=node.lineno,
+                col=node.col_offset,
+                rule=rule,
+                severity=Severity.ERROR,
+                message=(
+                    f"{what}: replayed and revalidated runs must not depend "
+                    "on ambient nondeterminism (derive seeds via "
+                    "repro.campaign.seeds, timestamps stay out of decisions)"
+                ),
+                function=_enclosing_function(module, node.lineno),
+            )
+        )
+    return findings
+
+
+# ---------------------------------------------------------------------------
+# REPLAY-ESCAPE taint pass
+# ---------------------------------------------------------------------------
+
+
+def _is_nd_source_call(module: ModuleModel, node: ast.Call) -> str | None:
+    chain = module.resolve_chain(dotted_chain(node.func))
+    if not chain or "()" in chain:
+        return None
+    key = tuple(chain[-2:]) if len(chain) >= 2 else ()
+    if key in _MONOTONIC and chain[0] == "time":
+        return f"{'.'.join(chain)}()"
+    if _call_kind(module, node) is not None:
+        return f"{'.'.join(chain)}()"
+    return None
+
+
+def _is_set_expr(module: ModuleModel, node: ast.expr) -> bool:
+    if isinstance(node, ast.Set):
+        return True
+    if isinstance(node, ast.Call):
+        chain = module.resolve_chain(dotted_chain(node.func))
+        return chain in (("set",), ("frozenset",))
+    return False
+
+
+class _TaintWalker(ast.NodeVisitor):
+    """Per-function forward taint: ND sources -> locals -> sink arguments."""
+
+    def __init__(self, module: ModuleModel, fn: FuncModel):
+        self.module = module
+        self.fn = fn
+        self.tainted: set[str] = set()
+        self.findings: list[Finding] = []
+
+    def _expr_taint(self, node: ast.expr | None) -> str | None:
+        """Why this expression is nondeterministic, or None."""
+        if node is None:
+            return None
+        for sub in ast.walk(node):
+            if isinstance(sub, ast.Call):
+                source = _is_nd_source_call(self.module, sub)
+                if source is not None:
+                    return source
+            if isinstance(sub, ast.Name) and isinstance(sub.ctx, ast.Load):
+                if sub.id in self.tainted:
+                    return f"value derived from ND source ({sub.id})"
+        return None
+
+    def _taint_target(self, target: ast.expr) -> None:
+        for sub in ast.walk(target):
+            if isinstance(sub, ast.Name):
+                self.tainted.add(sub.id)
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        if self._expr_taint(node.value) is not None:
+            for target in node.targets:
+                self._taint_target(target)
+        self.generic_visit(node)
+
+    def visit_AugAssign(self, node: ast.AugAssign) -> None:
+        if self._expr_taint(node.value) is not None:
+            self._taint_target(node.target)
+        self.generic_visit(node)
+
+    def visit_For(self, node: ast.For) -> None:
+        if (
+            _is_set_expr(self.module, node.iter)
+            or self._expr_taint(node.iter) is not None
+        ):
+            self._taint_target(node.target)
+        self.generic_visit(node)
+
+    def visit_Call(self, node: ast.Call) -> None:
+        func = node.func
+        if isinstance(func, ast.Attribute) and func.attr in _SINK_ATTRS:
+            for arg in list(node.args) + [kw.value for kw in node.keywords]:
+                why = self._expr_taint(arg)
+                if why is not None:
+                    self.findings.append(
+                        Finding(
+                            path=self.fn.path,
+                            line=node.lineno,
+                            col=node.col_offset,
+                            rule="REPLAY-ESCAPE",
+                            severity=Severity.ERROR,
+                            message=(
+                                f"{why} reaches recorded state via "
+                                f".{func.attr}(...) without flowing through "
+                                "the repro.campaign.record recorder; replay "
+                                "cannot reproduce this value"
+                            ),
+                            function=self.fn.qualname,
+                        )
+                    )
+                    break
+        self.generic_visit(node)
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        if node is not self.fn.node:
+            return  # nested defs are walked as their own FuncModel
+        self.generic_visit(node)
+
+    visit_AsyncFunctionDef = visit_FunctionDef  # type: ignore[assignment]
+
+
+def replay_escape_findings(module: ModuleModel) -> list[Finding]:
+    if module.name.endswith(_RECORDER_SUFFIX):
+        return []
+    findings: list[Finding] = []
+    for fn in module.functions.values():
+        walker = _TaintWalker(module, fn)
+        walker.visit(fn.node)
+        findings.extend(walker.findings)
+    return findings
+
+
+__all__ = ["det_findings", "replay_escape_findings"]

@@ -1,0 +1,244 @@
+"""Dynamic cross-check for the asyncio inference (mirrors lint/dynamic.py).
+
+The static pass claims, per coroutine method, (a) which ``self`` fields
+its reachable call graph may write and (b) which coroutines may run
+concurrently.  Both claims are load-bearing -- the race detector's
+verdicts are only as good as them -- so, exactly like PR 4's
+``cross_check`` for the DSL inference, we run the real thing
+instrumented and assert **observed ⊆ inferred**:
+
+* every class of ``repro.service`` with an async method gets its
+  ``__setattr__`` patched and its coroutine methods wrapped; a live
+  ``LocalCluster`` (default n=3) boots, serves a few lock
+  acquire/release cycles through a real ``LockClient``, and shuts down;
+* each observed attribute write is attributed to the innermost wrapped
+  method *of the same task* whose ``self`` is the written object, and
+  must land inside that method's statically inferred write closure;
+* each observed pair of concurrently active coroutines (both task roots
+  of the same module) must be in the statically inferred
+  may-run-concurrently relation.
+
+A violation means the model under-approximates real behaviour -- the
+race detector could be silently blind there -- and fails the report the
+same way DYN-CONTAIN does for the DSL pass.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextvars
+import functools
+import importlib
+import inspect
+from dataclasses import dataclass, field
+from types import FunctionType
+
+from repro.lint.aio.model import PackageModel, build_package_model
+from repro.lint.aio.races import module_roots
+
+_STACK: contextvars.ContextVar[tuple] = contextvars.ContextVar(
+    "repro_lint_aio_stack", default=()
+)
+
+
+@dataclass
+class _Recorder:
+    """Observed writes, entries, and concurrent pairs of one run."""
+
+    writes: set = field(default_factory=set)  # (qualname, attr)
+    ran: set = field(default_factory=set)  # qualnames entered
+    pairs: set = field(default_factory=set)  # sorted (qual, qual)
+    active: dict = field(default_factory=dict)  # id(task) -> [qualname, ...]
+
+    def enter(self, qualname: str, obj: object) -> object:
+        task = asyncio.current_task()
+        for tid, frames in self.active.items():
+            if tid != id(task) and frames:
+                self.pairs.add(tuple(sorted((qualname, frames[-1]))))
+        self.active.setdefault(id(task), []).append(qualname)
+        self.ran.add(qualname)
+        token = _STACK.set(_STACK.get() + ((qualname, id(obj), id(task)),))
+        return token
+
+    def exit(self, token: object) -> None:
+        task = asyncio.current_task()
+        frames = self.active.get(id(task))
+        if frames:
+            frames.pop()
+            if not frames:
+                del self.active[id(task)]
+        _STACK.reset(token)
+
+    def record_write(self, obj: object, attr: str) -> None:
+        try:
+            task = asyncio.current_task()
+        except RuntimeError:
+            return
+        if task is None:
+            return
+        for qualname, obj_id, task_id in reversed(_STACK.get()):
+            if task_id != id(task):
+                continue  # frame inherited through create_task's context copy
+            if obj_id == id(obj):
+                self.writes.add((qualname, attr))
+                return
+
+
+class _Instrumenter:
+    """Patch ``__setattr__`` + wrap coroutine methods; fully reversible."""
+
+    def __init__(self, classes: dict[str, type], recorder: _Recorder):
+        self.classes = classes
+        self.recorder = recorder
+        self._saved: list[tuple[type, str, object, bool]] = []
+
+    def __enter__(self) -> "_Instrumenter":
+        recorder = self.recorder
+        for cls in self.classes.values():
+            had_own = "__setattr__" in vars(cls)
+            original_setattr = cls.__setattr__
+
+            def make_setattr(orig):
+                def __setattr__(self, name, value):
+                    recorder.record_write(self, name)
+                    orig(self, name, value)
+
+                return __setattr__
+
+            self._saved.append(
+                (cls, "__setattr__", original_setattr, had_own)
+            )
+            cls.__setattr__ = make_setattr(original_setattr)
+
+            for name, fn in list(vars(cls).items()):
+                if not isinstance(fn, FunctionType):
+                    continue
+                if not inspect.iscoroutinefunction(fn):
+                    continue
+                qualname = f"{cls.__name__}.{name}"
+
+                def make_wrapper(qual, inner):
+                    @functools.wraps(inner)
+                    async def wrapper(self, *args, **kwargs):
+                        token = recorder.enter(qual, self)
+                        try:
+                            return await inner(self, *args, **kwargs)
+                        finally:
+                            recorder.exit(token)
+
+                    return wrapper
+
+                self._saved.append((cls, name, fn, True))
+                setattr(cls, name, make_wrapper(qualname, fn))
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        for cls, name, original, had_own in reversed(self._saved):
+            if had_own:
+                setattr(cls, name, original)
+            else:
+                delattr(cls, name)
+        self._saved.clear()
+
+
+def _static_claims(package: PackageModel):
+    """(instrumentable classes, per-method write closures, concurrency)."""
+    class_homes: dict[str, str] = {}  # class name -> module dotted name
+    write_closure: dict[str, set[str]] = {}
+    rooted: dict[str, tuple[str, bool]] = {}  # qual -> (module, self-conc)
+    for module in package.modules.values():
+        for cls in module.classes.values():
+            if not any(m.is_async for m in cls.methods.values()):
+                continue
+            class_homes[cls.name] = module.name
+            for method in cls.methods.values():
+                writes: set[str] = set()
+                for fn in package.reach(module, method):
+                    if fn.class_name != cls.name:
+                        continue
+                    for access in fn.accesses:
+                        if (
+                            access.kind in ("assign", "mutate")
+                            and access.key is not None
+                            and access.key[0] == "attr"
+                            and access.key[1] == cls.name
+                        ):
+                            writes.add(access.key[2])
+                write_closure[method.qualname] = writes
+        for qual, info in module_roots(module).items():
+            # a rooted *method* is loosely self-concurrent: one task per
+            # instance is enough for two to overlap in a live cluster
+            loose = info.self_concurrent or info.func.class_name is not None
+            rooted[qual] = (module.name, loose)
+    return class_homes, write_closure, rooted
+
+
+async def _drive_cluster(n: int, ops: int) -> None:
+    from repro.service import ClusterConfig, LocalCluster, LockClient
+
+    cluster = LocalCluster(
+        ClusterConfig(algorithm="ra", n=n, theta=8, wrapper_tick_s=0.005)
+    )
+    await cluster.start()
+    try:
+        client = LockClient()
+        await client.connect("127.0.0.1", cluster.client_ports()[0])
+        for _ in range(ops):
+            req_id = await asyncio.wait_for(client.acquire(), timeout=30)
+            await client.release(req_id)
+        await client.close()
+    finally:
+        await cluster.stop()
+
+
+def cross_check_service(n: int = 3, ops: int = 3) -> dict:
+    """Boot an instrumented n-node cluster; assert observed ⊆ inferred."""
+    package = build_package_model("repro.service")
+    class_homes, write_closure, rooted = _static_claims(package)
+
+    classes: dict[str, type] = {}
+    for class_name, module_name in class_homes.items():
+        real_module = importlib.import_module(module_name)
+        real_cls = getattr(real_module, class_name, None)
+        if isinstance(real_cls, type):
+            classes[class_name] = real_cls
+
+    recorder = _Recorder()
+    with _Instrumenter(classes, recorder):
+        asyncio.run(_drive_cluster(n, ops))
+
+    violations: list[str] = []
+    for qualname, attr in sorted(recorder.writes):
+        claimed = write_closure.get(qualname)
+        if claimed is None:
+            violations.append(
+                f"write {qualname}.{attr}: method missing from static model"
+            )
+        elif attr not in claimed:
+            violations.append(
+                f"write of {attr!r} in {qualname} escapes the inferred "
+                f"write closure {sorted(claimed)}"
+            )
+    for left, right in sorted(recorder.pairs):
+        info_l, info_r = rooted.get(left), rooted.get(right)
+        if info_l is None or info_r is None:
+            continue  # not task roots: outside the race detector's relation
+        if info_l[0] != info_r[0]:
+            continue  # cross-module pairs carry no same-module race claim
+        if left == right and not info_l[1]:
+            violations.append(
+                f"{left} observed concurrent with itself but inferred as "
+                "spawned at most once"
+            )
+    return {
+        "program": "repro.service",
+        "steps": ops,
+        "actions_observed": len(recorder.ran),
+        "writes_observed": len(recorder.writes),
+        "pairs_observed": len(recorder.pairs),
+        "contained": not violations,
+        "violations": violations,
+    }
+
+
+__all__ = ["cross_check_service"]

@@ -1,0 +1,230 @@
+"""AIO-RACE: shared state torn across an await while another task uses it.
+
+The online ME1-ME3 monitor's soundness argument leans on *single-loop
+discipline*: within one event loop, code between two awaits runs
+atomically, so the monitor observes a total order of wrapper steps.  That
+discipline is easy to break silently -- read a field, await, then assign
+it from the stale value while a concurrently scheduled task also touches
+it.  This is the asyncio lost-update pattern:
+
+    snapshot = self.holder          # read
+    await self.transport.send(...)  # suspension point: others may run
+    self.holder = next(snapshot)    # assign from a stale snapshot
+
+The detector builds, per module, the set of *task roots* -- coroutines
+handed to the loop via ``create_task`` / ``ensure_future`` / ``gather`` /
+``start_server`` / ``call_soon``-style callback registration -- inlines
+each root's reachable call graph into one ordered access stream (loops
+that contain an await are unrolled twice so cross-iteration staleness is
+visible), and flags a field when
+
+* some root's stream **reads** the field, then suspends, then
+  **assigns** it (atomic ``+=`` / in-place mutators never tear: they
+  re-read at the write point and the loop cannot preempt them), and
+* a *different* concurrently runnable root (or the same root when it is
+  spawned multiple times -- in a loop, a comprehension, a multi-arg
+  ``gather``, or as a connection handler) also accesses the field.
+
+Fields holding asyncio synchronization primitives (``Event``, ``Queue``,
+``Lock``, ...) are exempt: they exist to mediate exactly this.  Aliased
+writes (``h = self.f; h.x = 1``) are a documented blind spot.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+
+from repro.lint.aio.model import (
+    Access,
+    CallSite,
+    FuncModel,
+    ModuleModel,
+    PackageModel,
+)
+from repro.lint.findings import Finding, Severity
+
+_MAX_INLINE_DEPTH = 16
+
+
+@dataclass
+class RootInfo:
+    """One task root: the coroutine/callback and how it is spawned."""
+
+    func: FuncModel
+    self_concurrent: bool  # may two of its tasks overlap?
+    kinds: tuple[str, ...]
+
+
+def _resolve_callee(
+    module: ModuleModel, spawner: FuncModel, callee: tuple[str, ...]
+) -> FuncModel | None:
+    if callee and callee[0] == "self" and len(callee) == 2:
+        if spawner.class_name is None:
+            return None
+        cls = module.classes.get(spawner.class_name)
+        return cls.methods.get(callee[1]) if cls else None
+    if len(callee) == 1:
+        nested = module.functions.get(f"{spawner.qualname}.{callee[0]}")
+        if nested is not None:
+            return nested
+        return module.functions.get(callee[0])
+    if len(callee) == 2 and callee[0] in module.classes:
+        return module.classes[callee[0]].methods.get(callee[1])
+    return None
+
+
+def module_roots(module: ModuleModel) -> dict[str, RootInfo]:
+    """Task roots of one module, with spawn-multiplicity flags."""
+    roots: dict[str, RootInfo] = {}
+    spawn_counts: Counter[tuple[str, str]] = Counter()
+    for fn in module.functions.values():
+        for spawn in fn.spawns:
+            if spawn.callee is None:
+                continue
+            target = _resolve_callee(module, fn, spawn.callee)
+            if target is None:
+                continue
+            spawn_counts[(fn.qualname, target.qualname)] += 1
+            multi = (
+                spawn.kind == "server"
+                or spawn.in_loop
+                or spawn_counts[(fn.qualname, target.qualname)] > 1
+            )
+            prior = roots.get(target.qualname)
+            roots[target.qualname] = RootInfo(
+                func=target,
+                self_concurrent=multi or (prior.self_concurrent if prior else False),
+                kinds=tuple(
+                    sorted(set((prior.kinds if prior else ()) + (spawn.kind,)))
+                ),
+            )
+    return roots
+
+
+def inline_stream(
+    package: PackageModel,
+    module: ModuleModel,
+    fn: FuncModel,
+    _memo: dict | None = None,
+    _stack: frozenset = frozenset(),
+) -> list[Access]:
+    """The root's ordered access stream with resolvable calls spliced in."""
+    if _memo is None:
+        _memo = {}
+    if id(fn) in _memo:
+        return _memo[id(fn)]
+    if id(fn) in _stack or len(_stack) >= _MAX_INLINE_DEPTH:
+        return []
+    stack = _stack | {id(fn)}
+    out: list[Access] = []
+    for op in fn.ops:
+        if isinstance(op, Access):
+            out.append(op)
+            continue
+        if isinstance(op, CallSite):
+            callee = package.resolve_call(module, fn, op)
+            if callee is None:
+                continue
+            callee_module = package.module_of(callee) or module
+            out.extend(
+                inline_stream(package, callee_module, callee, _memo, stack)
+            )
+    if not _stack:
+        _memo[id(fn)] = out
+    return out
+
+
+def _torn_keys(stream: list[Access]) -> dict[tuple, Access]:
+    """Keys read before a suspension and reassigned after it."""
+    read_so_far: set[tuple] = set()
+    candidates: set[tuple] = set()
+    torn: dict[tuple, Access] = {}
+    for access in stream:
+        if access.kind == "await":
+            candidates |= read_so_far
+        elif access.kind == "read" and access.key is not None:
+            read_so_far.add(access.key)
+        elif access.kind == "assign" and access.key is not None:
+            if access.key in candidates and access.key not in torn:
+                torn[access.key] = access
+    return torn
+
+
+def _key_label(key: tuple) -> str:
+    if key[0] == "attr":
+        return f"{key[1]}.{key[2]}" if key[1] else key[2]
+    return f"global {key[2]}"
+
+
+def race_findings(package: PackageModel) -> list[Finding]:
+    findings: list[Finding] = []
+    sync_excluded: set[tuple] = set()
+    for module in package.modules.values():
+        for cls in module.classes.values():
+            for attr in cls.sync_fields:
+                sync_excluded.add(("attr", cls.name, attr))
+
+    for module in package.modules.values():
+        roots = module_roots(module)
+        if not roots:
+            continue
+        memo: dict = {}
+        streams = {
+            qual: inline_stream(package, module, info.func, memo)
+            for qual, info in roots.items()
+        }
+        touched = {
+            qual: {a.key for a in stream if a.key is not None}
+            for qual, stream in streams.items()
+        }
+        writes = {
+            qual: {
+                a.key
+                for a in stream
+                if a.key is not None and a.kind in ("assign", "mutate")
+            }
+            for qual, stream in streams.items()
+        }
+        for qual, info in roots.items():
+            if not info.func.is_async:
+                continue  # sync callbacks cannot suspend mid-section
+            for key, access in _torn_keys(streams[qual]).items():
+                if key in sync_excluded:
+                    continue
+                rivals = [
+                    other
+                    for other, other_info in roots.items()
+                    if key in touched[other]
+                    and (other != qual or info.self_concurrent)
+                ]
+                if not rivals:
+                    continue
+                rival = rivals[0]
+                overlap = "writes" if key in writes[rival] else "reads"
+                findings.append(
+                    Finding(
+                        path=access.path,
+                        line=access.line,
+                        col=access.col,
+                        rule="AIO-RACE",
+                        severity=Severity.ERROR,
+                        message=(
+                            f"{_key_label(key)} is read before an await and "
+                            f"reassigned after it in task {qual!r}, while "
+                            f"concurrent task {rival!r} {overlap} it; the "
+                            "assigned value may be stale -- recheck state "
+                            "after the suspension or serialize the section"
+                        ),
+                        function=access.func,
+                    )
+                )
+    return findings
+
+
+__all__ = [
+    "RootInfo",
+    "inline_stream",
+    "module_roots",
+    "race_findings",
+]

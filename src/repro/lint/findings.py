@@ -100,6 +100,87 @@ def suppressed_rules(path: str, line: int) -> frozenset[str] | None:
     return frozenset(r.strip() for r in rules.split(",") if r.strip())
 
 
+def iter_suppressions(path: str) -> list[tuple[int, frozenset[str]]]:
+    """Every suppression comment in ``path``: ``(line, rules)`` pairs.
+
+    ``rules`` is empty for the bare ``lint-ok`` form (suppress everything)
+    and the named rule set for the bracketed form.
+    """
+    out: list[tuple[int, frozenset[str]]] = []
+    for lineno, _ in enumerate(_file_lines(path), start=1):
+        rules = suppressed_rules(path, lineno)
+        if rules is not None:
+            out.append((lineno, rules))
+    return out
+
+
+def stale_suppressions(
+    paths: Iterable[str],
+    findings: Iterable[Finding],
+    def_lines: dict[tuple[str, str], int] | None = None,
+    rules_in_force: frozenset[str] | None = None,
+) -> list[Finding]:
+    """Suppression comments whose rule no longer fires: rot detectors.
+
+    A ``# repro: lint-ok[RULE]`` earns its keep only while RULE actually
+    fires on that line (or on a function whose ``def`` line it sits on).
+    Given the *pre-suppression* findings of a run, every comment that
+    matched nothing becomes a LINT-STALE warning -- an error under
+    ``--strict`` -- so silenced rules cannot outlive the code they
+    excused.  Named rules outside ``rules_in_force`` (rules this run did
+    not evaluate) are left alone rather than guessed at.
+    """
+    def_lines = def_lines or {}
+    covered: set[tuple[str, int, str]] = set()
+    for finding in findings:
+        covered.add((finding.path, finding.line, finding.rule))
+        if finding.function:
+            def_line = def_lines.get((finding.path, finding.function))
+            if def_line is not None:
+                covered.add((finding.path, def_line, finding.rule))
+    out: list[Finding] = []
+    for path in paths:
+        for line, rules in iter_suppressions(path):
+            fired_here = {r for (p, ln, r) in covered if p == path and ln == line}
+            if not rules:
+                if not fired_here:
+                    out.append(
+                        Finding(
+                            path=path,
+                            line=line,
+                            col=0,
+                            rule="LINT-STALE",
+                            severity=Severity.WARNING,
+                            message=(
+                                "stale suppression: bare '# repro: lint-ok' "
+                                "matches no finding on this line; delete it "
+                                "or name the rule it should silence"
+                            ),
+                        )
+                    )
+                continue
+            for rule in sorted(rules):
+                if rules_in_force is not None and rule not in rules_in_force:
+                    continue
+                if rule not in fired_here:
+                    out.append(
+                        Finding(
+                            path=path,
+                            line=line,
+                            col=0,
+                            rule="LINT-STALE",
+                            severity=Severity.WARNING,
+                            message=(
+                                f"stale suppression: lint-ok[{rule}] but "
+                                f"{rule} no longer fires on this line; "
+                                "delete the comment so real findings "
+                                "cannot hide behind it"
+                            ),
+                        )
+                    )
+    return out
+
+
 def is_suppressed(finding: Finding, def_line: int | None = None) -> bool:
     """Is ``finding`` silenced at its own line or the function header?"""
     for line in {finding.line, def_line or finding.line}:
@@ -116,6 +197,7 @@ class LintReport:
     findings: list[Finding] = field(default_factory=list)
     checked_actions: int = 0
     checked_programs: int = 0
+    checked_files: int = 0
     proofs: list[dict] = field(default_factory=list)
     cross_checks: list[dict] = field(default_factory=list)
 
@@ -147,9 +229,12 @@ class LintReport:
         for f in self.unique_findings():
             lines.append(f.render())
         counts = self.counts()
+        scanned = (
+            f", {self.checked_files} files scanned" if self.checked_files else ""
+        )
         lines.append(
             f"lint: {self.checked_programs} programs, "
-            f"{self.checked_actions} actions checked -- "
+            f"{self.checked_actions} actions checked{scanned} -- "
             f"{counts['error']} errors, {counts['warning']} warnings, "
             f"{counts['info']} notes"
         )
@@ -175,6 +260,7 @@ class LintReport:
             "counts": self.counts(),
             "checked_actions": self.checked_actions,
             "checked_programs": self.checked_programs,
+            "checked_files": self.checked_files,
             "proofs": self.proofs,
             "cross_checks": self.cross_checks,
         }

@@ -61,6 +61,29 @@ MUTATORS = frozenset(
 _MAX_DEPTH = 12
 
 
+def dotted_chain(node: ast.AST) -> tuple[str, ...]:
+    """Flatten an ``a.b.c`` attribute chain into ``("a", "b", "c")``.
+
+    Calls embedded in the chain are kept as a ``"()"`` marker, so
+    ``Path(p).open`` flattens to ``("Path", "()", "open")`` -- enough for
+    pattern matchers to recognise method calls on constructor results.
+    Returns ``()`` when the chain does not bottom out in a plain name.
+    """
+    parts: list[str] = []
+    while True:
+        if isinstance(node, ast.Attribute):
+            parts.append(node.attr)
+            node = node.value
+        elif isinstance(node, ast.Call):
+            parts.append("()")
+            node = node.func
+        elif isinstance(node, ast.Name):
+            parts.append(node.id)
+            return tuple(reversed(parts))
+        else:
+            return ()
+
+
 class Taint(Enum):
     """What an abstract value may alias."""
 

@@ -43,6 +43,12 @@ GRAY-READ          error     wrapper reads outside ``w_*``/Lspec interface
 GRAY-IFACE         error     interface read outside ``LSPEC_VARIABLES``
 GRAY-UNKNOWN       error     non-interference not statically provable
 =================  ========  ====================================================
+
+The asyncio pass (``repro.lint.aio``, ``--package``/``--all``) adds a
+second catalogue -- AIO-RACE, AIO-BLOCK, DET-WALLCLOCK, DET-GLOBALRNG,
+DET-UNSEEDED, REPLAY-ESCAPE, FORK-CAPTURE, FORK-ENTRY, LINT-STALE -- for
+concurrent package code that never flows through a ``ProcessProgram``;
+see that package's docstring for the full table.
 """
 
 from __future__ import annotations

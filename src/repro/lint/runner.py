@@ -160,18 +160,27 @@ def lint_program(
 
 
 def run_lint(
-    targets: Iterable[str] = ("tme",),
+    targets: Iterable[str] = (),
     n: int = 3,
     theta: int = 4,
     dynamic: bool = False,
     steps: int = 300,
     seed: int = 0,
     engine: Engine | None = None,
+    packages: Iterable[str] = (),
 ) -> LintReport:
-    """Lint every target; TME targets also get proofs and cross-checks."""
+    """Lint every target; TME targets also get proofs and cross-checks.
+
+    ``targets`` select DSL programs (the original pass); ``packages``
+    select the asyncio pass over whole packages (``repro.lint.aio``).
+    With neither given, the TME catalog is linted, as before.
+    """
     engine = engine or Engine()
     report = LintReport()
-    targets = tuple(targets) or ("tme",)
+    targets = tuple(targets)
+    packages = tuple(packages)
+    if not targets and not packages:
+        targets = ("tme",)
 
     want_tme = any(is_tme_target(t) for t in targets)
     programs: list[ProcessProgram] = []
@@ -221,6 +230,33 @@ def run_lint(
                             action=name,
                         )
                     )
+
+    for package_name in packages:
+        from repro.lint.aio import lint_package
+
+        result = lint_package(package_name)
+        report.checked_files += len(result.files)
+        report.extend(result.findings)
+    if dynamic and any(p.split("/")[-1] in ("repro.service", "service") for p in packages):
+        from repro.lint.aio.dynamic import cross_check_service
+
+        result = cross_check_service(n=n, ops=3)
+        report.cross_checks.append(result)
+        for reason in result["violations"]:
+            report.findings.append(
+                Finding(
+                    path="<dynamic-cross-check>",
+                    line=0,
+                    col=0,
+                    rule="DYN-CONTAIN",
+                    severity=Severity.ERROR,
+                    message=(
+                        f"asyncio cross-check of {result['program']}: "
+                        f"{reason}; the concurrency inference is unsound "
+                        "for this run"
+                    ),
+                )
+            )
     return report
 
 

@@ -208,7 +208,11 @@ class LocalCluster:
         self._started = True
         cfg = self.config
         if cfg.trace_path is not None:
-            self._writer = TraceWriter.open(Path(cfg.trace_path))
+            # one-time file open before any request is served; the loop is
+            # not yet carrying latency-sensitive traffic at this point
+            self._writer = TraceWriter.open(  # repro: lint-ok[AIO-BLOCK]
+                Path(cfg.trace_path)
+            )
             self._writer.header(
                 {pid: rt.variables for pid, rt in self.runtimes.items()}
             )

@@ -1,0 +1,18 @@
+"""Golden fixture: blocking calls reachable from async def."""
+
+import asyncio
+import socket
+import time
+
+
+def resolve(host):
+    return socket.gethostbyname(host)  # blocking, flagged at async callers
+
+
+async def pause():
+    time.sleep(0.1)  # MARK[AIO-BLOCK]
+    await asyncio.sleep(0)
+
+
+async def lookup(host):
+    return resolve(host)  # MARK[AIO-BLOCK]

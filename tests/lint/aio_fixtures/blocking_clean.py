@@ -1,0 +1,16 @@
+"""Clean control: blocking stays on sync paths, async paths await."""
+
+import asyncio
+import time
+
+
+def backoff():
+    time.sleep(0.1)  # sync-only caller: never reaches an event loop
+
+
+async def pause():
+    await asyncio.sleep(0.1)
+
+
+def drive():
+    backoff()

@@ -1,0 +1,12 @@
+"""Clean control: monotonic pacing and seeded RNG are allowed."""
+
+import random
+import time
+
+
+def pace():
+    return time.monotonic(), time.perf_counter()
+
+
+def seeded():
+    return random.Random(1234).random()

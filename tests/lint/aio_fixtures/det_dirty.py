@@ -1,0 +1,21 @@
+"""Golden fixture: ambient nondeterminism the DET rules reject."""
+
+import datetime
+import random
+import time
+
+
+def wall_clock_decision():
+    return time.time()  # MARK[DET-WALLCLOCK]
+
+
+def midnight():
+    return datetime.datetime.now()  # MARK[DET-WALLCLOCK]
+
+
+def global_draw():
+    return random.choice([1, 2, 3])  # MARK[DET-GLOBALRNG]
+
+
+def unseeded():
+    return random.Random()  # MARK[DET-UNSEEDED]

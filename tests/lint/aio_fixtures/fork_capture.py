@@ -1,0 +1,22 @@
+"""Golden fixture: live resources crossing the fork boundary."""
+
+import asyncio
+import multiprocessing
+import socket
+
+
+def work(payload):
+    return payload
+
+
+def loopy_entry():
+    asyncio.get_event_loop()
+
+
+def spawn_with_socket():
+    sock = socket.create_connection(("127.0.0.1", 9))
+    return multiprocessing.Process(target=work, args=(sock,))  # MARK[FORK-CAPTURE]
+
+
+def spawn_loopy():
+    return multiprocessing.Process(target=loopy_entry, args=())  # MARK[FORK-ENTRY]

@@ -1,0 +1,13 @@
+"""Clean control: workers receive plain data and mp primitives."""
+
+import multiprocessing
+
+
+def work(q, shard):
+    q.put(shard)
+
+
+def spawn_clean():
+    ctx = multiprocessing.get_context("fork")
+    q = ctx.Queue()
+    return ctx.Process(target=work, args=(q, 7))

@@ -1,0 +1,31 @@
+"""Golden fixture: asyncio lost-update races (AIO-RACE fires here)."""
+
+import asyncio
+
+TOTAL = 0
+
+
+class Counter:
+    def __init__(self):
+        self.value = 0
+
+    async def bump(self):
+        snapshot = self.value
+        await asyncio.sleep(0)
+        self.value = snapshot + 1  # MARK[AIO-RACE]
+
+    async def run_pair(self):
+        t1 = asyncio.create_task(self.bump())
+        t2 = asyncio.create_task(self.bump())
+        await asyncio.gather(t1, t2)
+
+
+async def tick():
+    global TOTAL
+    stale = TOTAL
+    await asyncio.sleep(0)
+    TOTAL = stale + 1  # MARK[AIO-RACE]
+
+
+async def main():
+    await asyncio.gather(tick(), tick())

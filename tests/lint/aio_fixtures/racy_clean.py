@@ -1,0 +1,36 @@
+"""Clean control: the same shapes without a lost update."""
+
+import asyncio
+
+
+class SafeCounter:
+    def __init__(self):
+        self.value = 0
+        self._wake = asyncio.Event()  # sync primitive: exempt by design
+
+    async def bump_atomic(self):
+        await asyncio.sleep(0)
+        self.value += 1  # atomic RMW: the loop cannot preempt mid-increment
+
+    async def signal(self):
+        await asyncio.sleep(0)
+        self._wake.set()
+
+    async def run_pair(self):
+        await asyncio.gather(self.bump_atomic(), self.bump_atomic())
+
+
+class SoloWriter:
+    """Torn section, but only ever one task: nothing to race with."""
+
+    def __init__(self):
+        self.state = 0
+
+    async def step(self):
+        held = self.state
+        await asyncio.sleep(0)
+        self.state = held + 1
+
+    async def run_once(self):
+        task = asyncio.create_task(self.step())
+        await task

@@ -1,0 +1,18 @@
+"""Clean control: measurement and seeded draws stay replay-safe."""
+
+import random
+import time
+
+
+def measure(latencies):
+    started = time.monotonic()
+    latencies.append((time.monotonic() - started) * 1000.0)  # not a sink
+
+
+def stamp_deterministic(trace, seq, action):
+    trace.event(seq, action)
+
+
+def seeded_choice(trace, options):
+    rng = random.Random(42)
+    trace.event(rng.choice(sorted(options)))

@@ -1,0 +1,18 @@
+"""Golden fixture: nondeterminism leaking into recorded state."""
+
+import time
+
+
+def stamp_directly(trace):
+    trace.event(time.monotonic(), "grant")  # MARK[REPLAY-ESCAPE]
+
+
+def stamp_via_local(trace):
+    t0 = time.perf_counter()
+    elapsed = t0 * 1000.0
+    trace.record(elapsed)  # MARK[REPLAY-ESCAPE]
+
+
+def flush_members(trace):
+    for pid in {"p0", "p1", "p2"}:
+        trace.mark(pid)  # MARK[REPLAY-ESCAPE]

@@ -1,0 +1,7 @@
+"""Stale control: a suppression whose rule no longer fires is reported."""
+
+import asyncio
+
+
+async def quiet():
+    await asyncio.sleep(0)  # repro: lint-ok[AIO-BLOCK] nothing blocks here

@@ -1,0 +1,9 @@
+"""Suppressed control: a justified finding stays silenced, not stale."""
+
+import asyncio
+import time
+
+
+async def throttled_probe():
+    time.sleep(0.001)  # repro: lint-ok[AIO-BLOCK] sub-ms stall, accepted
+    await asyncio.sleep(0)

@@ -1,4 +1,4 @@
-"""Determinism audit of the service layer (AST scan).
+"""Determinism audit of the service layer, via the lint catalogue.
 
 Decision paths that feed recorded traces must not consult wall-clock time
 or unseeded randomness: a persisted trace must re-validate to the same
@@ -7,79 +7,28 @@ verdict on any machine at any time.  The service code may use the
 decide protocol behavior -- and any ``random.Random`` must be explicitly
 seeded (the chaos monkey's is, from its config).
 
-This test walks every module under ``src/repro/service`` and rejects:
-
-* ``time.time`` / ``time.time_ns`` (wall clock),
-* any ``datetime.now/today/utcnow`` construction,
-* ``random.Random()`` with no seed argument,
-* module-level ``random.<fn>()`` calls (the shared, unseeded global RNG).
+This used to be a private AST walker living here; the checks are now
+catalogue rules of the asyncio lint pass (DET-WALLCLOCK, DET-GLOBALRNG,
+DET-UNSEEDED in :mod:`repro.lint.aio`), enforced in CI over every
+concurrent package.  What remains is a thin regression harness pinning
+the rules to this layer plus the original offender/clean controls, so
+the promoted rules provably still catch what the old walker caught.
 """
 
-import ast
-from pathlib import Path
+from repro.lint import lint_package
 
-import repro.service
-
-SERVICE_DIR = Path(repro.service.__file__).resolve().parent
-
-WALL_CLOCK_ATTRS = {
-    ("time", "time"),
-    ("time", "time_ns"),
-    ("datetime", "now"),
-    ("datetime", "today"),
-    ("datetime", "utcnow"),
-}
-
-#: The global-RNG module functions (`random.random()`, `random.choice()`,
-#: ...) -- anything called on the module object except the Random class
-#: itself.
-RANDOM_MODULE = "random"
+DET_RULES = {"DET-WALLCLOCK", "DET-GLOBALRNG", "DET-UNSEEDED"}
 
 
-def _dotted(node: ast.AST) -> tuple[str, ...]:
-    """Flatten `a.b.c` attribute chains; () if not a plain name chain."""
-    parts = []
-    while isinstance(node, ast.Attribute):
-        parts.append(node.attr)
-        node = node.value
-    if isinstance(node, ast.Name):
-        parts.append(node.id)
-        return tuple(reversed(parts))
-    return ()
-
-
-def audit_module(path: Path) -> list[str]:
-    tree = ast.parse(path.read_text(encoding="utf-8"), filename=str(path))
-    offenses = []
-    for node in ast.walk(tree):
-        if not isinstance(node, ast.Call):
-            continue
-        chain = _dotted(node.func)
-        if len(chain) < 2:
-            continue
-        where = f"{path.name}:{node.lineno}"
-        tail = (chain[-2], chain[-1])
-        if tail in WALL_CLOCK_ATTRS:
-            offenses.append(f"{where}: wall clock {'.'.join(chain)}()")
-        if chain[0] == RANDOM_MODULE:
-            if chain[1] == "Random":
-                if not node.args and not node.keywords:
-                    offenses.append(
-                        f"{where}: unseeded random.Random()"
-                    )
-            else:
-                offenses.append(
-                    f"{where}: global RNG {'.'.join(chain)}()"
-                )
-    return offenses
+def det_findings(target):
+    result = lint_package(str(target))
+    return [f for f in result.findings if f.rule in DET_RULES]
 
 
 class TestServiceDeterminismAudit:
     def test_no_wall_clock_or_unseeded_rng_in_service_layer(self):
-        offenses = []
-        for path in sorted(SERVICE_DIR.glob("*.py")):
-            offenses.extend(audit_module(path))
-        assert offenses == [], "\n".join(offenses)
+        offenses = det_findings("repro.service")
+        assert offenses == [], "\n".join(f.render() for f in offenses)
 
     def test_audit_catches_offenders(self, tmp_path):
         bad = tmp_path / "bad.py"
@@ -90,8 +39,13 @@ class TestServiceDeterminismAudit:
             "x = random.choice([1, 2])\n"
             "d = datetime.datetime.now()\n"
         )
-        offenses = audit_module(bad)
-        assert len(offenses) == 4
+        offenses = det_findings(bad)
+        assert sorted(f.rule for f in offenses) == [
+            "DET-GLOBALRNG",
+            "DET-UNSEEDED",
+            "DET-WALLCLOCK",
+            "DET-WALLCLOCK",
+        ]
 
     def test_audit_allows_monotonic_and_seeded_rng(self, tmp_path):
         good = tmp_path / "good.py"
@@ -101,4 +55,4 @@ class TestServiceDeterminismAudit:
             "p = time.perf_counter()\n"
             "r = random.Random(42)\n"
         )
-        assert audit_module(good) == []
+        assert det_findings(good) == []
