@@ -1059,3 +1059,70 @@ def experiment_service(
         return rows
 
     return asyncio.run(run_all())
+
+
+# ---------------------------------------------------------------------------
+# E20 -- kill-safe campaigns: chaos self-test digest stability
+# ---------------------------------------------------------------------------
+
+
+def experiment_killsafe(
+    trials: int = 24,
+    n: int = 4,
+    workers: tuple[int, ...] = (1, 2),
+    root_seed: int = 0,
+    kill_rate: float = 0.25,
+) -> list[Row]:
+    """E20: Corollary 11's campaigns survive ``kill -9``, end to end.
+
+    Each row runs the built-in chaos self-test
+    (:func:`repro.campaign.run_chaos_selftest`) over the same campaign
+    matrix: a clean in-process run stamps the reference content hash,
+    then the campaign re-runs against a durable journal while a seeded
+    chaos hook SIGKILLs workers mid-trial and the coordinator itself is
+    SIGKILLed at seeded delays and resumed until it completes.  The
+    ``digest_match`` column is the claim: the resumed run's stamped
+    artifact hash is bit-identical to the uninterrupted one's, at every
+    worker count (``workers=1`` exercises the serial fallback under
+    coordinator kills alone).
+    """
+    import tempfile
+
+    from repro.campaign import (
+        CampaignSpec,
+        run_chaos_selftest,
+        single_spec_matrix,
+    )
+
+    spec = CampaignSpec(
+        algorithm="ra",
+        n=n,
+        root_seed=root_seed,
+        fault_start=20,
+        fault_stop=80,
+        confirm_window=120,
+        max_steps=900,
+    )
+    rows: list[Row] = []
+    for count in workers:
+        matrix = single_spec_matrix(spec, trials, name="killsafe")
+        with tempfile.TemporaryDirectory() as store:
+            report = run_chaos_selftest(
+                matrix,
+                store,
+                workers=count,
+                seed=root_seed + count,
+                kill_rate=kill_rate,
+            )
+        rows.append(
+            {
+                "workers": count,
+                "trials": trials,
+                "coordinator_kills": report.coordinator_kills,
+                "rounds": report.rounds,
+                "resumed": report.resumed_results,
+                "digest": report.reference_hash.removeprefix("sha256:")[:12],
+                "digest_match": report.digests_match,
+            }
+        )
+    return rows

@@ -22,14 +22,29 @@ Layers:
   when :class:`ChurnRates` is set) into *concrete, replayable* operations;
 * :mod:`repro.campaign.trial`   -- the deterministic single-trial runner
   with an online legitimacy monitor and a canonical trace digest;
-* :mod:`repro.campaign.runner`  -- process fan-out with per-trial timeout
-  and worker-crash recovery (a dead worker fails its trial, not the
-  campaign);
+* :mod:`repro.campaign.spec`    -- the declarative experiment layer: a
+  serializable :class:`ExperimentSpec` (base parameters, sweep axes or
+  named configs) expands into a deterministic :class:`TrialMatrix`
+  whose ``matrix_digest`` pins the experiment's identity;
+* :mod:`repro.campaign.sched`   -- the kill-safe work-stealing scheduler:
+  lease-based claims with heartbeat liveness, capped-backoff requeue of
+  environmental deaths, graceful fan-out degradation, and resume to a
+  bit-identical artifact digest;
+* :mod:`repro.campaign.journal` -- the durable campaign journal behind
+  it (append-only, torn-tail tolerant, same framing as the exploration
+  logs);
+* :mod:`repro.campaign.chaos`   -- the built-in chaos self-test that
+  SIGKILLs workers and the coordinator at seeded points and asserts the
+  resumed digest equals a clean run's;
+* :mod:`repro.campaign.runner`  -- the stable single-spec front door
+  (``run_campaign``), now a thin wrapper over the scheduler (a dead
+  worker fails its trial, not the campaign);
 * :mod:`repro.campaign.shrink`  -- delta-debugging of failing trials down
   to a locally minimal fault/schedule decision list, rendered via
   :mod:`repro.core.counterexample`;
 * :mod:`repro.campaign.stats`   -- latency distributions (mean/p50/p95/max,
-  empirical CDF) and the JSON artifact behind EXPERIMENTS.md E16.
+  empirical CDF) and the stamped JSON artifacts behind EXPERIMENTS.md
+  E16/E20.
 """
 
 from repro.campaign.faults import (
@@ -47,7 +62,15 @@ from repro.campaign.record import (
     SchedDecision,
     ScriptedScheduler,
 )
+from repro.campaign.chaos import ChaosReport, run_chaos_selftest
+from repro.campaign.journal import CampaignJournal, replay_journal
 from repro.campaign.runner import run_campaign
+from repro.campaign.sched import (
+    MatrixRun,
+    SchedStats,
+    SchedulerConfig,
+    run_matrix,
+)
 from repro.campaign.seeds import derive_seed, spawn_rng
 from repro.campaign.shrink import (
     ShrinkResult,
@@ -55,13 +78,24 @@ from repro.campaign.shrink import (
     is_locally_minimal,
     shrink_trial,
 )
+from repro.campaign.spec import (
+    ExperimentSpec,
+    TrialMatrix,
+    TrialTask,
+    load_experiment_spec,
+    parse_experiment_spec,
+    single_spec_matrix,
+)
 from repro.campaign.stats import (
     CampaignSummary,
     LatencySummary,
     artifact,
     ecdf,
+    matrix_artifact,
     quantile,
+    stamp_artifact,
     summarize,
+    verify_stamp,
     write_artifact,
 )
 from repro.campaign.trial import (
@@ -72,33 +106,50 @@ from repro.campaign.trial import (
 )
 
 __all__ = [
+    "CampaignJournal",
     "CampaignSpec",
     "CampaignSummary",
+    "ChaosReport",
     "ChurnRates",
     "CrashProcess",
     "DecidingFaults",
+    "ExperimentSpec",
     "FaultDecision",
     "FaultRates",
     "HealNet",
     "LatencySummary",
+    "MatrixRun",
     "PartitionNet",
     "RecordingScheduler",
     "ReplayFaults",
     "SchedDecision",
+    "SchedStats",
+    "SchedulerConfig",
     "ScriptedScheduler",
     "ShrinkResult",
+    "TrialMatrix",
     "TrialResult",
+    "TrialTask",
     "artifact",
     "ddmin",
     "derive_seed",
     "ecdf",
     "is_locally_minimal",
+    "load_experiment_spec",
+    "matrix_artifact",
+    "parse_experiment_spec",
     "quantile",
+    "replay_journal",
     "replay_trial",
     "run_campaign",
+    "run_chaos_selftest",
+    "run_matrix",
     "run_trial",
     "shrink_trial",
+    "single_spec_matrix",
     "spawn_rng",
+    "stamp_artifact",
     "summarize",
+    "verify_stamp",
     "write_artifact",
 ]

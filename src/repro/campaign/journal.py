@@ -1,0 +1,280 @@
+"""The durable campaign journal: leases, results, requeues, resume.
+
+Campaigns used to exist only in the coordinator's memory -- a crash at
+trial 999,990 of a million lost everything.  This module gives a
+campaign the same durability story PR 7 gave exploration, *reusing the
+exact journal machinery*: records are framed with
+:func:`repro.explore.wire.pack_record` (13-byte header + payload, torn
+tails discarded on replay) and appended through
+:class:`repro.explore.shard.ShardLog` (buffered, flushed to the kernel
+before anything downstream observes the event).
+
+One journal per campaign, one writer (the coordinator -- workers only
+ever talk over pipes), three record kinds:
+
+* ``LEASE``   -- task ``depth`` claimed for attempt ``aux`` by a worker
+  (payload: worker id).  A lease without a later result is exactly the
+  work a resumed run must redo.
+* ``RESULT``  -- task ``depth`` finished attempt ``aux`` (payload: the
+  canonical JSON of the :class:`~repro.campaign.trial.TrialResult`,
+  minus its decision log -- decisions are re-derivable from
+  ``(spec, trial_id)``).  Flushed before the result is surfaced, so a
+  durable result is never re-run and a re-run result was never
+  surfaced.
+* ``REQUEUE`` -- attempt ``aux`` of task ``depth`` died environmentally
+  (payload: death kind, exit code, backoff).  Replay restores the
+  attempt counter so a coordinator crash cannot reset a trial's retry
+  budget, and the requeue history survives into the final attempt log.
+
+``meta.json`` pins the campaign's identity: a *stamped* artifact
+(:func:`repro.campaign.stats.stamp_artifact`) carrying the matrix
+digest of :class:`~repro.campaign.spec.TrialMatrix`.  ``--resume``
+verifies the stamp and the digest before trusting a single record, so
+a journal can never silently replay into a different experiment.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.campaign.spec import TrialMatrix, canonical_json
+from repro.campaign.stats import stamp_artifact, verify_stamp
+from repro.campaign.trial import TrialResult
+from repro.explore.shard import ShardLog, iter_log_records, valid_prefix_len
+
+#: Campaign record kinds, disjoint from the exploration journal's
+#: ``REC_ADMIT``/``REC_MEMBER``/``REC_COMMIT`` tag values (the framing
+#: is shared; see :mod:`repro.explore.wire`).
+REC_LEASE = ord("L")
+REC_RESULT = ord("R")
+REC_REQUEUE = ord("Q")
+
+#: ``meta.json`` schema (stamped; bumped on incompatible layout change).
+META_SCHEMA_VERSION = 1
+
+JOURNAL_NAME = "campaign.log"
+META_NAME = "meta.json"
+PARTIAL_NAME = "partial.json"
+
+
+# ---------------------------------------------------------------------------
+# TrialResult <-> canonical JSON payloads
+# ---------------------------------------------------------------------------
+
+def encode_result(result: TrialResult) -> bytes:
+    """The canonical JSON bytes of a result (decisions dropped).
+
+    Decision logs are closures over live dataclasses and re-derivable
+    from ``(spec, trial_id)`` (the shrinker re-runs the trial anyway),
+    so the journal stores everything *else* -- every field the summary
+    and the artifact consume round-trips exactly, floats included
+    (JSON's shortest-repr float encoding is lossless).
+    """
+    payload = {
+        "trial_id": result.trial_id,
+        "outcome": result.outcome,
+        "steps": result.steps,
+        "latency": result.latency,
+        "wall_seconds": result.wall_seconds,
+        "wall_latency": result.wall_latency,
+        "entries": result.entries,
+        "faults": result.faults,
+        "me1_after_horizon": result.me1_after_horizon,
+        "digest": result.digest,
+        "detail": result.detail,
+        "availability": result.availability,
+        "dropped": result.dropped,
+        "corrupted": result.corrupted,
+        "detections": list(result.detections),
+        "recoveries": list(result.recoveries),
+        "recovery_stages": [list(s) for s in result.recovery_stages],
+        "sched_fallbacks": result.sched_fallbacks,
+        "ops_skipped": result.ops_skipped,
+    }
+    return canonical_json(payload).encode("utf-8")
+
+
+def decode_result(raw: bytes) -> TrialResult:
+    """The :class:`TrialResult` a ``RESULT`` payload encodes."""
+    payload = json.loads(raw.decode("utf-8"))
+    return TrialResult(
+        trial_id=payload["trial_id"],
+        outcome=payload["outcome"],
+        steps=payload["steps"],
+        latency=payload["latency"],
+        wall_seconds=payload["wall_seconds"],
+        wall_latency=payload["wall_latency"],
+        entries=payload["entries"],
+        faults=payload["faults"],
+        me1_after_horizon=payload["me1_after_horizon"],
+        digest=payload["digest"],
+        detail=payload["detail"],
+        decisions=None,
+        availability=payload["availability"],
+        dropped=payload["dropped"],
+        corrupted=payload["corrupted"],
+        detections=tuple(payload["detections"]),
+        recoveries=tuple(payload["recoveries"]),
+        recovery_stages=tuple(
+            (stage, count) for stage, count in payload["recovery_stages"]
+        ),
+        sched_fallbacks=payload["sched_fallbacks"],
+        ops_skipped=payload["ops_skipped"],
+    )
+
+
+# ---------------------------------------------------------------------------
+# The journal itself
+# ---------------------------------------------------------------------------
+
+
+class CampaignJournal:
+    """Append-only campaign journal (single writer: the coordinator).
+
+    Reopening after a crash truncates the file to its longest
+    whole-record prefix first (:func:`repro.explore.shard.
+    valid_prefix_len`) -- appending after a torn tail would misalign
+    the framing for every later replay.
+    """
+
+    def __init__(self, store_dir: str | Path):
+        self.path = str(Path(store_dir) / JOURNAL_NAME)
+        if os.path.exists(self.path):
+            good = valid_prefix_len(self.path)
+            if good < os.path.getsize(self.path):
+                with open(self.path, "rb+") as fh:
+                    fh.truncate(good)
+        self._log = ShardLog(self.path)
+
+    def lease(self, task_id: int, attempt: int, worker: int) -> None:
+        self._log.append(
+            REC_LEASE, task_id, attempt, str(worker).encode()
+        )
+        self._log.flush()
+
+    def result(self, task_id: int, attempt: int, result: TrialResult) -> None:
+        self._log.append(REC_RESULT, task_id, attempt, encode_result(result))
+        self._log.flush()
+
+    def requeue(
+        self, task_id: int, attempt: int, kind: str,
+        exitcode: int | None, backoff: float,
+    ) -> None:
+        payload = canonical_json(
+            {"kind": kind, "exitcode": exitcode, "backoff": backoff}
+        ).encode("utf-8")
+        self._log.append(REC_REQUEUE, task_id, attempt, payload)
+        self._log.flush()
+
+    def close(self) -> None:
+        self._log.close()
+
+
+@dataclass
+class JournalState:
+    """Everything a resumed coordinator learns from a replay."""
+
+    #: task_id -> durable result (first sighting wins; duplicates are
+    #: bit-identical by trial determinism).
+    results: dict[int, TrialResult] = field(default_factory=dict)
+    #: task_id -> environmental death history, in journal order.
+    attempt_log: dict[int, list[dict]] = field(default_factory=dict)
+    #: task_ids leased but never resulted (the lease-recovery set).
+    orphaned: set[int] = field(default_factory=set)
+    records: int = 0
+
+    def attempts(self, task_id: int) -> int:
+        """Worker deaths already charged against a task's retry budget."""
+        return len(self.attempt_log.get(task_id, ()))
+
+
+def replay_journal(store_dir: str | Path) -> JournalState:
+    """Replay a campaign journal into a :class:`JournalState`.
+
+    Torn tails end the scan silently (:func:`iter_log_records`): a
+    record cut short by ``kill -9`` was never acknowledged, so dropping
+    it is exactly the crash semantics resume wants.
+    """
+    state = JournalState()
+    path = Path(store_dir) / JOURNAL_NAME
+    if not path.exists():
+        return state
+    for tag, task_id, attempt, payload in iter_log_records(str(path)):
+        state.records += 1
+        if tag == REC_RESULT:
+            if task_id not in state.results:
+                state.results[task_id] = decode_result(payload)
+            state.orphaned.discard(task_id)
+        elif tag == REC_LEASE:
+            if task_id not in state.results:
+                state.orphaned.add(task_id)
+        elif tag == REC_REQUEUE:
+            info = json.loads(payload.decode("utf-8"))
+            info["attempt"] = attempt
+            state.attempt_log.setdefault(task_id, []).append(info)
+    return state
+
+
+# ---------------------------------------------------------------------------
+# Run-directory metadata (stamped)
+# ---------------------------------------------------------------------------
+
+
+def write_campaign_meta(store_dir: str | Path, matrix: TrialMatrix) -> dict:
+    """Create ``store_dir`` and pin the campaign's identity in it."""
+    store = Path(store_dir)
+    store.mkdir(parents=True, exist_ok=True)
+    payload = stamp_artifact(
+        {
+            "kind": "campaign-journal",
+            "name": matrix.name,
+            "matrix_digest": matrix.matrix_digest,
+            "tasks": len(matrix),
+        },
+        META_SCHEMA_VERSION,
+    )
+    tmp = store / (META_NAME + ".tmp")
+    tmp.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+    os.replace(tmp, store / META_NAME)
+    return payload
+
+
+def verify_campaign_meta(store_dir: str | Path, matrix: TrialMatrix) -> dict:
+    """Validate ``meta.json`` against the matrix being resumed.
+
+    Raises ``ValueError`` if the meta is missing, its stamp fails
+    (truncated or hand-edited file), or the matrix digest differs (the
+    journal belongs to a different experiment).
+    """
+    path = Path(store_dir) / META_NAME
+    if not path.exists():
+        raise ValueError(
+            f"{path}: no campaign metadata; nothing to resume here"
+        )
+    payload = json.loads(path.read_text(encoding="utf-8"))
+    verify_stamp(payload, META_SCHEMA_VERSION)
+    if payload.get("kind") != "campaign-journal":
+        raise ValueError(f"{path}: not a campaign journal directory")
+    found = payload.get("matrix_digest")
+    if found != matrix.matrix_digest:
+        raise ValueError(
+            f"{path}: journal belongs to a different experiment "
+            f"({found} != {matrix.matrix_digest}); use a fresh store dir"
+        )
+    return payload
+
+
+def journal_exists(store_dir: str | Path) -> bool:
+    return (Path(store_dir) / JOURNAL_NAME).exists()
+
+
+def write_partial_artifact(store_dir: str | Path, payload: dict) -> None:
+    """Atomically publish a streamed partial artifact (temp + rename),
+    so a reader never observes a half-written JSON file."""
+    store = Path(store_dir)
+    tmp = store / (PARTIAL_NAME + ".tmp")
+    tmp.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+    os.replace(tmp, store / PARTIAL_NAME)

@@ -1,66 +1,51 @@
-"""Process fan-out for campaigns: timeouts, crash recovery, streaming.
+"""The single-spec campaign front door, now on the durable scheduler.
 
-Trials are embarrassingly parallel and fully determined by
-``(spec, trial_id)``, so the runner ships *no* work description beyond the
-trial id: workers are ``fork``-started (the same platform condition as
-:mod:`repro.explore.parallel`) and inherit the spec, the programs module,
-everything.  Each live trial owns one worker process and one result pipe;
-the parent multiplexes completions with
-:func:`multiprocessing.connection.wait`, enforcing a wall-clock deadline
-per trial.
+Historically this module owned its own fork/pipe fan-out; that engine
+grew up and moved to :mod:`repro.campaign.sched` (work-stealing, lease
+recovery, a durable journal, resume).  :func:`run_campaign` remains the
+stable entry point for "run trials ``0..n-1`` of one spec": it wraps the
+spec in a one-config :class:`~repro.campaign.spec.TrialMatrix`
+(``task_id == trial_id``, root seed untouched, so digests match the
+historical runner bit-for-bit) and hands it to
+:func:`~repro.campaign.sched.run_matrix`.
 
-Failure containment is per trial, never per campaign:
+The failure-containment contract is unchanged -- and now durable:
 
-* a worker that dies (OOM-kill, segfault, ``os._exit``) gets its trial
-  *requeued* with backoff -- trials are deterministic, so a sporadic
-  environmental kill deserves a clean retry; only after
-  ``max_trial_retries`` consecutive worker deaths does the trial surface
-  as a ``"crashed"`` :class:`~repro.campaign.trial.TrialResult`;
-* a worker that overruns ``trial_timeout`` is terminated and yields a
-  ``"timeout"`` result (no retry: the overrun is deterministic too);
-* everything else keeps running, and the campaign completes.
+* a worker death is environmental: the trial is requeued with capped
+  exponential backoff, and only after ``max_trial_retries`` deaths
+  surfaces as ``"crashed"`` -- now carrying the *full per-attempt log*
+  (exit codes and backoffs) in ``TrialResult.detail``;
+* a ``trial_timeout`` overrun is deterministic: recorded once as
+  ``"timeout"``, never retried;
+* ``workers=1`` (and platforms without ``fork``) runs in-process and
+  produces byte-identical digests to any parallel schedule.
 
-Because trials are deterministic, ``workers=1`` (the in-process fallback,
-also used where ``fork`` is unavailable) produces byte-identical digests
-to any parallel schedule -- the parity test relies on this.
+Pass ``store_dir`` to journal the campaign durably; ``resume=True``
+replays the journal and finishes only what is missing.
 """
 
 from __future__ import annotations
 
-import multiprocessing
-import time
-from collections.abc import Callable, Sequence
-from multiprocessing.connection import wait as connection_wait
+from collections.abc import Callable
 
-from repro.campaign.trial import CampaignSpec, TrialResult, run_trial
+from repro.campaign.sched import (
+    SchedulerConfig,
+    TrialFn,
+    _failed_result,
+    default_trial_fn,
+    fork_available,
+    run_matrix,
+)
+from repro.campaign.spec import single_spec_matrix
+from repro.campaign.stats import summarize_outcomes
+from repro.campaign.trial import CampaignSpec, TrialResult
 
-TrialFn = Callable[[CampaignSpec, int], TrialResult]
+__all__ = ["run_campaign", "summarize_outcomes", "TrialFn"]
 
-
-def _default_trial_fn(spec: CampaignSpec, trial_id: int) -> TrialResult:
-    return run_trial(spec, trial_id)
-
-
-def _worker(conn, spec: CampaignSpec, trial_id: int, trial_fn: TrialFn) -> None:
-    result = trial_fn(spec, trial_id)
-    conn.send(result)
-    conn.close()
-
-
-def _failed(trial_id: int, outcome: str, wall: float, detail: str) -> TrialResult:
-    return TrialResult(
-        trial_id=trial_id,
-        outcome=outcome,
-        steps=0,
-        latency=None,
-        wall_seconds=wall,
-        wall_latency=None,
-        entries=0,
-        faults=0,
-        me1_after_horizon=0,
-        digest="",
-        detail=detail,
-    )
+# Compatibility aliases: tests and older callers import these from here.
+_default_trial_fn = default_trial_fn
+_failed = _failed_result
+_fork_available = fork_available
 
 
 def run_campaign(
@@ -74,195 +59,44 @@ def run_campaign(
     max_trial_retries: int = 2,
     retry_backoff: float = 0.2,
     retry_stats: dict | None = None,
+    store_dir: str | None = None,
+    resume: bool = False,
 ) -> list[TrialResult]:
     """Run trials ``0..trials-1`` of ``spec``; results ordered by trial id.
 
     ``on_result`` streams results in *completion* order as they arrive.
     ``trial_fn`` exists for tests (inject crashes/hangs); campaigns use
-    :func:`repro.campaign.trial.run_trial`.  A trial whose worker dies is
-    requeued up to ``max_trial_retries`` times, waiting ``retry_backoff``
-    seconds (doubling per attempt) before the respawn; ``retry_stats``
-    (when given) receives a ``"requeues"`` count for the artifact.
+    :func:`repro.campaign.trial.run_trial`.  A trial whose worker dies
+    is requeued up to ``max_trial_retries`` times with doubling (capped)
+    backoff starting at ``retry_backoff`` seconds; ``retry_stats`` (when
+    given) receives the scheduler's execution counters -- ``"requeues"``
+    stays additive across calls for the artifact.  ``store_dir`` turns
+    on the durable journal; with ``resume=True`` a previous run's
+    results are replayed instead of re-run.
     """
     if trials < 0:
         raise ValueError("trials must be non-negative")
     if max_trial_retries < 0:
         raise ValueError("max_trial_retries must be non-negative")
-    fn = trial_fn or _default_trial_fn
     if retry_stats is not None:
         retry_stats.setdefault("requeues", 0)
-    if workers <= 1 or trials <= 1 or not _fork_available():
-        results = []
-        for trial_id in range(trials):
-            result = fn(spec, trial_id)
-            if on_result is not None:
-                on_result(result)
-            results.append(result)
-        return results
-    return _run_parallel(
-        spec,
-        trials,
-        workers,
-        trial_timeout,
-        fn,
-        on_result,
-        max_trial_retries,
-        retry_backoff,
-        retry_stats,
+    matrix = single_spec_matrix(spec, trials)
+    run = run_matrix(
+        matrix,
+        SchedulerConfig(
+            workers=workers,
+            trial_timeout=trial_timeout,
+            max_trial_retries=max_trial_retries,
+            retry_backoff=retry_backoff,
+        ),
+        store_dir=store_dir,
+        resume=resume,
+        trial_fn=trial_fn,
+        on_result=on_result,
     )
-
-
-def _fork_available() -> bool:
-    return "fork" in multiprocessing.get_all_start_methods()
-
-
-def _run_parallel(  # noqa: PLR0913 -- the runner's full policy surface
-    spec: CampaignSpec,
-    trials: int,
-    workers: int,
-    trial_timeout: float | None,
-    trial_fn: TrialFn,
-    on_result: Callable[[TrialResult], None] | None,
-    max_trial_retries: int,
-    retry_backoff: float,
-    retry_stats: dict | None,
-) -> list[TrialResult]:
-    ctx = multiprocessing.get_context("fork")
-    pending = iter(range(trials))
-    live: dict[int, tuple] = {}  # trial_id -> (process, conn, deadline)
-    results: dict[int, TrialResult] = {}
-    attempts: dict[int, int] = {}  # trial_id -> worker deaths so far
-    retry_queue: list[tuple[float, int]] = []  # (ready_at, trial_id)
-    requeues = 0
-
-    def finish(trial_id: int, result: TrialResult) -> None:
-        results[trial_id] = result
-        if on_result is not None:
-            on_result(result)
-
-    def spawn(trial_id: int) -> None:
-        recv, send = ctx.Pipe(duplex=False)
-        proc = ctx.Process(
-            target=_worker, args=(send, spec, trial_id, trial_fn)
-        )
-        proc.start()
-        send.close()  # parent keeps only the read end
-        deadline = (
-            time.monotonic() + trial_timeout
-            if trial_timeout is not None
-            else None
-        )
-        live[trial_id] = (proc, recv, deadline)
-
-    def crashed(trial_id: int, exitcode: object, context: str) -> None:
-        """A worker died without delivering a result: requeue or give up."""
-        nonlocal requeues
-        deaths = attempts.get(trial_id, 0) + 1
-        attempts[trial_id] = deaths
-        if deaths <= max_trial_retries:
-            requeues += 1
-            backoff = retry_backoff * (2 ** (deaths - 1))
-            retry_queue.append((time.monotonic() + backoff, trial_id))
-            return
-        finish(
-            trial_id,
-            _failed(
-                trial_id,
-                "crashed",
-                0.0,
-                f"worker {context} (exitcode {exitcode}) "
-                f"after {deaths} attempts",
-            ),
-        )
-
-    def spawn_ready() -> None:
-        """Fill free worker slots: due retries first, then fresh trials."""
-        now = time.monotonic()
-        while len(live) < workers and retry_queue:
-            ready_at, trial_id = min(retry_queue)
-            if ready_at > now:
-                break
-            retry_queue.remove((ready_at, trial_id))
-            spawn(trial_id)
-        while len(live) < workers:
-            trial_id = next(pending, None)
-            if trial_id is None:
-                break
-            spawn(trial_id)
-
-    try:
-        while len(results) < trials:
-            spawn_ready()
-            if not live:
-                if retry_queue:
-                    # Every outstanding trial is backing off; wait it out.
-                    time.sleep(
-                        max(0.0, min(r for r, _t in retry_queue) - time.monotonic())
-                    )
-                    continue
-                break
-            connection_wait([conn for _p, conn, _d in live.values()], 0.05)
-            now = time.monotonic()
-            for trial_id in list(live):
-                proc, conn, deadline = live[trial_id]
-                if conn.poll():
-                    try:
-                        finish(trial_id, conn.recv())
-                    except EOFError:
-                        # A dead worker's closed pipe polls readable too;
-                        # join so the exitcode is available for the report.
-                        proc.join()
-                        crashed(
-                            trial_id,
-                            proc.exitcode,
-                            "closed the pipe without a result",
-                        )
-                elif deadline is not None and now > deadline:
-                    proc.terminate()
-                    finish(
-                        trial_id,
-                        _failed(
-                            trial_id,
-                            "timeout",
-                            trial_timeout or 0.0,
-                            f"exceeded trial_timeout={trial_timeout}s",
-                        ),
-                    )
-                elif not proc.is_alive():
-                    # The worker may have exited between the poll above and
-                    # this check, with its result already in the pipe.
-                    if conn.poll():
-                        try:
-                            finish(trial_id, conn.recv())
-                        except EOFError:
-                            crashed(
-                                trial_id,
-                                proc.exitcode,
-                                "closed the pipe mid-result",
-                            )
-                    else:
-                        proc.join()
-                        crashed(trial_id, proc.exitcode, "died")
-                else:
-                    continue
-                conn.close()
-                proc.join()
-                del live[trial_id]
-    finally:
-        for proc, conn, _deadline in live.values():
-            proc.terminate()
-            conn.close()
-            proc.join()
-
     if retry_stats is not None:
-        retry_stats["requeues"] = retry_stats.get("requeues", 0) + requeues
-    return [results[i] for i in sorted(results)]
-
-
-def summarize_outcomes(results: Sequence[TrialResult]) -> dict[str, int]:
-    """Outcome -> count (stable key order: worst news first)."""
-    order = ("converged", "diverged", "timeout", "crashed")
-    counts = {key: 0 for key in order}
-    for result in results:
-        counts[result.outcome] = counts.get(result.outcome, 0) + 1
-    return {key: count for key, count in counts.items() if count}
+        stats = run.stats.as_dict()
+        requeues = retry_stats["requeues"] + stats.pop("requeues")
+        retry_stats.update(stats)
+        retry_stats["requeues"] = requeues
+    return run.results

@@ -17,8 +17,16 @@ from collections.abc import Sequence
 from dataclasses import asdict, dataclass
 from pathlib import Path
 
-from repro.campaign.runner import summarize_outcomes
 from repro.campaign.trial import CampaignSpec, TrialResult
+
+
+def summarize_outcomes(results: Sequence[TrialResult]) -> dict[str, int]:
+    """Outcome -> count (stable key order: worst news first)."""
+    order = ("converged", "diverged", "timeout", "crashed")
+    counts = {key: 0 for key in order}
+    for result in results:
+        counts[result.outcome] = counts.get(result.outcome, 0) + 1
+    return {key: count for key, count in counts.items() if count}
 
 
 def quantile(values: Sequence[float], q: float) -> float:
@@ -188,69 +196,192 @@ def summarize(
     )
 
 
+#: Campaign artifact schema: version 2 restructured the payload into a
+#: deterministic core (``spec``/``summary``/``trials``, covered by the
+#: content hash) plus volatile ``timing``/``execution`` sections, and
+#: stamped it -- the content hash of a resumed campaign is bit-identical
+#: to the uninterrupted run's.
+CAMPAIGN_SCHEMA_VERSION = 2
+
+#: Top-level artifact fields excluded from the content hash: wall-clock
+#: measurements and execution incidents (requeues, lease reclaims) vary
+#: between runs that computed bit-identical results.
+CAMPAIGN_VOLATILE_FIELDS = ("timing", "execution")
+
+
+def _latency_dict(latency: LatencySummary | None) -> dict | None:
+    if latency is None:
+        return None
+    return {
+        "count": latency.count,
+        "mean": latency.mean,
+        "p50": latency.p50,
+        "p95": latency.p95,
+        "max": latency.maximum,
+        "cdf": [list(point) for point in latency.cdf],
+    }
+
+
+def summary_dict(summary: CampaignSummary) -> dict:
+    """The deterministic half of a summary (no wall-clock, no requeues)."""
+    return {
+        "trials": summary.trials,
+        "outcomes": summary.outcomes,
+        "convergence_rate": summary.convergence_rate,
+        "latency": _latency_dict(summary.latency),
+        "mean_steps": summary.mean_steps,
+        "total_faults": summary.total_faults,
+        "availability_mean": summary.availability_mean,
+        "detection": _latency_dict(summary.detection),
+        "recovery": _latency_dict(summary.recovery),
+        "total_dropped": summary.total_dropped,
+        "total_corrupted": summary.total_corrupted,
+    }
+
+
+def timing_dict(summary: CampaignSummary) -> dict:
+    """The wall-clock half of a summary (volatile; never hashed)."""
+    return {
+        "wall_seconds": summary.wall_seconds,
+        "trials_per_second": summary.trials_per_second,
+        "wall_latency_mean_s": summary.wall_latency_mean,
+    }
+
+
+def trial_rows(results: Sequence[TrialResult]) -> list[dict]:
+    """Per-trial artifact rows (deterministic fields only)."""
+    return [
+        {
+            "id": r.trial_id,
+            "outcome": r.outcome,
+            "steps": r.steps,
+            "latency": r.latency,
+            "entries": r.entries,
+            "faults": r.faults,
+            "digest": r.digest,
+            "dropped": r.dropped,
+            "corrupted": r.corrupted,
+            "availability": r.availability,
+            "detections": len(r.detections),
+            "recoveries": len(r.recoveries),
+        }
+        for r in results
+    ]
+
+
+def spec_dict(spec: CampaignSpec) -> dict:
+    out = asdict(spec)
+    out["rates"] = asdict(spec.rates)
+    return out
+
+
 def artifact(
     spec: CampaignSpec,
     results: Sequence[TrialResult],
     summary: CampaignSummary,
+    execution: dict | None = None,
 ) -> dict:
-    """The JSON-serializable campaign artifact (CI's BENCH_campaign.json)."""
-    spec_dict = asdict(spec)
-    spec_dict["rates"] = asdict(spec.rates)
+    """The stamped campaign artifact (CI's BENCH_campaign.json).
 
-    def _latency_dict(latency: LatencySummary | None) -> dict | None:
-        if latency is None:
-            return None
-        return {
-            "count": latency.count,
-            "mean": latency.mean,
-            "p50": latency.p50,
-            "p95": latency.p95,
-            "max": latency.maximum,
-            "cdf": [list(point) for point in latency.cdf],
-        }
-
-    return {
-        "spec": spec_dict,
-        "summary": {
-            "trials": summary.trials,
-            "outcomes": summary.outcomes,
-            "convergence_rate": summary.convergence_rate,
-            "latency": _latency_dict(summary.latency),
-            "wall_latency_mean_s": summary.wall_latency_mean,
-            "mean_steps": summary.mean_steps,
-            "total_faults": summary.total_faults,
-            "wall_seconds": summary.wall_seconds,
-            "trials_per_second": summary.trials_per_second,
-            "availability_mean": summary.availability_mean,
-            "detection": _latency_dict(summary.detection),
-            "recovery": _latency_dict(summary.recovery),
-            "total_dropped": summary.total_dropped,
-            "total_corrupted": summary.total_corrupted,
-            "requeues": summary.requeues,
-        },
-        "trials": [
-            {
-                "id": r.trial_id,
-                "outcome": r.outcome,
-                "steps": r.steps,
-                "latency": r.latency,
-                "entries": r.entries,
-                "faults": r.faults,
-                "digest": r.digest,
-                "dropped": r.dropped,
-                "corrupted": r.corrupted,
-                "availability": r.availability,
-                "detections": len(r.detections),
-                "recoveries": len(r.recoveries),
-            }
-            for r in results
-        ],
+    The content hash covers ``spec`` + ``summary`` + ``trials`` -- a
+    pure function of the trial matrix, because every hashed field of a
+    :class:`TrialResult` is deterministic in ``(spec, trial_id)``.
+    ``timing`` and ``execution`` (wall clocks, requeues, lease
+    reclaims, resume provenance) are declared volatile, so an
+    interrupted-and-resumed campaign stamps the *identical* hash as an
+    uninterrupted one.
+    """
+    payload = {
+        "spec": spec_dict(spec),
+        "summary": summary_dict(summary),
+        "trials": trial_rows(results),
+        "timing": timing_dict(summary),
+        "execution": {"requeues": summary.requeues, **(execution or {})},
     }
+    return stamp_artifact(
+        payload, CAMPAIGN_SCHEMA_VERSION, volatile=CAMPAIGN_VOLATILE_FIELDS
+    )
+
+
+def matrix_artifact(
+    matrix,
+    results: Sequence[TrialResult | None],
+    wall_seconds: float,
+    execution: dict | None = None,
+    partial: bool = False,
+) -> dict:
+    """The stamped artifact of a (possibly multi-config) trial matrix.
+
+    ``matrix`` is a :class:`repro.campaign.spec.TrialMatrix`;
+    ``results[task_id]`` holds each finished task's result (``None``
+    entries mark tasks a *partial* artifact has not seen yet -- final
+    artifacts must be complete).  Each config gets its own summary over
+    its own trials; the content hash covers the matrix identity and
+    every deterministic row, with ``timing``/``execution`` volatile as
+    in :func:`artifact`.
+    """
+    by_config: dict[str, list[TrialResult]] = {}
+    done = 0
+    for task, result in zip(matrix.tasks, results):
+        if result is None:
+            if not partial:
+                raise ValueError(
+                    f"final artifact missing task {task.task_id}"
+                )
+            continue
+        done += 1
+        by_config.setdefault(task.config, []).append(result)
+    configs = {}
+    for name, spec in matrix.configs:
+        config_results = by_config.get(name, [])
+        summary = summarize(config_results, wall_seconds)
+        configs[name] = {
+            "spec": spec_dict(spec),
+            "summary": summary_dict(summary),
+            "trials": trial_rows(config_results),
+        }
+    payload = {
+        "campaign": matrix.name,
+        "matrix_digest": matrix.matrix_digest,
+        "partial": partial,
+        "tasks": len(matrix),
+        "completed": done,
+        "configs": configs,
+        "timing": {
+            "wall_seconds": wall_seconds,
+            "trials_per_second": (
+                done / wall_seconds if wall_seconds else 0.0
+            ),
+        },
+        "execution": dict(execution or {}),
+    }
+    return stamp_artifact(
+        payload, CAMPAIGN_SCHEMA_VERSION, volatile=CAMPAIGN_VOLATILE_FIELDS
+    )
 
 
 def write_artifact(path: str | Path, payload: dict) -> None:
     """Write a campaign artifact as pretty-printed JSON."""
     Path(path).write_text(json.dumps(payload, indent=2) + "\n")
+
+
+#: EXPERIMENTS.md table artifact schema (``repro experiment --json``).
+EXPERIMENT_SCHEMA_VERSION = 1
+
+
+def experiment_artifact(
+    experiment_id: str, title: str, rows: Sequence[dict]
+) -> dict:
+    """The stamped artifact of an EXPERIMENTS.md table.
+
+    ``rows`` must already be JSON-native (the CLI renders any rich cell
+    values to their table strings first).  Experiment rows are
+    deterministic, so the whole payload is hashed -- no volatile fields.
+    """
+    return stamp_artifact(
+        {"experiment": experiment_id, "title": title, "rows": list(rows)},
+        EXPERIMENT_SCHEMA_VERSION,
+    )
 
 
 # ---------------------------------------------------------------------------
@@ -265,19 +396,48 @@ def write_artifact(path: str | Path, payload: dict) -> None:
 #: Field names the stamp occupies in a stamped artifact.
 STAMP_SCHEMA_FIELD = "schema_version"
 STAMP_HASH_FIELD = "content_hash"
+STAMP_EXCLUDES_FIELD = "content_hash_excludes"
 
 
 def artifact_content_hash(payload: dict) -> str:
-    """SHA-256 over the canonical JSON of the payload minus the hash field."""
-    body = {k: v for k, v in payload.items() if k != STAMP_HASH_FIELD}
+    """SHA-256 over the canonical JSON of the payload minus the hash
+    field and any top-level fields the stamp declares volatile.
+
+    Volatile fields (``content_hash_excludes``) exist for measurements
+    that legitimately differ between bit-identical runs -- wall-clock
+    timing, requeue counts.  Excluding them makes the content hash a
+    pure function of the *deterministic* payload, which is what lets a
+    kill-9'd-and-resumed campaign present the same digest as an
+    uninterrupted one.  The excludes list itself **is** hashed, so it
+    cannot be widened after the fact to hide tampering.
+    """
+    volatile = set(payload.get(STAMP_EXCLUDES_FIELD, ()))
+    body = {
+        k: v
+        for k, v in payload.items()
+        if k != STAMP_HASH_FIELD and k not in volatile
+    }
     canonical = json.dumps(body, sort_keys=True, separators=(",", ":"))
     return "sha256:" + hashlib.sha256(canonical.encode("utf-8")).hexdigest()
 
 
-def stamp_artifact(payload: dict, schema_version: int) -> dict:
-    """A copy of ``payload`` carrying its schema version and content hash."""
+def stamp_artifact(
+    payload: dict,
+    schema_version: int,
+    volatile: Sequence[str] = (),
+) -> dict:
+    """A copy of ``payload`` carrying its schema version and content hash.
+
+    ``volatile`` names top-level fields excluded from the content hash
+    (recorded in the stamp, so verification applies the same exclusion).
+    """
     stamped = dict(payload)
     stamped[STAMP_SCHEMA_FIELD] = schema_version
+    if volatile:
+        missing = [name for name in volatile if name not in stamped]
+        if missing:
+            raise ValueError(f"volatile field(s) not in payload: {missing}")
+        stamped[STAMP_EXCLUDES_FIELD] = sorted(volatile)
     stamped[STAMP_HASH_FIELD] = artifact_content_hash(stamped)
     return stamped
 

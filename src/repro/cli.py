@@ -8,8 +8,9 @@ Python:
     standard fault campaign) and print the full verification bundle.
 
 ``experiment``
-    Regenerate one of the EXPERIMENTS.md tables (E2-E18) at a chosen
-    repetition count.
+    Regenerate one of the EXPERIMENTS.md tables (E2-E20) at a chosen
+    repetition count; ``--json`` also writes the rows as a stamped
+    artifact (schema version + content hash).
 
 ``figure1``
     Decide the Figure 1 relations and print the verdicts.
@@ -22,8 +23,13 @@ Python:
 ``campaign``
     Run a parallel Monte-Carlo fault-injection campaign
     (:mod:`repro.campaign`): seeded randomized trials, convergence-latency
-    distribution, JSON artifact, plus ``--replay``/``--shrink`` for
-    bit-for-bit trial reproduction and counterexample minimization.
+    distribution, stamped JSON artifact, plus ``--replay``/``--shrink``
+    for bit-for-bit trial reproduction and counterexample minimization.
+    ``--spec`` expands a declarative experiment file into a multi-config
+    trial matrix; ``--store-dir`` journals every trial durably so
+    ``--resume`` finishes a killed campaign to the bit-identical content
+    hash, and ``--chaos-selftest`` proves exactly that by SIGKILLing
+    workers and the coordinator at seeded points.
 
 ``lint``
     Statically verify action purity, determinism, and graybox
@@ -56,6 +62,7 @@ EXPERIMENTS: dict[str, tuple[str, str]] = {
     "E17": ("experiment_churn", "crash-restart/partition churn with recovery"),
     "E18": ("experiment_parallel", "sharded exploration scaling and resume"),
     "E19": ("experiment_service", "live lock service under load and chaos"),
+    "E20": ("experiment_killsafe", "kill/resume campaign digest stability"),
 }
 
 
@@ -104,6 +111,13 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=2,
         help="repetitions per configuration (where applicable)",
+    )
+    exp.add_argument(
+        "--json",
+        type=Path,
+        metavar="PATH",
+        default=None,
+        help="also write the rows as a stamped JSON artifact",
     )
 
     sub.add_parser("figure1", help="decide the Figure 1 relations")
@@ -315,6 +329,51 @@ def build_parser() -> argparse.ArgumentParser:
         "--require-full-convergence",
         action="store_true",
         help="exit nonzero unless every trial converges (CI gate)",
+    )
+    campaign.add_argument(
+        "--spec",
+        type=Path,
+        metavar="PATH",
+        default=None,
+        help="declarative experiment spec (JSON): base parameters plus "
+        "sweep axes or named configs, expanded into a trial matrix "
+        "(overrides the flat flags)",
+    )
+    campaign.add_argument(
+        "--store-dir",
+        type=Path,
+        metavar="DIR",
+        default=None,
+        help="journal every lease/result durably in DIR (torn-tail "
+        "tolerant append-only log; required for --resume)",
+    )
+    campaign.add_argument(
+        "--resume",
+        action="store_true",
+        help="replay the journal in --store-dir and finish only the "
+        "missing trials; the final content hash is bit-identical to an "
+        "uninterrupted run's",
+    )
+    campaign.add_argument(
+        "--partial-every",
+        type=int,
+        default=0,
+        metavar="N",
+        help="stream a stamped partial artifact to --store-dir every N "
+        "completed trials (0 = off)",
+    )
+    campaign.add_argument(
+        "--chaos-selftest",
+        action="store_true",
+        help="prove kill-safety: SIGKILL workers and the coordinator at "
+        "seeded points, resume, and assert the content hash matches an "
+        "uninterrupted run",
+    )
+    campaign.add_argument(
+        "--chaos-seed",
+        type=int,
+        default=0,
+        help="seed for the chaos self-test's kill schedule",
     )
 
     lint = sub.add_parser(
@@ -557,7 +616,10 @@ def _cmd_run(args: argparse.Namespace) -> int:
 
 
 def _cmd_experiment(args: argparse.Namespace) -> int:
+    import json
+
     import repro.analysis as analysis
+    from repro.analysis.tables import _cell
 
     fn_name, title = EXPERIMENTS[args.id]
     fn: Callable = getattr(analysis, fn_name)
@@ -567,6 +629,27 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
         kwargs["seeds"] = seeds
     rows = fn(**kwargs)
     analysis.print_table(rows, f"{args.id} -- {title}")
+    if args.json is not None:
+        from repro.campaign.stats import experiment_artifact
+
+        native = (int, float, str, bool)
+        plain = [
+            {
+                key: (
+                    value
+                    if value is None or isinstance(value, native)
+                    else _cell(value)
+                )
+                for key, value in row.items()
+            }
+            for row in rows
+        ]
+        payload = experiment_artifact(args.id, title, plain)
+        args.json.write_text(json.dumps(payload, indent=2) + "\n")
+        print(
+            f"artifact written to {args.json} "
+            f"(content hash {payload['content_hash']})"
+        )
     return 0
 
 
@@ -703,17 +786,32 @@ def _campaign_spec(args: argparse.Namespace):
 
 
 def _cmd_campaign(args: argparse.Namespace) -> int:
-    import time
+    import json
 
     from repro.campaign import (
+        SchedulerConfig,
         artifact,
+        load_experiment_spec,
+        matrix_artifact,
         replay_trial,
-        run_campaign,
+        run_matrix,
         run_trial,
         shrink_trial,
+        single_spec_matrix,
         summarize,
         write_artifact,
     )
+    from repro.campaign.journal import PARTIAL_NAME
+    from repro.campaign.stats import CAMPAIGN_SCHEMA_VERSION, verify_stamp
+
+    if args.spec is not None and (
+        args.replay is not None or args.shrink is not None
+    ):
+        print("campaign: --replay/--shrink use the flat flags, not --spec")
+        return 2
+    if args.resume and args.store_dir is None:
+        print("campaign: --resume requires --store-dir")
+        return 2
 
     spec = _campaign_spec(args)
 
@@ -741,52 +839,163 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
         print(result.render(spec))
         return 0
 
-    label = "bare" if spec.theta is None else f"W'(theta={spec.theta})"
-    extras = ""
-    if spec.churn is not None:
-        extras += f", churn x{args.churn:g}"
-    if spec.recovery is not None:
-        extras += ", recovery on"
-    print(
-        f"campaign: {spec.algorithm} n={spec.n} {label} "
-        f"x{args.trials} trials, root_seed={spec.root_seed}, "
-        f"faults [{spec.fault_start},{spec.fault_stop}), "
-        f"workers={args.workers}{extras}"
-    )
-    started = time.perf_counter()
+    if args.spec is not None:
+        try:
+            matrix = load_experiment_spec(args.spec).expand()
+        except ValueError as exc:
+            print(f"campaign: {exc}")
+            return 2
+    else:
+        matrix = single_spec_matrix(spec, args.trials)
+
+    if args.chaos_selftest:
+        return _campaign_chaos_selftest(args, matrix)
+
+    if args.spec is not None:
+        print(f"campaign: {matrix.describe()}, workers={args.workers}")
+    else:
+        label = "bare" if spec.theta is None else f"W'(theta={spec.theta})"
+        extras = ""
+        if spec.churn is not None:
+            extras += f", churn x{args.churn:g}"
+        if spec.recovery is not None:
+            extras += ", recovery on"
+        print(
+            f"campaign: {spec.algorithm} n={spec.n} {label} "
+            f"x{args.trials} trials, root_seed={spec.root_seed}, "
+            f"faults [{spec.fault_start},{spec.fault_stop}), "
+            f"workers={args.workers}{extras}"
+        )
+
+    if args.resume:
+        # A dying run may have left a streamed partial artifact; verify
+        # its stamp before trusting the journal it summarizes.
+        partial = args.store_dir / PARTIAL_NAME
+        if partial.exists():
+            try:
+                verify_stamp(
+                    json.loads(partial.read_text(encoding="utf-8")),
+                    CAMPAIGN_SCHEMA_VERSION,
+                )
+            except ValueError as exc:
+                print(f"campaign: partial artifact failed its stamp: {exc}")
+                return 2
+            print(f"  partial artifact stamp verified ({partial})")
+
+    total = len(matrix)
     done = 0
 
     def progress(result) -> None:
         nonlocal done
         done += 1
-        if done % 50 == 0 or done == args.trials:
-            print(f"  {done}/{args.trials} trials done", flush=True)
+        if done % 50 == 0 or done == total:
+            print(f"  {done}/{total} trials done", flush=True)
 
-    retry_stats: dict = {}
-    results = run_campaign(
-        spec,
-        args.trials,
-        workers=args.workers,
-        trial_timeout=args.trial_timeout,
-        on_result=progress,
-        retry_stats=retry_stats,
-    )
+    try:
+        run = run_matrix(
+            matrix,
+            SchedulerConfig(
+                workers=args.workers,
+                trial_timeout=args.trial_timeout,
+                partial_every=args.partial_every,
+            ),
+            store_dir=(
+                str(args.store_dir) if args.store_dir is not None else None
+            ),
+            resume=args.resume,
+            on_result=progress,
+        )
+    except ValueError as exc:
+        print(f"campaign: {exc}")
+        return 2
+    stats = run.stats
+    if stats.resumed_results:
+        print(
+            f"  resumed {stats.resumed_results}/{total} trials from "
+            f"the journal"
+        )
     summary = summarize(
-        results,
-        time.perf_counter() - started,
-        requeues=retry_stats.get("requeues", 0),
+        run.results, run.wall_seconds, requeues=stats.requeues
     )
     print(summary.describe())
-    failing = [r.trial_id for r in results if not r.converged]
+    incidents = (
+        stats.worker_deaths
+        + stats.lease_reclaims
+        + stats.timeouts
+        + stats.serial_fallback_tasks
+    )
+    if incidents:
+        print(
+            f"execution:   {stats.worker_deaths} worker deaths, "
+            f"{stats.lease_reclaims} lease reclaims, "
+            f"{stats.respawns} respawns, {stats.timeouts} timeouts, "
+            f"{stats.serial_fallback_tasks} trials finished serially"
+        )
+    failing = [
+        (task.config, task.trial_id)
+        for task, result in zip(matrix.tasks, run.results)
+        if not result.converged
+    ]
     if failing:
-        shown = ", ".join(str(i) for i in failing[:10])
+        shown = ", ".join(
+            str(trial) if len(matrix.configs) == 1 else f"{config}:{trial}"
+            for config, trial in failing[:10]
+        )
         more = "" if len(failing) <= 10 else f" (+{len(failing) - 10} more)"
         print(f"failing trials: {shown}{more}  (use --shrink ID to minimize)")
     if args.json is not None:
-        write_artifact(args.json, artifact(spec, results, summary))
-        print(f"artifact written to {args.json}")
+        if args.spec is not None:
+            payload = matrix_artifact(
+                matrix, run.results, run.wall_seconds,
+                execution=stats.as_dict(),
+            )
+        else:
+            payload = artifact(
+                spec, run.results, summary, execution=stats.as_dict()
+            )
+        write_artifact(args.json, payload)
+        print(
+            f"artifact written to {args.json} "
+            f"(content hash {payload['content_hash']})"
+        )
     if args.require_full_convergence and failing:
         return 1
+    return 0
+
+
+def _campaign_chaos_selftest(args: argparse.Namespace, matrix) -> int:
+    import tempfile
+
+    from repro.campaign import run_chaos_selftest
+
+    if args.trial_timeout is not None:
+        print("campaign: --chaos-selftest forbids --trial-timeout")
+        return 2
+    print(f"chaos self-test: {matrix.describe()}, workers={args.workers}")
+    with tempfile.TemporaryDirectory() as scratch:
+        store = (
+            str(args.store_dir) if args.store_dir is not None else scratch
+        )
+        try:
+            report = run_chaos_selftest(
+                matrix,
+                store,
+                workers=args.workers,
+                seed=args.chaos_seed,
+            )
+        except (AssertionError, ValueError) as exc:
+            print(f"chaos self-test FAILED: {exc}")
+            return 1
+    print(
+        f"  {report.coordinator_kills} coordinator SIGKILLs over "
+        f"{report.rounds} rounds; {report.resumed_results}/{report.tasks} "
+        "trials recovered from the journal"
+    )
+    print(
+        "  clean-run hash   " + report.reference_hash + "\n"
+        "  kill/resume hash " + report.resumed_hash
+    )
+    print("chaos self-test PASSED: digests are bit-identical")
     return 0
 
 

@@ -31,7 +31,13 @@ all derived from it.
 The module also owns the journal record framing used by
 :mod:`repro.explore.shard`: fixed 13-byte headers followed by the wire
 payload, written append-only and parsed back with torn-tail tolerance
-(a record cut short by ``kill -9`` is discarded, never misread).
+(a record cut short by ``kill -9`` is discarded, never misread).  The
+framing is deliberately payload-agnostic and has a second consumer: the
+durable campaign journal (:mod:`repro.campaign.journal`) appends its
+lease/result/requeue records through the same header format and replay
+helpers.  Record tags are coordinated across consumers -- exploration
+owns ``A``/``M``/``C`` below, campaigns own ``L``/``R``/``Q`` -- so a
+journal misfiled into the wrong reader fails loudly instead of parsing.
 """
 
 from __future__ import annotations

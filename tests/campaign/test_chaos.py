@@ -1,0 +1,97 @@
+"""The chaos self-test: seeded kills, coordinator murder, digest parity."""
+
+import multiprocessing
+
+import pytest
+
+from repro.campaign import CampaignSpec, single_spec_matrix
+from repro.campaign.chaos import make_chaos_fn, run_chaos_selftest
+from repro.campaign.sched import SchedulerConfig
+
+SPEC = CampaignSpec(
+    algorithm="ra",
+    n=3,
+    root_seed=5,
+    fault_start=10,
+    fault_stop=40,
+    confirm_window=80,
+    max_steps=600,
+)
+
+fork_only = pytest.mark.skipif(
+    "fork" not in multiprocessing.get_all_start_methods(),
+    reason="campaign fan-out requires the fork start method",
+)
+
+
+class TestMakeChaosFn:
+    def test_deterministic_in_task_and_attempt(self, monkeypatch):
+        import os
+
+        exits: list[int] = []
+        monkeypatch.setattr(os, "_exit", lambda code: exits.append(code))
+        chaos = make_chaos_fn(seed=3, kill_rate=0.5, max_trial_retries=2)
+        for _repeat in range(2):
+            for task_id in range(20):
+                chaos(task_id, 0)
+        # Same schedule both sweeps, and a 0.5 rate kills *something*.
+        assert exits
+        assert len(exits) % 2 == 0
+        assert exits[: len(exits) // 2] == exits[len(exits) // 2 :]
+
+    def test_final_attempt_always_spared(self, monkeypatch):
+        import os
+
+        exits: list[int] = []
+        monkeypatch.setattr(os, "_exit", lambda code: exits.append(code))
+        chaos = make_chaos_fn(seed=3, kill_rate=1.0, max_trial_retries=2)
+        for task_id in range(10):
+            chaos(task_id, 2)  # attempt == max_trial_retries
+        assert exits == []
+
+    def test_zero_rate_never_kills(self):
+        chaos = make_chaos_fn(seed=0, kill_rate=0.0, max_trial_retries=2)
+        for task_id in range(50):
+            chaos(task_id, 0)  # would os._exit the test if it killed
+
+
+class TestSelfTest:
+    def test_trial_timeout_forbidden(self, tmp_path):
+        with pytest.raises(ValueError, match="trial_timeout"):
+            run_chaos_selftest(
+                single_spec_matrix(SPEC, 2),
+                tmp_path,
+                config=SchedulerConfig(workers=2, trial_timeout=1.0),
+            )
+
+    @fork_only
+    def test_kill_everything_and_match_digests(self, tmp_path):
+        """The tentpole invariant end-to-end: SIGKILLed workers plus a
+        SIGKILLed coordinator, resumed, stamp the clean run's hash."""
+        report = run_chaos_selftest(
+            single_spec_matrix(SPEC, 16),
+            tmp_path,
+            workers=2,
+            seed=7,
+            kill_rate=0.3,
+            coordinator_kills=1,
+            kill_window=(0.05, 0.3),
+        )
+        assert report.digests_match
+        assert report.resumed_results == report.tasks == 16
+        assert report.rounds >= 1
+
+    @fork_only
+    def test_serial_coordinator_kill_and_resume(self, tmp_path):
+        """workers=1 exercises the serial path under coordinator kills
+        alone (the chaos hook never runs in-process)."""
+        report = run_chaos_selftest(
+            single_spec_matrix(SPEC, 12),
+            tmp_path,
+            workers=1,
+            seed=11,
+            kill_rate=0.5,
+            coordinator_kills=1,
+            kill_window=(0.02, 0.1),
+        )
+        assert report.digests_match

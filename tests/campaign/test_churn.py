@@ -161,7 +161,10 @@ class TestArtifact:
         payload = artifact(CHURN, results, summary)
         text = json.dumps(payload)  # serializable end-to-end
         assert "availability_mean" in text
-        assert payload["summary"]["requeues"] == 2
+        # Requeues are an execution incident, not a result: they live in
+        # the volatile (unhashed) section so resumed runs stamp the same
+        # content hash.
+        assert payload["execution"]["requeues"] == 2
         assert payload["spec"]["churn"]["downtime"] == 40
         assert payload["spec"]["recovery"]["heartbeat_interval"] == 5
         for trial in payload["trials"]:

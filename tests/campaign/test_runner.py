@@ -57,11 +57,53 @@ class TestParallel:
                 os._exit(17)  # simulate a segfault/OOM-kill
             return run_trial(spec, trial_id)
 
-        results = run_campaign(SPEC, 4, workers=2, trial_fn=crashy)
+        results = run_campaign(
+            SPEC, 4, workers=2, trial_fn=crashy, retry_backoff=0.01
+        )
         by_id = {r.trial_id: r for r in results}
         assert by_id[1].outcome == "crashed"
         assert "17" in by_id[1].detail
         assert all(by_id[i].outcome == "converged" for i in (0, 2, 3))
+
+    def test_crashed_detail_carries_per_attempt_log(self):
+        """Exhausting max_trial_retries must not lose the attempt
+        history: every attempt's exit code and backoff is in detail."""
+
+        def crashy(spec, trial_id):
+            if trial_id == 0:
+                os._exit(17)
+            return run_trial(spec, trial_id)
+
+        results = run_campaign(
+            SPEC,
+            2,
+            workers=2,
+            trial_fn=crashy,
+            max_trial_retries=2,
+            retry_backoff=0.01,
+        )
+        detail = results[0].detail
+        assert "after 3 attempts" in detail
+        assert "attempt 0" in detail
+        assert "attempt 1" in detail
+        assert "attempt 2" in detail
+        # headline exit code plus one per attempt
+        assert detail.count("exitcode 17") == 4
+        assert "backoff" in detail
+
+    def test_store_dir_and_resume_round_trip(self, tmp_path):
+        first = run_campaign(SPEC, 4, workers=2, store_dir=str(tmp_path))
+        stats: dict = {}
+        resumed = run_campaign(
+            SPEC,
+            4,
+            workers=2,
+            store_dir=str(tmp_path),
+            resume=True,
+            retry_stats=stats,
+        )
+        assert [r.digest for r in resumed] == [r.digest for r in first]
+        assert stats["resumed_results"] == 4
 
     def test_hung_worker_times_out(self):
         def sleepy(spec, trial_id):

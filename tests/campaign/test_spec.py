@@ -1,0 +1,157 @@
+"""The declarative spec layer: expansion, identity, validation."""
+
+import json
+
+import pytest
+
+from repro.campaign import (
+    CampaignSpec,
+    ExperimentSpec,
+    load_experiment_spec,
+    parse_experiment_spec,
+    single_spec_matrix,
+)
+from repro.campaign.spec import build_campaign_spec
+
+
+class TestBuildCampaignSpec:
+    def test_defaults_match_dataclass_defaults(self):
+        assert build_campaign_spec({}) == CampaignSpec()
+
+    def test_unknown_parameter_rejected(self):
+        with pytest.raises(ValueError, match="fault_sale"):
+            build_campaign_spec({"fault_sale": 2.0})
+
+    def test_churn_scale_enables_churn_and_recovery(self):
+        spec = build_campaign_spec({"churn_scale": 1.0})
+        assert spec.churn is not None
+        assert spec.recovery is not None
+
+    def test_recovery_can_be_forced_off_under_churn(self):
+        spec = build_campaign_spec({"churn_scale": 1.0, "recovery": False})
+        assert spec.churn is not None
+        assert spec.recovery is None
+
+    def test_bare_beats_theta(self):
+        spec = build_campaign_spec({"bare": True, "theta": 9})
+        assert spec.theta is None
+
+    def test_fault_scale_scales_rates(self):
+        spec = build_campaign_spec({"fault_scale": 2.0})
+        assert spec.rates.loss == CampaignSpec().rates.loss * 2.0
+
+
+class TestExperimentSpec:
+    def test_base_only_expands_to_default_config(self):
+        matrix = ExperimentSpec(name="exp", trials=4).expand()
+        assert [name for name, _ in matrix.configs] == ["default"]
+        assert len(matrix) == 4
+        assert [t.trial_id for t in matrix.tasks] == [0, 1, 2, 3]
+
+    def test_axes_cartesian_product(self):
+        matrix = ExperimentSpec(
+            trials=2,
+            axes={"n": [3, 4], "fault_scale": [1.0, 2.0]},
+        ).expand()
+        names = [name for name, _ in matrix.configs]
+        assert len(names) == 4
+        assert "fault_scale=1.0,n=3" in names  # sorted-axis order
+        assert len(matrix) == 8
+
+    def test_configs_override_base(self):
+        matrix = ExperimentSpec(
+            base={"n": 3},
+            configs={"small": {}, "big": {"n": 6}},
+            trials=1,
+        ).expand()
+        specs = matrix.config_specs()
+        assert specs["small"].n == 3
+        assert specs["big"].n == 6
+
+    def test_axes_and_configs_mutually_exclusive(self):
+        with pytest.raises(ValueError, match="not both"):
+            ExperimentSpec(axes={"n": [3]}, configs={"a": {}})
+
+    def test_sibling_configs_draw_independent_seeds(self):
+        matrix = ExperimentSpec(
+            configs={"a": {}, "b": {}}, trials=1
+        ).expand()
+        specs = matrix.config_specs()
+        assert specs["a"].root_seed != specs["b"].root_seed
+
+    def test_pinned_root_seed_respected(self):
+        matrix = ExperimentSpec(
+            configs={"pinned": {"root_seed": 77}}, trials=1
+        ).expand()
+        assert matrix.config_specs()["pinned"].root_seed == 77
+
+    def test_task_ids_are_dense_and_ordered(self):
+        matrix = ExperimentSpec(
+            configs={"a": {}, "b": {"trials": 3}}, trials=2
+        ).expand()
+        assert [t.task_id for t in matrix.tasks] == list(range(5))
+        assert [t.config for t in matrix.tasks] == ["a", "a", "b", "b", "b"]
+
+
+class TestMatrixDigest:
+    def test_stable_across_expansions(self):
+        spec = ExperimentSpec(trials=3, axes={"n": [3, 4]})
+        assert spec.expand().matrix_digest == spec.expand().matrix_digest
+
+    def test_changes_with_trial_count(self):
+        a = ExperimentSpec(trials=3).expand().matrix_digest
+        b = ExperimentSpec(trials=4).expand().matrix_digest
+        assert a != b
+
+    def test_changes_with_name(self):
+        a = ExperimentSpec(name="x").expand().matrix_digest
+        b = ExperimentSpec(name="y").expand().matrix_digest
+        assert a != b
+
+
+class TestSingleSpecMatrix:
+    def test_task_id_equals_trial_id_and_seed_untouched(self):
+        spec = CampaignSpec(root_seed=123)
+        matrix = single_spec_matrix(spec, 3)
+        assert matrix.config_specs()["default"].root_seed == 123
+        assert [(t.task_id, t.trial_id) for t in matrix.tasks] == [
+            (0, 0), (1, 1), (2, 2),
+        ]
+
+    def test_negative_trials_rejected(self):
+        with pytest.raises(ValueError):
+            single_spec_matrix(CampaignSpec(), -1)
+
+
+class TestSpecFiles:
+    def test_round_trip(self, tmp_path):
+        payload = {
+            "name": "sweep",
+            "root_seed": 5,
+            "trials": 6,
+            "base": {"algorithm": "ra", "n": 3},
+            "axes": {"fault_scale": [1.0, 2.0]},
+        }
+        path = tmp_path / "exp.json"
+        path.write_text(json.dumps(payload))
+        spec = load_experiment_spec(path)
+        assert spec == parse_experiment_spec(payload)
+        matrix = spec.expand()
+        assert len(matrix) == 12
+        assert matrix.name == "sweep"
+
+    def test_unknown_key_rejected(self):
+        with pytest.raises(ValueError, match="trails"):
+            parse_experiment_spec({"trails": 10})
+
+    def test_invalid_json_rejected(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{not json")
+        with pytest.raises(ValueError, match="not valid JSON"):
+            load_experiment_spec(path)
+
+    def test_non_object_rejected(self, tmp_path):
+        path = tmp_path / "list.json"
+        path.write_text("[1, 2]")
+        with pytest.raises(ValueError, match="JSON object"):
+            load_experiment_spec(path)

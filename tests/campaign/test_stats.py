@@ -105,6 +105,119 @@ class TestArtifact:
         assert all(t["digest"] for t in loaded["trials"])
         assert loaded["summary"]["convergence_rate"] == 1.0
 
+    def test_artifact_is_stamped_and_verifiable(self):
+        from repro.campaign.stats import CAMPAIGN_SCHEMA_VERSION, verify_stamp
+
+        results = run_campaign(SPEC, 2)
+        payload = artifact(SPEC, results, summarize(results, 1.0))
+        verify_stamp(payload, expected_schema=CAMPAIGN_SCHEMA_VERSION)
+
+    def test_content_hash_ignores_wall_clock_and_requeues(self):
+        """The volatile sections exist so an interrupted-and-resumed
+        campaign stamps the identical content hash: only timing and
+        execution may differ between bit-identical runs."""
+        results = run_campaign(SPEC, 2)
+        fast = artifact(
+            SPEC,
+            results,
+            summarize(results, wall_seconds=1.0),
+            execution={"requeues": 0},
+        )
+        slow = artifact(
+            SPEC,
+            results,
+            summarize(results, wall_seconds=99.0, requeues=7),
+            execution={"requeues": 7, "worker_deaths": 7},
+        )
+        assert fast["timing"] != slow["timing"]
+        assert fast["content_hash"] == slow["content_hash"]
+
+    def test_content_hash_tracks_deterministic_fields(self):
+        results = run_campaign(SPEC, 2)
+        base = artifact(SPEC, results, summarize(results, 1.0))
+        fewer = artifact(SPEC, results[:1], summarize(results[:1], 1.0))
+        assert base["content_hash"] != fewer["content_hash"]
+
+    def test_volatile_excludes_list_is_tamper_evident(self):
+        from repro.campaign.stats import verify_stamp
+
+        results = run_campaign(SPEC, 2)
+        payload = artifact(SPEC, results, summarize(results, 1.0))
+        tampered = dict(payload)
+        # Widening the excludes to hide a field must break the stamp.
+        tampered["content_hash_excludes"] = sorted(
+            [*payload["content_hash_excludes"], "summary"]
+        )
+        with pytest.raises(ValueError, match="hash mismatch"):
+            verify_stamp(tampered)
+
+
+class TestMatrixArtifact:
+    def test_per_config_sections_and_stamp(self):
+        from repro.campaign import ExperimentSpec, matrix_artifact, run_matrix
+        from repro.campaign.stats import verify_stamp
+
+        matrix = ExperimentSpec(
+            name="mx",
+            trials=2,
+            base={
+                "algorithm": "ra",
+                "n": 3,
+                "fault_start": 10,
+                "fault_stop": 40,
+                "confirm_window": 80,
+                "max_steps": 600,
+            },
+            configs={"a": {}, "b": {}},
+        ).expand()
+        run = run_matrix(matrix)
+        payload = matrix_artifact(matrix, run.results, 1.0)
+        verify_stamp(payload)
+        assert payload["matrix_digest"] == matrix.matrix_digest
+        assert payload["completed"] == 4 and not payload["partial"]
+        assert set(payload["configs"]) == {"a", "b"}
+        for section in payload["configs"].values():
+            assert len(section["trials"]) == 2
+            assert section["summary"]["trials"] == 2
+
+    def test_final_artifact_rejects_missing_tasks(self):
+        from repro.campaign import matrix_artifact, single_spec_matrix
+
+        matrix = single_spec_matrix(SPEC, 2)
+        with pytest.raises(ValueError, match="missing task"):
+            matrix_artifact(matrix, [None, None], 1.0)
+
+    def test_partial_artifact_allows_missing_tasks(self):
+        from repro.campaign import (
+            matrix_artifact,
+            run_trial,
+            single_spec_matrix,
+        )
+
+        matrix = single_spec_matrix(SPEC, 2)
+        payload = matrix_artifact(
+            matrix, [run_trial(SPEC, 0), None], 1.0, partial=True
+        )
+        assert payload["partial"] and payload["completed"] == 1
+
+
+class TestExperimentArtifact:
+    def test_stamped_rows_round_trip(self):
+        from repro.campaign.stats import (
+            EXPERIMENT_SCHEMA_VERSION,
+            experiment_artifact,
+            verify_stamp,
+        )
+
+        payload = experiment_artifact(
+            "E16", "campaign", [{"n": 3, "latency_mean": 4.5}]
+        )
+        verify_stamp(
+            json.loads(json.dumps(payload)),
+            expected_schema=EXPERIMENT_SCHEMA_VERSION,
+        )
+        assert payload["rows"][0]["n"] == 3
+
 
 class TestArtifactStamp:
     def test_stamp_then_verify(self):
